@@ -1,0 +1,189 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * `ept_coalescing`  — nested-translate latency with 4 KiB-only vs
+//!   2 MiB/1 GiB-coalesced EPT mappings (the "large page" optimization of
+//!   Section IV-C);
+//! * `ipi_mode`        — IPI send→receive round-trip under no protection,
+//!   full APIC virtualization (TrapAll) and posted interrupts;
+//! * `cmdqueue`        — the asynchronous controller-side reconfiguration
+//!   protocol: EPT unmap + TlbFlush command + NMI + completion wait, with
+//!   a live guest polling — the cost the paper claims is minimal;
+//! * `exit_cost`       — per-exit-reason hypervisor handling cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use covirt::cmdqueue::Command;
+use covirt::config::CovirtConfig;
+use covirt::ExecMode;
+use covirt_simhw::addr::{GuestPhysAddr, PAGE_SIZE_2M, PAGE_SIZE_4K};
+use covirt_simhw::ept::Ept;
+use covirt_simhw::interconnect::{DeliveryMode, IpiDest};
+use covirt_simhw::memory::PhysMemory;
+use covirt_simhw::paging::{Access, DirectLoad, FramePool};
+use covirt_simhw::topology::{HwLayout, ZoneId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use workloads::World;
+
+fn ept_for(mem: &Arc<PhysMemory>) -> Ept {
+    let pool = mem.alloc_backed(ZoneId(0), 8 * 1024 * 1024, PAGE_SIZE_4K).unwrap();
+    Ept::new(Arc::new(FramePool::new(Arc::clone(mem), pool))).unwrap()
+}
+
+fn ablate_ept_coalescing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_ept_coalescing");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let mem = Arc::new(PhysMemory::new(&[256 * 1024 * 1024]));
+    let region = mem.alloc(ZoneId(0), 32 * PAGE_SIZE_2M, PAGE_SIZE_2M).unwrap();
+
+    for (label, max_level) in [("4k-only", 1u8), ("coalesced-2m", 3u8)] {
+        let ept = ept_for(&mem);
+        ept.map_identity(region, max_level).unwrap();
+        let (c4k, c2m, c1g) = ept.leaf_counts().unwrap();
+        eprintln!("[{label}] EPT leaves: {c4k} x4K, {c2m} x2M, {c1g} x1G");
+        let mut addr = region.start.raw();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                // Walk a striding address so caches of the radix path vary.
+                addr = region.start.raw() + (addr.wrapping_mul(6364136223846793005) % region.len) / 8 * 8;
+                criterion::black_box(
+                    ept.translate(GuestPhysAddr::new(addr), Access::Read, &DirectLoad(&mem))
+                        .unwrap()
+                        .loads,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablate_ipi_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_ipi_mode");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for mode in [
+        ExecMode::Native,
+        ExecMode::Covirt(CovirtConfig::MEM_IPI),     // TrapAll
+        ExecMode::Covirt(CovirtConfig::MEM_IPI_PIV), // Posted
+    ] {
+        let world = World::build(mode, HwLayout { cores: 2, zones: 1 }, 96 * 1024 * 1024);
+        let vector = world.ipi_vectors()[0];
+        let [c0, c1] = [world.cores[0], world.cores[1]];
+        let mut sender = world.guest_core(c0).unwrap();
+        let mut receiver = world.guest_core(c1).unwrap();
+        group.bench_function(mode.label(), |b| {
+            b.iter(|| {
+                sender.send_ipi(c1, vector).unwrap();
+                receiver.poll().unwrap();
+                criterion::black_box(receiver.counters.ipi_irqs)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablate_cmdqueue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_cmdqueue");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    // A live guest core polls on another thread; the controller posts a
+    // Sync command + NMI and waits for completion — the full asynchronous
+    // reconfiguration round trip.
+    let world = World::build(
+        ExecMode::Covirt(CovirtConfig::MEM),
+        HwLayout { cores: 1, zones: 1 },
+        96 * 1024 * 1024,
+    );
+    let ctl = world.controller.as_ref().unwrap();
+    let vctx = ctl.context(world.enclave.id.0).unwrap();
+    let core = world.cores[0];
+    let q = vctx.cmdq(core).unwrap().clone();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let node = Arc::clone(&world.node);
+    let mut guest = world.guest_core(core).unwrap();
+    let poller = std::thread::spawn(move || {
+        while !stop2.load(Ordering::Acquire) {
+            guest.poll().unwrap();
+            std::hint::spin_loop();
+        }
+        guest.shutdown();
+    });
+
+    group.bench_function("async-cmd+nmi-roundtrip", |b| {
+        b.iter(|| {
+            let seq = q.post(Command::Sync).unwrap();
+            node.interconnect.send(0, IpiDest::Core(core), DeliveryMode::Nmi).unwrap();
+            assert!(q.wait(seq, 50_000_000), "flush ack timed out");
+        })
+    });
+
+    // Contrast: the EPT edit alone (what the controller does without any
+    // hypervisor involvement — the "many cases" fast path).
+    let mem = Arc::new(PhysMemory::new(&[256 * 1024 * 1024]));
+    let ept = ept_for(&mem);
+    let region = mem.alloc(ZoneId(0), 4 * PAGE_SIZE_2M, PAGE_SIZE_2M).unwrap();
+    group.bench_function("controller-side-ept-edit", |b| {
+        b.iter(|| {
+            ept.map_identity(region, 3).unwrap();
+            ept.unmap(region).unwrap();
+        })
+    });
+
+    stop.store(true, Ordering::Release);
+    poller.join().unwrap();
+    group.finish();
+}
+
+type GuestOp = Box<dyn Fn(&mut covirt::GuestCore)>;
+
+fn ablate_exit_cost(c: &mut Criterion) {
+    use covirt_simhw::exit::ExitReason;
+    let mut group = c.benchmark_group("ablate_exit_cost");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let world = World::build(
+        ExecMode::Covirt(CovirtConfig::FULL),
+        HwLayout { cores: 1, zones: 1 },
+        96 * 1024 * 1024,
+    );
+    let mut g = world.guest_core(world.cores[0]).unwrap();
+    let a = world.alloc_array(1024 * 1024);
+    let reasons: [(&str, GuestOp); 3] = [
+        ("cpuid", Box::new(|g: &mut covirt::GuestCore| g.cpuid(1).unwrap())),
+        (
+            "wrmsr-benign",
+            Box::new(|g: &mut covirt::GuestCore| {
+                g.wrmsr(covirt_simhw::msr::IA32_TSC_DEADLINE, 1).unwrap()
+            }),
+        ),
+        (
+            "io-benign",
+            Box::new(|g: &mut covirt::GuestCore| {
+                g.io_write(covirt_simhw::ioport::PORT_COM1, 1).unwrap()
+            }),
+        ),
+    ];
+    let _ = ExitReason::Hlt; // keep the import honest
+    for (name, f) in reasons {
+        group.bench_function(name, |b| b.iter(|| f(&mut g)));
+    }
+    // Data-path contrast: a TLB-hit guest load (no exit at all).
+    group.bench_function("tlb-hit-load", |b| {
+        g.write_u64(a, 1).unwrap();
+        b.iter(|| criterion::black_box(g.read_u64(a).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_ept_coalescing,
+    ablate_ipi_mode,
+    ablate_cmdqueue,
+    ablate_exit_cost
+);
+criterion_main!(benches);

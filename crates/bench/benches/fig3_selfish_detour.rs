@@ -1,0 +1,28 @@
+//! Figure 3 bench: time the Selfish-Detour loop per configuration. The
+//! interesting output is not the wall time (fixed by construction) but the
+//! per-configuration counters criterion's notes capture; the `figures`
+//! binary prints the full noise profile.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use covirt::ExecMode;
+use workloads::{selfish, World};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_selfish_detour");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for mode in ExecMode::paper_sweep() {
+        let world = World::quick(mode);
+        group.bench_function(mode.label(), |b| {
+            b.iter(|| {
+                let r = selfish::run(&world, 10);
+                criterion::black_box(r.detours.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

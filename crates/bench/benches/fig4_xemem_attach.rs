@@ -1,0 +1,31 @@
+//! Figure 4 bench: XEMEM attach latency per region size, Covirt on/off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use covirt::config::CovirtConfig;
+use covirt::ExecMode;
+use workloads::xemem_bench;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_xemem_attach");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for mode in [ExecMode::Native, ExecMode::Covirt(CovirtConfig::MEM)] {
+        for size in [1u64, 8, 32] {
+            group.bench_with_input(
+                BenchmarkId::new(mode.label(), format!("{size}MiB")),
+                &size,
+                |b, &size| {
+                    b.iter(|| {
+                        let samples = xemem_bench::run(mode, &[size], 1);
+                        criterion::black_box(samples[0].mean_us)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

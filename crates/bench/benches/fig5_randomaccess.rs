@@ -1,0 +1,31 @@
+//! Figure 5b bench: a fixed batch of RandomAccess updates per
+//! configuration. The covirt-mem configurations should show the paper's
+//! few-percent degradation from nested walks on TLB misses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use covirt::ExecMode;
+use covirt_simhw::topology::HwLayout;
+use workloads::{randomaccess, World};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_randomaccess");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let log2_n = 22; // 32 MiB table
+    let updates = 200_000u64;
+    for mode in ExecMode::paper_sweep() {
+        let world =
+            World::build(mode, HwLayout { cores: 1, zones: 1 }, 128 * 1024 * 1024);
+        let ra = randomaccess::RandomAccess::setup(&world, log2_n);
+        let mut g = world.guest_core(world.cores[0]).unwrap();
+        ra.init(&mut g).unwrap();
+        group.bench_function(mode.label(), |b| {
+            b.iter(|| criterion::black_box(ra.run(&mut g, updates).unwrap().gups))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

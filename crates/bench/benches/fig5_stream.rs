@@ -1,0 +1,29 @@
+//! Figure 5a bench: one full STREAM pass (all four kernels) per
+//! configuration. The paper's finding — no measurable Covirt overhead —
+//! shows as statistically indistinguishable timings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use covirt::ExecMode;
+use covirt_simhw::topology::HwLayout;
+use workloads::{stream, World};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_stream");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let n = 1 << 19; // 4 MiB arrays: LLC-busting yet quick per iteration
+    for mode in ExecMode::paper_sweep() {
+        let world = World::build(mode, HwLayout { cores: 1, zones: 1 }, 96 * 1024 * 1024);
+        let s = stream::Stream::setup(&world, n);
+        let mut g = world.guest_core(world.cores[0]).unwrap();
+        s.init(&mut g).unwrap();
+        group.bench_function(mode.label(), |b| {
+            b.iter(|| criterion::black_box(s.run_once(&mut g).unwrap().triad_mbs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 7 bench: HPCG solve per configuration × hardware layout.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use covirt::ExecMode;
+use covirt_simhw::topology::HwLayout;
+use workloads::{hpcg, World};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_hpcg");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for layout in [HwLayout { cores: 1, zones: 1 }, HwLayout { cores: 4, zones: 2 }] {
+        for mode in ExecMode::paper_sweep() {
+            group.bench_with_input(
+                BenchmarkId::new(mode.label(), layout.to_string()),
+                &layout,
+                |b, &layout| {
+                    b.iter(|| {
+                        let world = World::build(mode, layout, 192 * 1024 * 1024);
+                        criterion::black_box(hpcg::run(&world, 12, 25).gflops)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

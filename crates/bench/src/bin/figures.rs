@@ -1,0 +1,76 @@
+//! `figures` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p covirt-bench --release --bin figures -- all
+//! cargo run -p covirt-bench --release --bin figures -- fig5b --full
+//! ```
+//!
+//! Each subcommand sweeps the paper's configurations and prints the rows
+//! or series of the corresponding table/figure; `--full` selects the
+//! paper-scale parameters from Table I instead of the scaled defaults.
+
+use covirt_bench::{render_fig3, render_fig4, render_fig5a, render_fig5b, render_fig8, render_scaling};
+use workloads::figures::{self, Scale};
+use workloads::table1;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8|all> [--full]\n\
+         \n  table1  benchmark versions/parameters (Table I)\
+         \n  fig3    Selfish-Detour noise profile\
+         \n  fig4    XEMEM attach delay vs region size\
+         \n  fig5a   STREAM bandwidth\
+         \n  fig5b   RandomAccess GUPS\
+         \n  fig6    MiniFE scaling over core/NUMA layouts\
+         \n  fig7    HPCG scaling over core/NUMA layouts\
+         \n  fig8    LAMMPS loop times (lj/chain/eam/chute)\
+         \n  all     everything above\
+         \n  --full  paper-scale parameters (slow; needs several GiB)"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let scale = if args.iter().any(|a| a == "--full") { Scale::Paper } else { Scale::Quick };
+    let what = args[0].as_str();
+    let all = what == "all";
+
+    let t0 = std::time::Instant::now();
+    if all || what == "table1" {
+        println!("TABLE I: Benchmark Versions and Parameters\n{}", table1::format_table1());
+    }
+    if all || what == "fig3" {
+        println!("{}", render_fig3(&figures::fig3(scale)));
+    }
+    if all || what == "fig4" {
+        println!("{}", render_fig4(&figures::fig4(scale)));
+    }
+    if all || what == "fig5a" {
+        println!("{}", render_fig5a(&figures::fig5a(scale)));
+    }
+    if all || what == "fig5b" {
+        println!("{}", render_fig5b(&figures::fig5b(scale)));
+    }
+    if all || what == "fig6" {
+        println!("{}", render_scaling("Fig. 6 — MiniFE scaling", "MFLOP/s", &figures::fig6(scale)));
+    }
+    if all || what == "fig7" {
+        println!("{}", render_scaling("Fig. 7 — HPCG scaling", "GFLOP/s", &figures::fig7(scale)));
+    }
+    if all || what == "fig8" {
+        println!("{}", render_fig8(&figures::fig8(scale)));
+    }
+    if !all
+        && !matches!(
+            what,
+            "table1" | "fig3" | "fig4" | "fig5a" | "fig5b" | "fig6" | "fig7" | "fig8"
+        )
+    {
+        usage();
+    }
+    eprintln!("[figures] done in {:.1}s", t0.elapsed().as_secs_f64());
+}

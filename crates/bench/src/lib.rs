@@ -1,0 +1,195 @@
+//! # covirt-bench — the evaluation harness
+//!
+//! Two entry points:
+//!
+//! * the **`figures` binary** (`cargo run -p covirt-bench --release --bin
+//!   figures -- <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8|all>
+//!   [--full]`) re-runs an experiment and prints the same rows/series the
+//!   paper's table or figure reports, including the overhead percentages
+//!   the text quotes;
+//! * the **criterion benches** (`cargo bench -p covirt-bench`), one per
+//!   figure plus the ablation suite for the design choices DESIGN.md calls
+//!   out (EPT coalescing, IPI mode, asynchronous command-queue
+//!   reconfiguration, per-exit-reason cost).
+//!
+//! This library holds the shared formatting helpers.
+
+use covirt::stats::overhead_pct;
+use workloads::figures::{Fig3Row, Fig4Row, Fig5aRow, Fig5bRow, Fig8Row, ScalingRow};
+
+/// Render Figure 3 output: per-configuration noise summaries plus the
+/// first few detour samples (the scatter the paper plots).
+pub fn render_fig3(rows: &[Fig3Row]) -> String {
+    let mut out = String::from(
+        "Fig. 3 — Selfish-Detour noise profile (single core)\n\
+         config              detours/s   noise-%    min-loop-ns\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<19} {:>9.1} {:>9.4} {:>13}\n",
+            r.mode,
+            r.rate_hz,
+            r.noise_fraction * 100.0,
+            r.min_loop_ns
+        ));
+    }
+    out.push_str("\nscatter samples (offset-ms, detour-us), per config:\n");
+    for r in rows {
+        let pts: Vec<String> = r
+            .detours
+            .iter()
+            .take(8)
+            .map(|&(at, d)| format!("({:.1},{:.1})", at as f64 / 1e6, d as f64 / 1e3))
+            .collect();
+        out.push_str(&format!("  {:<18} {}\n", r.mode, pts.join(" ")));
+    }
+    out
+}
+
+/// Render Figure 4: attach delay vs size for each mode.
+pub fn render_fig4(rows: &[Fig4Row]) -> String {
+    let mut out = String::from("Fig. 4 — XEMEM attach delay\nsize-MiB");
+    for r in rows {
+        out.push_str(&format!(" {:>16}", format!("{}-us", r.mode)));
+    }
+    out.push('\n');
+    let sizes: Vec<u64> = rows[0].samples.iter().map(|s| s.0).collect();
+    for (i, &size) in sizes.iter().enumerate() {
+        out.push_str(&format!("{size:>8}"));
+        for r in rows {
+            out.push_str(&format!(" {:>16.2}", r.samples[i].1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render Figure 5a (STREAM) with overhead-vs-native percentages.
+pub fn render_fig5a(rows: &[Fig5aRow]) -> String {
+    let native = rows.iter().find(|r| r.mode == "native").expect("native row");
+    let mut out = String::from(
+        "Fig. 5a — STREAM bandwidth (MB/s)\n\
+         config              copy        scale       add         triad     triad-ovh%\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:>10.0} {:>11.0} {:>11.0} {:>11.0} {:>10.2}\n",
+            r.mode,
+            r.copy,
+            r.scale,
+            r.add,
+            r.triad,
+            overhead_pct(r.triad, native.triad) // slower ⇒ positive
+        ));
+    }
+    out
+}
+
+/// Render Figure 5b (RandomAccess GUPS) with overheads.
+pub fn render_fig5b(rows: &[Fig5bRow]) -> String {
+    let native = rows.iter().find(|r| r.mode == "native").expect("native row");
+    let mut out = String::from(
+        "Fig. 5b — RandomAccess\nconfig              GUPS        miss-rate   overhead-%\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:>10.5} {:>11.4} {:>11.2}\n",
+            r.mode,
+            r.gups,
+            r.tlb_miss_rate,
+            overhead_pct(r.gups, native.gups)
+        ));
+    }
+    out
+}
+
+/// Render a scaling figure (6 or 7).
+pub fn render_scaling(title: &str, unit: &str, rows: &[ScalingRow]) -> String {
+    let mut out = format!("{title}\nlayout  config              {unit:>12}   seconds   ovh-vs-native-%\n");
+    let mut layouts: Vec<String> = rows.iter().map(|r| r.layout.clone()).collect();
+    layouts.dedup();
+    for layout in &layouts {
+        let native = rows
+            .iter()
+            .find(|r| &r.layout == layout && r.mode == "native")
+            .expect("native row");
+        for r in rows.iter().filter(|r| &r.layout == layout) {
+            out.push_str(&format!(
+                "{:<7} {:<18} {:>12.2} {:>9.3} {:>12.2}\n",
+                r.layout,
+                r.mode,
+                r.perf,
+                r.seconds,
+                overhead_pct(r.perf, native.perf)
+            ));
+        }
+    }
+    out
+}
+
+/// Render Figure 8 (LAMMPS loop times, lower is better).
+pub fn render_fig8(rows: &[Fig8Row]) -> String {
+    let mut out = String::from(
+        "Fig. 8 — LAMMPS loop time (s, lower is better)\n\
+         workload  config              loop-s     ovh-vs-native-%\n",
+    );
+    let mut workloads: Vec<String> = rows.iter().map(|r| r.workload.clone()).collect();
+    workloads.dedup();
+    for wl in &workloads {
+        let native = rows
+            .iter()
+            .find(|r| &r.workload == wl && r.mode == "native")
+            .expect("native row");
+        for r in rows.iter().filter(|r| &r.workload == wl) {
+            out.push_str(&format!(
+                "{:<9} {:<18} {:>8.3} {:>14.2}\n",
+                r.workload,
+                r.mode,
+                r.loop_time_s,
+                overhead_pct(native.loop_time_s, r.loop_time_s)
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5b_render_includes_overheads() {
+        let rows = vec![
+            Fig5bRow { mode: "native".into(), gups: 0.010, tlb_miss_rate: 0.05 },
+            Fig5bRow { mode: "covirt-mem".into(), gups: 0.0098, tlb_miss_rate: 0.05 },
+        ];
+        let s = render_fig5b(&rows);
+        assert!(s.contains("native"));
+        assert!(s.contains("covirt-mem"));
+        // native is ~2% faster than covirt-mem.
+        assert!(s.contains("2.0"));
+    }
+
+    #[test]
+    fn scaling_render_groups_by_layout() {
+        let rows = vec![
+            ScalingRow { mode: "native".into(), layout: "1c/1z".into(), perf: 100.0, seconds: 1.0 },
+            ScalingRow { mode: "covirt-mem".into(), layout: "1c/1z".into(), perf: 99.0, seconds: 1.01 },
+            ScalingRow { mode: "native".into(), layout: "4c/2z".into(), perf: 300.0, seconds: 0.4 },
+        ];
+        let s = render_scaling("Fig. 7 — HPCG", "GFLOP/s", &rows);
+        assert!(s.contains("1c/1z"));
+        assert!(s.contains("4c/2z"));
+    }
+
+    #[test]
+    fn fig8_render_lower_is_better_sign() {
+        let rows = vec![
+            Fig8Row { mode: "native".into(), workload: "lj".into(), loop_time_s: 1.0 },
+            Fig8Row { mode: "covirt-mem".into(), workload: "lj".into(), loop_time_s: 1.05 },
+        ];
+        let s = render_fig8(&rows);
+        // covirt is 5% slower ⇒ positive overhead.
+        assert!(s.contains("5.00"));
+    }
+}

@@ -1,0 +1,305 @@
+//! The hypervisor command queue.
+//!
+//! "The Covirt hypervisor is managed via a simple command queue between
+//! itself and the controller module. Commands are fixed-size messages
+//! containing update notifications directing the hypervisor to synchronize
+//! part of its local state." Pending commands are signalled with NMI IPIs
+//! so no fixed interrupt vector has to be stolen from the guest's vector
+//! space.
+//!
+//! One queue exists per enclave CPU (each hypervisor context is
+//! single-core). The queue lives in shared physical memory inside the
+//! enclave's management region; a completion counter lets the controller
+//! block until a synchronization command has been executed on the core —
+//! which is how memory-unmap ordering ("reclamation only occurs after the
+//! resources have been fully unmapped") is enforced.
+
+use covirt_simhw::addr::{HostPhysAddr, PhysRange};
+use covirt_simhw::memory::PhysMemory;
+use pisces::ring::{RingError, SharedRing};
+use pisces::wire::{WireReader, WireWriter};
+use std::sync::Arc;
+
+/// Fixed command slot size.
+pub const CMD_SLOT: u64 = 32;
+/// Commands per queue.
+pub const CMD_SLOTS: u64 = 32;
+/// Offset of the completion counter within the queue region.
+const OFF_COMPLETION: u64 = 0;
+/// Offset of the sequence-number allocator within the queue region.
+const OFF_NEXT_SEQ: u64 = 8;
+/// Offset of the ring within the queue region.
+const OFF_RING: u64 = 64;
+
+/// A command to the hypervisor. Every variant is a *synchronization
+/// notification*: the actual configuration change was already made by the
+/// controller; the hypervisor only activates it / invalidates caches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Flush the core's entire TLB (EPT mappings shrank).
+    TlbFlushAll,
+    /// Flush a single page translation.
+    TlbFlushPage {
+        /// Guest-virtual page to invalidate.
+        gva: u64,
+    },
+    /// Re-load the VMCS from memory (controls changed).
+    ReloadVmcs,
+    /// Terminate the enclave on this core (host-initiated kill).
+    Terminate,
+    /// Pure barrier: complete without doing anything (used to measure the
+    /// queue's round-trip latency in the ablation bench).
+    Sync,
+}
+
+const OP_FLUSH_ALL: u64 = 1;
+const OP_FLUSH_PAGE: u64 = 2;
+const OP_RELOAD: u64 = 3;
+const OP_TERMINATE: u64 = 4;
+const OP_SYNC: u64 = 5;
+
+/// A command tagged with its sequence number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeqCommand {
+    /// Monotonic sequence number (used for completion tracking).
+    pub seq: u64,
+    /// The command.
+    pub cmd: Command,
+}
+
+impl SeqCommand {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u64(self.seq);
+        match self.cmd {
+            Command::TlbFlushAll => {
+                w.put_u64(OP_FLUSH_ALL);
+            }
+            Command::TlbFlushPage { gva } => {
+                w.put_u64(OP_FLUSH_PAGE).put_u64(gva);
+            }
+            Command::ReloadVmcs => {
+                w.put_u64(OP_RELOAD);
+            }
+            Command::Terminate => {
+                w.put_u64(OP_TERMINATE);
+            }
+            Command::Sync => {
+                w.put_u64(OP_SYNC);
+            }
+        }
+        w.finish()
+    }
+
+    fn decode(buf: &[u8]) -> Option<SeqCommand> {
+        let mut r = WireReader::new(buf);
+        let seq = r.get_u64().ok()?;
+        let op = r.get_u64().ok()?;
+        let cmd = match op {
+            OP_FLUSH_ALL => Command::TlbFlushAll,
+            OP_FLUSH_PAGE => Command::TlbFlushPage { gva: r.get_u64().ok()? },
+            OP_RELOAD => Command::ReloadVmcs,
+            OP_TERMINATE => Command::Terminate,
+            OP_SYNC => Command::Sync,
+            _ => return None,
+        };
+        Some(SeqCommand { seq, cmd })
+    }
+}
+
+/// One per-core command queue over shared physical memory. Cloneable:
+/// controller and hypervisor each hold a handle onto the same region.
+#[derive(Clone)]
+pub struct CmdQueue {
+    mem: Arc<PhysMemory>,
+    base: HostPhysAddr,
+    ring: SharedRing,
+}
+
+impl CmdQueue {
+    /// Bytes of shared memory one queue needs.
+    pub fn required_bytes() -> u64 {
+        OFF_RING + SharedRing::required_bytes(CMD_SLOTS, CMD_SLOT)
+    }
+
+    /// Format a queue into `range` (controller side, before boot).
+    pub fn create(mem: &Arc<PhysMemory>, range: PhysRange) -> Result<Self, RingError> {
+        if range.len < Self::required_bytes() {
+            return Err(RingError::Corrupt);
+        }
+        mem.write_u64(range.start.add(OFF_COMPLETION), 0).map_err(|_| RingError::Corrupt)?;
+        mem.write_u64(range.start.add(OFF_NEXT_SEQ), 1).map_err(|_| RingError::Corrupt)?;
+        let ring = SharedRing::create(
+            mem,
+            PhysRange::new(range.start.add(OFF_RING), range.len - OFF_RING),
+            CMD_SLOTS,
+            CMD_SLOT,
+        )?;
+        Ok(CmdQueue { mem: Arc::clone(mem), base: range.start, ring })
+    }
+
+    /// Attach to an existing queue (hypervisor side, from boot parameters).
+    pub fn attach(mem: &Arc<PhysMemory>, base: HostPhysAddr) -> Result<Self, RingError> {
+        let ring = SharedRing::attach(mem, base.add(OFF_RING))?;
+        Ok(CmdQueue { mem: Arc::clone(mem), base, ring })
+    }
+
+    /// The queue's base address (recorded in the Covirt boot parameters).
+    pub fn base(&self) -> HostPhysAddr {
+        self.base
+    }
+
+    /// Controller: post a command, returning its sequence number. The
+    /// caller is responsible for signalling the target core with an NMI.
+    pub fn post(&self, cmd: Command) -> Result<u64, RingError> {
+        // Sequence numbers live in shared memory so any controller thread
+        // allocates them consistently.
+        let (backing, off) = self
+            .mem
+            .resolve(self.base.add(OFF_NEXT_SEQ), 8)
+            .map_err(|_| RingError::Corrupt)?;
+        let seq = loop {
+            let cur = backing.read_u64_acquire(off);
+            if backing.cas_u64(off, cur, cur + 1).is_ok() {
+                break cur;
+            }
+        };
+        self.ring.push(&SeqCommand { seq, cmd }.encode())?;
+        Ok(seq)
+    }
+
+    /// Hypervisor: drain all pending commands.
+    pub fn drain(&self) -> Vec<SeqCommand> {
+        let mut out = Vec::new();
+        while let Ok(buf) = self.ring.pop() {
+            if let Some(c) = SeqCommand::decode(&buf) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// Hypervisor: mark `seq` (and everything before it) complete.
+    pub fn complete(&self, seq: u64) {
+        if let Ok((backing, off)) = self.mem.resolve(self.base.add(OFF_COMPLETION), 8) {
+            // Monotonic max — completions may be recorded out of order if a
+            // drain batch is processed back-to-front.
+            loop {
+                let cur = backing.read_u64_acquire(off);
+                if seq <= cur || backing.cas_u64(off, cur, seq).is_ok() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Highest completed sequence number.
+    pub fn completed(&self) -> u64 {
+        self.mem.read_u64(self.base.add(OFF_COMPLETION)).unwrap_or(0)
+    }
+
+    /// Controller: spin until `seq` completes or `spins` polls elapse.
+    pub fn wait(&self, seq: u64, spins: u64) -> bool {
+        for _ in 0..spins {
+            if self.completed() >= seq {
+                return true;
+            }
+            std::thread::yield_now();
+        }
+        self.completed() >= seq
+    }
+
+    /// Pending (unconsumed) command count.
+    pub fn pending(&self) -> u64 {
+        self.ring.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covirt_simhw::addr::PAGE_SIZE_4K;
+    use covirt_simhw::topology::ZoneId;
+
+    fn queue() -> (Arc<PhysMemory>, CmdQueue) {
+        let mem = Arc::new(PhysMemory::new(&[16 * 1024 * 1024]));
+        let range = mem.alloc_backed(ZoneId(0), CmdQueue::required_bytes(), PAGE_SIZE_4K).unwrap();
+        let q = CmdQueue::create(&mem, range).unwrap();
+        (mem, q)
+    }
+
+    #[test]
+    fn roundtrip_all_commands() {
+        let (_m, q) = queue();
+        let cmds = [
+            Command::TlbFlushAll,
+            Command::TlbFlushPage { gva: 0x20_0000 },
+            Command::ReloadVmcs,
+            Command::Terminate,
+            Command::Sync,
+        ];
+        let mut seqs = Vec::new();
+        for c in cmds {
+            seqs.push(q.post(c).unwrap());
+        }
+        assert_eq!(q.pending(), 5);
+        let drained = q.drain();
+        assert_eq!(drained.len(), 5);
+        for (i, d) in drained.iter().enumerate() {
+            assert_eq!(d.seq, seqs[i]);
+            assert_eq!(d.cmd, cmds[i]);
+        }
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn completion_tracking() {
+        let (_m, q) = queue();
+        let s1 = q.post(Command::Sync).unwrap();
+        let s2 = q.post(Command::TlbFlushAll).unwrap();
+        assert!(s2 > s1);
+        assert!(!q.wait(s1, 1));
+        for c in q.drain() {
+            q.complete(c.seq);
+        }
+        assert!(q.wait(s2, 1));
+        assert_eq!(q.completed(), s2);
+    }
+
+    #[test]
+    fn completion_is_monotonic() {
+        let (_m, q) = queue();
+        q.complete(5);
+        q.complete(3); // out-of-order completion must not regress
+        assert_eq!(q.completed(), 5);
+    }
+
+    #[test]
+    fn attach_shares_state() {
+        let (mem, q) = queue();
+        let other = CmdQueue::attach(&mem, q.base()).unwrap();
+        q.post(Command::Sync).unwrap();
+        let drained = other.drain();
+        assert_eq!(drained.len(), 1);
+        other.complete(drained[0].seq);
+        assert!(q.wait(drained[0].seq, 1));
+    }
+
+    #[test]
+    fn sequence_numbers_unique_across_handles() {
+        let (mem, q) = queue();
+        let other = CmdQueue::attach(&mem, q.base()).unwrap();
+        let a = q.post(Command::Sync).unwrap();
+        let b = other.post(Command::Sync).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn undersized_region_rejected() {
+        let mem = Arc::new(PhysMemory::new(&[4 * 1024 * 1024]));
+        let range = mem.alloc_backed(ZoneId(0), 128, PAGE_SIZE_4K).unwrap();
+        // alloc rounds to 4 KiB, so make a deliberately short sub-range.
+        let short = PhysRange::new(range.start, 128);
+        assert!(CmdQueue::create(&mem, short).is_err());
+    }
+}

@@ -1,0 +1,473 @@
+//! The Covirt controller module.
+//!
+//! The controller is the management half of Covirt's split architecture:
+//! it is "integrated with the master control process" and "hooks into the
+//! control paths that manage the system-wide hardware configuration". It
+//! builds each enclave's virtualization context before boot (interposing
+//! the hypervisor into the boot plan), and afterwards translates every
+//! resource-management event into direct edits of that context:
+//!
+//! * memory grant   → EPT map, then return immediately (asynchronous —
+//!   the enclave keeps running while the mapping is installed);
+//! * memory reclaim → EPT unmap, then a `TlbFlush` command + NMI to every
+//!   live enclave core, blocking until each completes;
+//! * vector alloc/free → whitelist edit, **no** hypervisor coordination
+//!   (the hypervisor reads the whitelist fresh on every trap — only state
+//!   the CPU may cache needs the command queue);
+//! * XEMEM attach/detach → same as grant/reclaim, via the Hobbes hooks.
+
+use crate::boot::{cmdq_addr, CovirtBootParams, COVIRT_BOOT_MAGIC, COVIRT_PARAMS_OFFSET};
+use crate::cmdqueue::{CmdQueue, Command};
+use crate::config::CovirtConfig;
+use crate::fault::{FaultLog, FaultReport};
+use crate::vctx::VirtContext;
+use crate::{CovirtError, CovirtResult};
+use covirt_simhw::addr::{PhysRange, PAGE_SIZE_4K};
+use covirt_simhw::ept::Ept;
+use covirt_simhw::interconnect::{DeliveryMode, IpiDest};
+use covirt_simhw::node::SimNode;
+use covirt_simhw::paging::FramePool;
+use covirt_simhw::topology::ZoneId;
+use hobbes::events::HobbesHooks;
+use hobbes::MasterControl;
+use parking_lot::RwLock;
+use pisces::boot::{BootPlan, BootTarget};
+use pisces::enclave::Enclave;
+use pisces::hooks::EnclaveHooks;
+use pisces::host::PiscesHost;
+use pisces::{PiscesError, PiscesResult};
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
+
+/// Bytes of host memory reserved per enclave for EPT table frames.
+const EPT_POOL_BYTES: u64 = 16 * 1024 * 1024;
+
+/// The controller module. One instance manages every Covirt-protected
+/// enclave on the node.
+pub struct CovirtController {
+    node: Arc<SimNode>,
+    config: CovirtConfig,
+    contexts: RwLock<HashMap<u64, Arc<VirtContext>>>,
+    master: RwLock<Option<Weak<MasterControl>>>,
+    /// Record of every contained fault.
+    pub faults: FaultLog,
+    /// Spin budget when waiting for per-core flush completions.
+    flush_spins: RwLock<u64>,
+}
+
+impl CovirtController {
+    /// Create a controller enforcing `config` on every enclave it manages.
+    pub fn new(node: Arc<SimNode>, config: CovirtConfig) -> Arc<Self> {
+        Arc::new(CovirtController {
+            node,
+            config,
+            contexts: RwLock::new(HashMap::new()),
+            master: RwLock::new(None),
+            faults: FaultLog::new(),
+            flush_spins: RwLock::new(1_000_000),
+        })
+    }
+
+    /// Register with the Pisces framework (boot + memory + vector hooks).
+    pub fn attach_pisces(self: &Arc<Self>, host: &PiscesHost) {
+        host.register_hooks(Arc::clone(self) as Arc<dyn EnclaveHooks>);
+    }
+
+    /// Register with the Hobbes master control (XEMEM hooks + fault
+    /// notification path). Also attaches to its Pisces instance.
+    pub fn attach_hobbes(self: &Arc<Self>, master: &Arc<MasterControl>) {
+        *self.master.write() = Some(Arc::downgrade(master));
+        master.register_hooks(Arc::clone(self) as Arc<dyn HobbesHooks>);
+        self.attach_pisces(master.pisces());
+    }
+
+    /// The feature set this controller enforces.
+    pub fn config(&self) -> CovirtConfig {
+        self.config
+    }
+
+    /// The virtualization context for an enclave.
+    pub fn context(&self, enclave: u64) -> CovirtResult<Arc<VirtContext>> {
+        self.contexts.read().get(&enclave).cloned().ok_or(CovirtError::NoContext(enclave))
+    }
+
+    /// Bound the flush-completion wait (tests use small values).
+    pub fn set_flush_spins(&self, spins: u64) {
+        *self.flush_spins.write() = spins;
+    }
+
+    /// Build the full virtualization context for an enclave about to boot.
+    fn build_context(&self, enclave: &Enclave, plan: &BootPlan) -> PiscesResult<Arc<VirtContext>> {
+        let res = enclave.resources();
+        let cores: Vec<usize> = res.cores.iter().map(|c| c.0).collect();
+
+        // EPT: identity map of everything the enclave owns, coalesced into
+        // the largest possible pages, full permissions.
+        let ept = if self.config.memory {
+            let pool_region = self
+                .node
+                .mem
+                .alloc_backed(ZoneId(0), EPT_POOL_BYTES, PAGE_SIZE_4K)
+                .map_err(PiscesError::Hw)?;
+            let ept = Ept::new(Arc::new(FramePool::new(Arc::clone(&self.node.mem), pool_region)))
+                .map_err(PiscesError::Hw)?;
+            for r in &res.mem {
+                ept.map_identity(*r, 3).map_err(PiscesError::Hw)?;
+            }
+            // The management region (boot structures, control channel,
+            // command queues) must be guest-reachable too.
+            ept.map_identity(enclave.mgmt_region, 1).map_err(PiscesError::Hw)?;
+            Some(Arc::new(ept))
+        } else {
+            None
+        };
+
+        let mut vctx =
+            VirtContext::new(enclave.id.0, self.config, &cores, &res.ipi_vectors, ept);
+
+        // Pre-boot VMCS guest state: every core launches "at the kernel
+        // entry" with RDI = the unmodified Pisces boot parameters.
+        for &core in &cores {
+            if let Some(h) = vctx.vmcs(core) {
+                let mut v = h.write();
+                v.guest.rip = 0xffff_ffff_8000_0000; // canonical kernel text base
+                v.guest.rdi = plan.pisces_params_addr.raw();
+            }
+        }
+
+        // Per-core command queues inside the management region.
+        let mut queues = Vec::with_capacity(cores.len());
+        for (i, &core) in cores.iter().enumerate() {
+            let base = cmdq_addr(enclave.mgmt_region.start, i);
+            let range = PhysRange::new(base, crate::boot::CMDQ_STRIDE);
+            let q = CmdQueue::create(&self.node.mem, range)
+                .map_err(|_| PiscesError::Invalid("command queue creation failed"))?;
+            queues.push((core as u64, base.raw()));
+            vctx.set_cmdq(core, q);
+        }
+
+        // The Covirt boot-parameter structure, with the pointer back to the
+        // unmodified Pisces parameters.
+        let cbp = CovirtBootParams {
+            magic: COVIRT_BOOT_MAGIC,
+            enclave_id: enclave.id.0,
+            config: self.config,
+            eptp: vctx.ept.as_ref().map(|e| e.eptp().raw()).unwrap_or(0),
+            cmd_queues: queues,
+            pisces_params_addr: plan.pisces_params_addr.raw(),
+        };
+        cbp.write_to(&self.node.mem, enclave.mgmt_region.start.add(COVIRT_PARAMS_OFFSET))
+            .map_err(PiscesError::Hw)?;
+
+        let vctx = Arc::new(vctx);
+        self.contexts.write().insert(enclave.id.0, Arc::clone(&vctx));
+        Ok(vctx)
+    }
+
+    /// Unmap a range and synchronize every live core's TLB through the
+    /// command queue + NMI protocol. Blocks until each core acknowledges.
+    fn unmap_and_flush(&self, enclave: u64, range: PhysRange) -> Result<(), String> {
+        let Some(vctx) = self.contexts.read().get(&enclave).cloned() else {
+            return Ok(()); // not a Covirt-managed enclave
+        };
+        let Some(ept) = vctx.ept.as_ref() else {
+            return Ok(()); // memory protection off — nothing to unmap
+        };
+        ept.unmap(range).map_err(|e| e.to_string())?;
+
+        // Only cores actually executing in guest mode can hold stale TLB
+        // entries; post a flush to each and wait for completion.
+        let spins = *self.flush_spins.read();
+        let mut waits = Vec::new();
+        for core in vctx.live_cores() {
+            if let Some(q) = vctx.cmdq(core) {
+                let seq = q.post(Command::TlbFlushAll).map_err(|e| e.to_string())?;
+                self.node
+                    .interconnect
+                    .send(0, IpiDest::Core(core), DeliveryMode::Nmi)
+                    .map_err(|e| e.to_string())?;
+                waits.push((core, q.clone(), seq));
+            }
+        }
+        for (core, q, seq) in waits {
+            if !q.wait(seq, spins) {
+                return Err(format!("core {core} did not acknowledge TLB flush"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Fault containment entry point, called by the execution environment
+    /// when a hypervisor instance terminates its enclave: record the
+    /// report and tell the master control process, which reclaims the
+    /// enclave's resources and notifies dependants.
+    pub fn report_fault(&self, enclave: u64, core: usize, reason: &str) {
+        self.faults.record(FaultReport {
+            enclave,
+            core,
+            reason: reason.to_owned(),
+            tsc: self.node.clock.rdtsc(),
+        });
+        if let Some(master) = self.master.read().as_ref().and_then(Weak::upgrade) {
+            let _ = master.handle_enclave_failure(enclave, reason);
+        }
+    }
+}
+
+impl EnclaveHooks for CovirtController {
+    fn on_boot_plan(&self, enclave: &Enclave, mut plan: BootPlan) -> PiscesResult<BootPlan> {
+        self.build_context(enclave, &plan)?;
+        plan.target = BootTarget::Interposed {
+            layer: "covirt".to_owned(),
+            layer_params_addr: enclave.mgmt_region.start.add(COVIRT_PARAMS_OFFSET),
+        };
+        Ok(plan)
+    }
+
+    fn on_mem_add_prepared(&self, enclave: &Enclave, range: PhysRange) -> PiscesResult<()> {
+        if let Some(vctx) = self.contexts.read().get(&enclave.id.0) {
+            if let Some(ept) = vctx.ept.as_ref() {
+                // Map, then return immediately: Pisces may transmit the
+                // page list while the guest keeps running.
+                ept.map_identity(range, 3).map_err(PiscesError::Hw)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn on_mem_remove_acked(&self, enclave: &Enclave, range: PhysRange) -> PiscesResult<()> {
+        self.unmap_and_flush(enclave.id.0, range)
+            .map_err(|_| PiscesError::ResourceBusy("TLB flush synchronization failed"))
+    }
+
+    fn on_vector_alloc(&self, enclave: &Enclave, vector: u8) -> PiscesResult<()> {
+        if let Some(vctx) = self.contexts.read().get(&enclave.id.0) {
+            vctx.whitelist.add_vector(vector);
+        }
+        Ok(())
+    }
+
+    fn on_vector_free(&self, enclave: &Enclave, vector: u8) -> PiscesResult<()> {
+        if let Some(vctx) = self.contexts.read().get(&enclave.id.0) {
+            vctx.whitelist.remove_vector(vector);
+        }
+        Ok(())
+    }
+
+    fn on_teardown(&self, enclave: &Enclave) {
+        if let Some(vctx) = self.contexts.write().remove(&enclave.id.0) {
+            vctx.terminate("enclave torn down");
+        }
+    }
+}
+
+impl HobbesHooks for CovirtController {
+    fn on_xemem_attach_prepared(&self, enclave: u64, range: PhysRange) -> Result<(), String> {
+        if let Some(vctx) = self.contexts.read().get(&enclave) {
+            if let Some(ept) = vctx.ept.as_ref() {
+                ept.map_identity(range, 3).map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn on_xemem_detach_acked(&self, enclave: u64, range: PhysRange) -> Result<(), String> {
+        self.unmap_and_flush(enclave, range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covirt_simhw::node::NodeConfig;
+    use covirt_simhw::paging::{Access, DirectLoad};
+    use covirt_simhw::topology::CoreId;
+    use pisces::resources::ResourceRequest;
+
+    fn setup(config: CovirtConfig) -> (Arc<MasterControl>, Arc<CovirtController>) {
+        let node = SimNode::new(NodeConfig::small());
+        let master = MasterControl::new(Arc::clone(&node));
+        let ctl = CovirtController::new(node, config);
+        ctl.attach_hobbes(&master);
+        (master, ctl)
+    }
+
+    fn req() -> ResourceRequest {
+        ResourceRequest::new(vec![CoreId(1), CoreId(2)], vec![(ZoneId(0), 64 * 1024 * 1024)])
+    }
+
+    #[test]
+    fn boot_plan_is_interposed_and_context_built() {
+        let (master, ctl) = setup(CovirtConfig::MEM);
+        let (enclave, _kernel) = master.bring_up_enclave("e0", &req()).unwrap();
+        let vctx = ctl.context(enclave.id.0).unwrap();
+        assert_eq!(vctx.cores(), vec![1, 2]);
+        let ept = vctx.ept.as_ref().unwrap();
+        // The whole assignment translates identity.
+        let r = enclave.resources().mem[0];
+        let t = ept
+            .translate(
+                covirt_simhw::addr::GuestPhysAddr::new(r.start.raw() + 4096),
+                Access::Read,
+                &DirectLoad(&master.pisces().node().mem),
+            )
+            .unwrap();
+        assert_eq!(t.pa.raw(), r.start.raw() + 4096);
+        // Covirt boot params are in memory and point back at Pisces'.
+        let cbp = CovirtBootParams::read_from(
+            &master.pisces().node().mem,
+            enclave.mgmt_region.start.add(COVIRT_PARAMS_OFFSET),
+        )
+        .unwrap();
+        assert_eq!(cbp.enclave_id, enclave.id.0);
+        assert_eq!(cbp.pisces_params_addr, enclave.mgmt_region.start.raw());
+        assert_eq!(cbp.cmd_queues.len(), 2);
+        assert_eq!(cbp.eptp, ept.eptp().raw());
+    }
+
+    #[test]
+    fn outside_assignment_violates() {
+        let (master, ctl) = setup(CovirtConfig::MEM);
+        let (enclave, _kernel) = master.bring_up_enclave("e0", &req()).unwrap();
+        let vctx = ctl.context(enclave.id.0).unwrap();
+        let bad = covirt_simhw::addr::GuestPhysAddr::new(0x3f_0000_0000);
+        assert!(vctx
+            .ept
+            .as_ref()
+            .unwrap()
+            .translate(bad, Access::Write, &DirectLoad(&master.pisces().node().mem))
+            .is_err());
+    }
+
+    #[test]
+    fn grant_maps_ept_before_guest_sees_it() {
+        let (master, ctl) = setup(CovirtConfig::MEM);
+        let (enclave, kernel) = master.bring_up_enclave("e0", &req()).unwrap();
+        let vctx = ctl.context(enclave.id.0).unwrap();
+        let range = master.pisces().add_memory(&enclave, ZoneId(0), 4 * 1024 * 1024).unwrap();
+        // EPT mapping exists even though the kernel has not polled yet.
+        assert!(vctx
+            .ept
+            .as_ref()
+            .unwrap()
+            .translate(
+                covirt_simhw::addr::GuestPhysAddr::new(range.start.raw()),
+                Access::Write,
+                &DirectLoad(&master.pisces().node().mem)
+            )
+            .is_ok());
+        assert!(!kernel.memmap().contains(range.start, 8), "guest map updates only on poll");
+        kernel.poll_ctrl().unwrap();
+        assert!(kernel.memmap().contains(range.start, 8));
+    }
+
+    #[test]
+    fn reclaim_unmaps_after_ack() {
+        let (master, ctl) = setup(CovirtConfig::MEM);
+        let (enclave, kernel) = master.bring_up_enclave("e0", &req()).unwrap();
+        let vctx = ctl.context(enclave.id.0).unwrap();
+        let range = master.pisces().add_memory(&enclave, ZoneId(0), 2 * 1024 * 1024).unwrap();
+        kernel.poll_ctrl().unwrap();
+        master.pisces().process_acks(&enclave).unwrap();
+
+        master.pisces().request_remove_memory(&enclave, range).unwrap();
+        kernel.poll_ctrl().unwrap(); // guest acks
+        // No live guest cores → flush completes immediately.
+        master.pisces().process_acks(&enclave).unwrap();
+        assert!(vctx
+            .ept
+            .as_ref()
+            .unwrap()
+            .translate(
+                covirt_simhw::addr::GuestPhysAddr::new(range.start.raw()),
+                Access::Read,
+                &DirectLoad(&master.pisces().node().mem)
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn vector_hooks_edit_whitelist() {
+        let (master, ctl) = setup(CovirtConfig::MEM_IPI);
+        let (enclave, _kernel) = master.bring_up_enclave("e0", &req()).unwrap();
+        let vctx = ctl.context(enclave.id.0).unwrap();
+        let v = master.pisces().alloc_vector(&enclave).unwrap();
+        assert!(vctx.whitelist.would_allow(1, v));
+        master.pisces().free_vector(&enclave, v).unwrap();
+        assert!(!vctx.whitelist.would_allow(1, v));
+    }
+
+    #[test]
+    fn xemem_attach_maps_and_detach_unmaps() {
+        let (master, ctl) = setup(CovirtConfig::MEM);
+        let (e1, _k1) = master.bring_up_enclave("p", &req()).unwrap();
+        let (e2, _k2) = master
+            .bring_up_enclave(
+                "c",
+                &ResourceRequest::new(vec![CoreId(3)], vec![(ZoneId(0), 32 * 1024 * 1024)]),
+            )
+            .unwrap();
+        let r1 = e1.resources().mem[0];
+        let seg = PhysRange::new(r1.start.add(r1.len - 2 * 1024 * 1024), 2 * 1024 * 1024);
+        master.export_segment(e1.id.0, "x", seg).unwrap();
+        master.attach_segment(e2.id.0, "x").unwrap();
+
+        let vctx2 = ctl.context(e2.id.0).unwrap();
+        let mem = &master.pisces().node().mem;
+        assert!(vctx2
+            .ept
+            .as_ref()
+            .unwrap()
+            .translate(
+                covirt_simhw::addr::GuestPhysAddr::new(seg.start.raw()),
+                Access::Write,
+                &DirectLoad(mem)
+            )
+            .is_ok());
+        master.detach_segment(e2.id.0, "x").unwrap();
+        assert!(vctx2
+            .ept
+            .as_ref()
+            .unwrap()
+            .translate(
+                covirt_simhw::addr::GuestPhysAddr::new(seg.start.raw()),
+                Access::Read,
+                &DirectLoad(mem)
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn fault_report_flows_to_master() {
+        let (master, ctl) = setup(CovirtConfig::MEM);
+        let (enclave, _kernel) = master.bring_up_enclave("e0", &req()).unwrap();
+        ctl.report_fault(enclave.id.0, 1, "EPT violation at 0xdead");
+        assert_eq!(ctl.faults.count(), 1);
+        assert!(matches!(enclave.state(), pisces::EnclaveState::Failed(_)));
+    }
+
+    #[test]
+    fn teardown_drops_context() {
+        let (master, ctl) = setup(CovirtConfig::NONE);
+        let (enclave, _kernel) = master.bring_up_enclave("e0", &req()).unwrap();
+        assert!(ctl.context(enclave.id.0).is_ok());
+        master.pisces().teardown(&enclave).unwrap();
+        assert!(matches!(ctl.context(enclave.id.0), Err(CovirtError::NoContext(_))));
+    }
+
+    #[test]
+    fn no_memory_protection_means_no_ept() {
+        let (master, ctl) = setup(CovirtConfig::NONE);
+        let (enclave, _kernel) = master.bring_up_enclave("e0", &req()).unwrap();
+        let vctx = ctl.context(enclave.id.0).unwrap();
+        assert!(vctx.ept.is_none());
+        // Reclaim with no EPT is a no-op and must not fail.
+        let range = master.pisces().add_memory(&enclave, ZoneId(0), 2 * 1024 * 1024).unwrap();
+        let k = master.kernel(enclave.id.0).unwrap();
+        k.poll_ctrl().unwrap();
+        master.pisces().process_acks(&enclave).unwrap();
+        master.pisces().request_remove_memory(&enclave, range).unwrap();
+        k.poll_ctrl().unwrap();
+        master.pisces().process_acks(&enclave).unwrap();
+    }
+}

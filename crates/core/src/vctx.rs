@@ -1,0 +1,300 @@
+//! Per-enclave virtualization contexts.
+//!
+//! A [`VirtContext`] is the hardware-level state the controller builds for
+//! one enclave before its CPUs boot, and then edits in place for the rest
+//! of the enclave's life: the EPT, the per-core VMCS replicas, the MSR/IO
+//! bitmaps, the IPI whitelist, the posted-interrupt descriptors and the
+//! per-core command queues. The hypervisor instances hold references into
+//! the same structures — that shared access is what makes asynchronous,
+//! controller-side reconfiguration possible.
+
+use crate::cmdqueue::CmdQueue;
+use crate::config::{CovirtConfig, IpiMode};
+use crate::whitelist::IpiWhitelist;
+use covirt_simhw::ept::Ept;
+use covirt_simhw::ioport::IoBitmap;
+use covirt_simhw::msr::{MsrBitmap, IA32_MC0_CTL};
+use covirt_simhw::posted::PostedIntDescriptor;
+use covirt_simhw::vmcs::{new_vmcs, ApicVirtMode, VmcsHandle};
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// The notification vector posted-interrupt descriptors use (one below the
+/// legacy spurious vector, outside the guest-allocatable pool).
+pub const PIV_NOTIFICATION_VECTOR: u8 = 0xf2;
+
+/// Per-enclave virtualization state.
+pub struct VirtContext {
+    /// The enclave this context protects.
+    pub enclave_id: u64,
+    /// The feature set this context enforces.
+    pub config: CovirtConfig,
+    /// Extended page tables (present iff memory protection is on).
+    pub ept: Option<Arc<Ept>>,
+    /// IPI transmission whitelist (present iff IPI protection is on).
+    pub whitelist: Arc<IpiWhitelist>,
+    /// MSR intercept bitmap shared by every core's VMCS.
+    pub msr_bitmap: Arc<RwLock<MsrBitmap>>,
+    /// I/O intercept bitmap shared by every core's VMCS.
+    pub io_bitmap: Arc<RwLock<IoBitmap>>,
+    /// Per-core VMCS replicas ("replicating the hypervisor context ... for
+    /// each CPU core managed by Covirt").
+    vmcs: HashMap<usize, VmcsHandle>,
+    /// Per-core command queues.
+    cmdq: HashMap<usize, CmdQueue>,
+    /// Per-core posted-interrupt descriptors (posted IPI mode only).
+    posted: HashMap<usize, Arc<PostedIntDescriptor>>,
+    /// Cores currently executing in guest mode (their TLBs may cache
+    /// stale state; flush synchronization must wait for them).
+    live: RwLock<HashSet<usize>>,
+    /// Set when the hypervisor terminated the enclave; the reason string.
+    terminated: RwLock<Option<String>>,
+    /// EPT violations caught (instrumentation).
+    pub violations: AtomicU64,
+}
+
+impl VirtContext {
+    /// Assemble a context for `enclave_id` covering `cores`, with `vectors`
+    /// initially whitelisted.
+    pub fn new(
+        enclave_id: u64,
+        config: CovirtConfig,
+        cores: &[usize],
+        vectors: &[u8],
+        ept: Option<Arc<Ept>>,
+    ) -> Self {
+        assert_eq!(config.memory, ept.is_some(), "EPT presence must match the feature set");
+        let mut msr_bitmap = MsrBitmap::intercept_none();
+        if config.msr {
+            // Intercept the MSRs an enclave must never write: machine-check
+            // bank controls (writing garbage there can wedge the node).
+            for bank in 0..8u32 {
+                msr_bitmap.intercept_write(IA32_MC0_CTL + 4 * bank, true);
+            }
+        }
+        let mut io_bitmap = IoBitmap::intercept_none();
+        if config.io {
+            io_bitmap.set(covirt_simhw::ioport::PORT_KBD_RESET, true);
+            io_bitmap.set_range(
+                covirt_simhw::ioport::PORT_PCI_CONFIG_ADDR,
+                covirt_simhw::ioport::PORT_PCI_CONFIG_DATA + 3,
+                true,
+            );
+        }
+
+        let whitelist = Arc::new(IpiWhitelist::new(
+            cores.iter().copied(),
+            vectors.iter().copied().chain(std::iter::once(TIMER_VECTOR)),
+        ));
+
+        let msr_bitmap = Arc::new(RwLock::new(msr_bitmap));
+        let io_bitmap = Arc::new(RwLock::new(io_bitmap));
+
+        let mut vmcs = HashMap::new();
+        let mut posted = HashMap::new();
+        for &core in cores {
+            let handle = new_vmcs();
+            {
+                let mut v = handle.write();
+                v.controls.eptp = ept.as_ref().map(|e| e.eptp());
+                v.controls.ext_int_exiting = config.exits_on_external_interrupts();
+                v.controls.apic_virt = match config.ipi {
+                    Some(IpiMode::Vapic) => ApicVirtMode::TrapAll,
+                    Some(IpiMode::Posted) => ApicVirtMode::Posted,
+                    None => ApicVirtMode::Passthrough,
+                };
+                v.controls.msr_bitmap = Some(Arc::clone(&msr_bitmap));
+                v.controls.io_bitmap = Some(Arc::clone(&io_bitmap));
+                if matches!(config.ipi, Some(IpiMode::Posted)) {
+                    let d = Arc::new(PostedIntDescriptor::new(PIV_NOTIFICATION_VECTOR));
+                    v.controls.posted_desc = Some(Arc::clone(&d));
+                    posted.insert(core, d);
+                }
+            }
+            vmcs.insert(core, handle);
+        }
+
+        VirtContext {
+            enclave_id,
+            config,
+            ept,
+            whitelist,
+            msr_bitmap,
+            io_bitmap,
+            vmcs,
+            cmdq: HashMap::new(),
+            posted,
+            live: RwLock::new(HashSet::new()),
+            terminated: RwLock::new(None),
+            violations: AtomicU64::new(0),
+        }
+    }
+
+    /// The VMCS for a core.
+    pub fn vmcs(&self, core: usize) -> Option<VmcsHandle> {
+        self.vmcs.get(&core).cloned()
+    }
+
+    /// All cores with a VMCS.
+    pub fn cores(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.vmcs.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Install a core's command queue (controller, before boot).
+    pub fn set_cmdq(&mut self, core: usize, q: CmdQueue) {
+        self.cmdq.insert(core, q);
+    }
+
+    /// A core's command queue.
+    pub fn cmdq(&self, core: usize) -> Option<&CmdQueue> {
+        self.cmdq.get(&core)
+    }
+
+    /// A core's posted-interrupt descriptor (posted mode only).
+    pub fn posted(&self, core: usize) -> Option<&Arc<PostedIntDescriptor>> {
+        self.posted.get(&core)
+    }
+
+    /// Mark a core as executing in guest mode.
+    pub fn core_entered_guest(&self, core: usize) {
+        self.live.write().insert(core);
+    }
+
+    /// Mark a core as having left guest mode (termination or shutdown).
+    pub fn core_left_guest(&self, core: usize) {
+        self.live.write().remove(&core);
+    }
+
+    /// Cores currently in guest mode.
+    pub fn live_cores(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.live.read().iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Record enclave termination (idempotent; first reason wins).
+    pub fn terminate(&self, reason: &str) {
+        let mut t = self.terminated.write();
+        if t.is_none() {
+            *t = Some(reason.to_owned());
+        }
+    }
+
+    /// Whether (and why) the enclave was terminated.
+    pub fn termination(&self) -> Option<String> {
+        self.terminated.read().clone()
+    }
+
+    /// Total exits across every core's VMCS, by reason.
+    pub fn exit_counts(&self) -> HashMap<&'static str, u64> {
+        let mut out: HashMap<&'static str, u64> = HashMap::new();
+        for handle in self.vmcs.values() {
+            for (k, v) in handle.read().exit_counts.iter() {
+                *out.entry(k).or_insert(0) += v;
+            }
+        }
+        out
+    }
+}
+
+/// The LAPIC timer vector Kitten programs (always whitelisted for
+/// self-IPIs — the timer must keep working under IPI protection).
+pub const TIMER_VECTOR: u8 = 0xec;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covirt_simhw::memory::PhysMemory;
+    use covirt_simhw::paging::FramePool;
+    use covirt_simhw::topology::ZoneId;
+
+    fn ept() -> Arc<Ept> {
+        let mem = Arc::new(PhysMemory::new(&[64 * 1024 * 1024]));
+        let pool_region = mem
+            .alloc_backed(ZoneId(0), 4 * 1024 * 1024, covirt_simhw::addr::PAGE_SIZE_4K)
+            .unwrap();
+        Arc::new(Ept::new(Arc::new(FramePool::new(mem, pool_region))).unwrap())
+    }
+
+    #[test]
+    fn vmcs_replicated_per_core() {
+        let v = VirtContext::new(1, CovirtConfig::MEM, &[2, 3], &[0x40], Some(ept()));
+        assert_eq!(v.cores(), vec![2, 3]);
+        let a = v.vmcs(2).unwrap();
+        let b = v.vmcs(3).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "per-core VMCS must be replicas, not shared");
+        assert!(a.read().controls.eptp.is_some());
+        assert_eq!(a.read().controls.apic_virt, ApicVirtMode::Passthrough);
+    }
+
+    #[test]
+    #[should_panic(expected = "EPT presence must match")]
+    fn ept_mismatch_panics() {
+        VirtContext::new(1, CovirtConfig::MEM, &[1], &[], None);
+    }
+
+    #[test]
+    fn vapic_mode_sets_controls() {
+        let v = VirtContext::new(1, CovirtConfig::MEM_IPI, &[1], &[0x40], Some(ept()));
+        let h = v.vmcs(1).unwrap();
+        assert_eq!(h.read().controls.apic_virt, ApicVirtMode::TrapAll);
+        assert!(h.read().controls.ext_int_exiting);
+        assert!(v.posted(1).is_none());
+        // Memory-only and no-feature configs also keep interrupt exiting
+        // on (the constant baseline cost of interposition).
+        let m = VirtContext::new(2, CovirtConfig::MEM, &[1], &[], Some(ept()));
+        assert!(m.vmcs(1).unwrap().read().controls.ext_int_exiting);
+    }
+
+    #[test]
+    fn posted_mode_builds_descriptors() {
+        let v = VirtContext::new(1, CovirtConfig::MEM_IPI_PIV, &[1, 2], &[0x40], Some(ept()));
+        let h = v.vmcs(1).unwrap();
+        assert_eq!(h.read().controls.apic_virt, ApicVirtMode::Posted);
+        assert!(h.read().controls.ext_int_exiting, "hardware interrupts still exit under PIV");
+        assert!(v.posted(1).is_some());
+        assert!(v.posted(2).is_some());
+        assert_eq!(v.posted(1).unwrap().notification_vector(), PIV_NOTIFICATION_VECTOR);
+    }
+
+    #[test]
+    fn whitelist_includes_timer() {
+        let v = VirtContext::new(1, CovirtConfig::MEM_IPI, &[5], &[0x44], Some(ept()));
+        assert!(v.whitelist.would_allow(5, 0x44));
+        assert!(v.whitelist.would_allow(5, TIMER_VECTOR));
+        assert!(!v.whitelist.would_allow(0, 0x44));
+    }
+
+    #[test]
+    fn msr_io_protection_configures_bitmaps() {
+        let v = VirtContext::new(1, CovirtConfig::FULL, &[1], &[], Some(ept()));
+        assert!(v.msr_bitmap.read().write_exits(IA32_MC0_CTL));
+        assert!(!v.msr_bitmap.read().read_exits(IA32_MC0_CTL));
+        assert!(v.io_bitmap.read().exits(covirt_simhw::ioport::PORT_KBD_RESET));
+        assert!(!v.io_bitmap.read().exits(covirt_simhw::ioport::PORT_COM1));
+    }
+
+    #[test]
+    fn live_core_tracking() {
+        let v = VirtContext::new(1, CovirtConfig::NONE, &[1, 2], &[], None);
+        assert!(v.live_cores().is_empty());
+        v.core_entered_guest(1);
+        v.core_entered_guest(2);
+        assert_eq!(v.live_cores(), vec![1, 2]);
+        v.core_left_guest(1);
+        assert_eq!(v.live_cores(), vec![2]);
+    }
+
+    #[test]
+    fn termination_first_reason_wins() {
+        let v = VirtContext::new(1, CovirtConfig::NONE, &[1], &[], None);
+        assert!(v.termination().is_none());
+        v.terminate("ept violation");
+        v.terminate("later");
+        assert_eq!(v.termination().unwrap(), "ept violation");
+    }
+}

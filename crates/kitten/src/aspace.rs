@@ -1,0 +1,86 @@
+//! Task address spaces.
+//!
+//! Kitten identity-maps physical memory and uses SMARTMAP-style sharing, so
+//! a task address space in the model is a *view* over regions of the
+//! kernel map plus any attached shared segments. There is no per-task page
+//! table — the kernel's identity tables serve everyone, which is exactly
+//! what makes cross-enclave sharing cheap (and its stale states dangerous).
+
+use crate::memmap::{MemMap, RegionKind};
+use covirt_simhw::addr::{HostPhysAddr, PhysRange};
+
+/// A task's view of memory.
+#[derive(Clone, Debug, Default)]
+pub struct AddressSpace {
+    regions: Vec<PhysRange>,
+    attached: Vec<PhysRange>,
+}
+
+impl AddressSpace {
+    /// An address space spanning everything currently in the kernel map.
+    pub fn spanning(map: &MemMap) -> Self {
+        AddressSpace {
+            regions: map.regions().iter().map(|r| r.range).collect(),
+            attached: map.by_kind(RegionKind::Shared).iter().map(|r| r.range).collect(),
+        }
+    }
+
+    /// Record an attached shared segment (already mapped by the kernel).
+    pub fn attach(&mut self, range: PhysRange) {
+        self.attached.push(range);
+        self.regions.push(range);
+    }
+
+    /// Remove an attached segment. Returns true if it was attached.
+    pub fn detach(&mut self, range: PhysRange) -> bool {
+        let was = self.attached.iter().position(|r| *r == range);
+        if let Some(i) = was {
+            self.attached.remove(i);
+            self.regions.retain(|r| *r != range);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True if the task may touch `[addr, addr+len)` according to its view.
+    pub fn allows(&self, addr: HostPhysAddr, len: u64) -> bool {
+        self.regions.iter().any(|r| r.covers(&PhysRange::new(addr, len)))
+    }
+
+    /// Attached shared segments.
+    pub fn attached(&self) -> &[PhysRange] {
+        &self.attached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(start: u64, len: u64) -> PhysRange {
+        PhysRange::new(HostPhysAddr::new(start), len)
+    }
+
+    #[test]
+    fn spanning_includes_kernel_regions() {
+        let mut m = MemMap::new();
+        m.add(r(0x1000, 0x1000), RegionKind::Boot).unwrap();
+        m.add(r(0x8000, 0x1000), RegionKind::Shared).unwrap();
+        let a = AddressSpace::spanning(&m);
+        assert!(a.allows(HostPhysAddr::new(0x1000), 8));
+        assert!(a.allows(HostPhysAddr::new(0x8000), 8));
+        assert_eq!(a.attached().len(), 1);
+    }
+
+    #[test]
+    fn attach_detach() {
+        let mut a = AddressSpace::default();
+        assert!(!a.allows(HostPhysAddr::new(0x5000), 8));
+        a.attach(r(0x5000, 0x1000));
+        assert!(a.allows(HostPhysAddr::new(0x5000), 8));
+        assert!(a.detach(r(0x5000, 0x1000)));
+        assert!(!a.allows(HostPhysAddr::new(0x5000), 8));
+        assert!(!a.detach(r(0x5000, 0x1000)));
+    }
+}

@@ -1,0 +1,383 @@
+//! The Kitten kernel object: boot, memory management, control-channel
+//! servicing and syscall forwarding.
+
+use crate::aspace::AddressSpace;
+use crate::memmap::{MemMap, RegionKind};
+use crate::task::{Task, TaskId};
+use crate::timer::TimerPolicy;
+use crate::{KittenError, KittenResult};
+use covirt_simhw::addr::{HostPhysAddr, PhysRange, PAGE_SIZE_2M};
+use covirt_simhw::memory::PhysMemory;
+use covirt_simhw::paging::{DirectLoad, FramePool, GuestPageTables, Perms};
+use covirt_simhw::topology::CoreId;
+use parking_lot::{Mutex, RwLock};
+use pisces::boot::BootParams;
+use pisces::ctrlchan::{CtrlChannel, CtrlMsg};
+use std::sync::Arc;
+
+/// A booted Kitten instance (one per enclave).
+pub struct KittenKernel {
+    /// The boot parameters the kernel was started with.
+    pub params: BootParams,
+    mem: Arc<PhysMemory>,
+    /// The kernel's identity page tables (CR3 root inside the enclave's
+    /// page-table pool).
+    pub page_tables: GuestPageTables,
+    memmap: RwLock<MemMap>,
+    ctrl: CtrlChannel,
+    /// Tick policy (LWKs minimize timer interrupts).
+    pub timer_policy: TimerPolicy,
+    tasks: RwLock<Vec<Task>>,
+    next_task: Mutex<u64>,
+    /// Most recent syscall return received from the host.
+    last_syscall_ret: Mutex<Option<(u64, u64)>>,
+}
+
+impl KittenKernel {
+    /// Boot from the parameter structure at `params_addr` (the address
+    /// handed over in RDI by the trampoline — or by the Covirt hypervisor).
+    pub fn boot(mem: &Arc<PhysMemory>, params_addr: HostPhysAddr) -> KittenResult<Self> {
+        let params =
+            BootParams::read_from(mem, params_addr).map_err(|_| KittenError::BadBootParams)?;
+
+        // Page-table pool lives at the head of the first assigned region.
+        let pt_pool_range =
+            PhysRange::new(HostPhysAddr::new(params.pt_pool.0), params.pt_pool.1);
+        let pool = Arc::new(FramePool::new(Arc::clone(mem), pt_pool_range));
+        let page_tables = GuestPageTables::new(Arc::clone(&pool))?;
+
+        // Identity-map every assigned region with large pages (Kitten's
+        // contiguous-memory policy makes 2 MiB mappings the norm).
+        let mut memmap = MemMap::new();
+        for &(start, len) in &params.mem_regions {
+            let range = PhysRange::new(HostPhysAddr::new(start), len);
+            page_tables.map(start, range.start, len, Perms::RWX, 2)?;
+            memmap.add(range, RegionKind::Boot).map_err(KittenError::Invalid)?;
+        }
+        // The management region (boot params + control channel) is also
+        // visible to the kernel.
+        let mgmt = PhysRange::new(
+            params_addr,
+            // Derive the management span from the channel placement.
+            params.ctrlchan_base + params.ctrlchan_len - params_addr.raw(),
+        );
+        page_tables.map(mgmt.start.raw(), mgmt.start, mgmt.len, Perms::RW, 1)?;
+
+        let ctrl = CtrlChannel::attach_enclave(
+            mem,
+            HostPhysAddr::new(params.ctrlchan_base),
+            params.ctrlchan_len,
+        )
+        .map_err(|_| KittenError::Ctrl("attach failed"))?;
+
+        Ok(KittenKernel {
+            params,
+            mem: Arc::clone(mem),
+            page_tables,
+            memmap: RwLock::new(memmap),
+            ctrl,
+            timer_policy: TimerPolicy::default(),
+            tasks: RwLock::new(Vec::new()),
+            next_task: Mutex::new(1),
+            last_syscall_ret: Mutex::new(None),
+        })
+    }
+
+    /// The physical memory the kernel runs on.
+    pub fn memory(&self) -> &Arc<PhysMemory> {
+        &self.mem
+    }
+
+    /// Snapshot of the memory map.
+    pub fn memmap(&self) -> MemMap {
+        self.memmap.read().clone()
+    }
+
+    /// Mutate the memory map (fault injections use this).
+    pub fn with_memmap_mut<R>(&self, f: impl FnOnce(&mut MemMap) -> R) -> R {
+        f(&mut self.memmap.write())
+    }
+
+    /// The enclave-side control channel.
+    pub fn ctrl(&self) -> &CtrlChannel {
+        &self.ctrl
+    }
+
+    /// Cores this kernel runs on.
+    pub fn cores(&self) -> Vec<CoreId> {
+        self.params.cores.iter().map(|&c| CoreId(c as usize)).collect()
+    }
+
+    /// Translate a kernel-virtual address via the kernel's own page tables
+    /// (identity, so mostly a map-membership check). This is the *kernel's
+    /// belief*; the hypervisor may disagree.
+    pub fn translate(&self, va: u64) -> KittenResult<HostPhysAddr> {
+        let t = self
+            .page_tables
+            .walk(va, &DirectLoad(&self.mem))
+            .map_err(|_| KittenError::NotMapped(va))?;
+        Ok(t.pa)
+    }
+
+    /// Service pending host→enclave control messages. Returns the messages
+    /// handled. This is the kernel's "management interrupt" bottom half; in
+    /// a live enclave it runs from the exec loop's safe points.
+    pub fn poll_ctrl(&self) -> KittenResult<Vec<CtrlMsg>> {
+        let mut handled = Vec::new();
+        while let Some(msg) =
+            self.ctrl.try_recv().map_err(|_| KittenError::Ctrl("recv failed"))?
+        {
+            match &msg {
+                CtrlMsg::AddMem { start, len } => {
+                    let range = PhysRange::new(HostPhysAddr::new(*start), *len);
+                    self.page_tables.map(*start, range.start, *len, Perms::RWX, 2)?;
+                    self.memmap
+                        .write()
+                        .add(range, RegionKind::Granted)
+                        .map_err(KittenError::Invalid)?;
+                    self.ctrl
+                        .send(&CtrlMsg::AddMemAck { start: *start, len: *len })
+                        .map_err(|_| KittenError::Ctrl("send failed"))?;
+                }
+                CtrlMsg::RemoveMem { start, len } => {
+                    let range = PhysRange::new(HostPhysAddr::new(*start), *len);
+                    self.page_tables.unmap(*start, *len)?;
+                    self.memmap.write().remove(range).map_err(KittenError::Invalid)?;
+                    self.ctrl
+                        .send(&CtrlMsg::RemoveMemAck { start: *start, len: *len })
+                        .map_err(|_| KittenError::Ctrl("send failed"))?;
+                }
+                CtrlMsg::Ping { token } => {
+                    self.ctrl
+                        .send(&CtrlMsg::PingAck { token: *token })
+                        .map_err(|_| KittenError::Ctrl("send failed"))?;
+                }
+                CtrlMsg::SyscallRet { nr, ret } => {
+                    *self.last_syscall_ret.lock() = Some((*nr, *ret));
+                }
+                CtrlMsg::Shutdown => {
+                    self.ctrl
+                        .send(&CtrlMsg::ShutdownAck)
+                        .map_err(|_| KittenError::Ctrl("send failed"))?;
+                }
+                _ => return Err(KittenError::Ctrl("unexpected message from host")),
+            }
+            handled.push(msg);
+        }
+        Ok(handled)
+    }
+
+    /// Map an attached shared segment (XEMEM page list) into the kernel.
+    /// The Hobbes layer calls this after the host-side mapping is ready.
+    pub fn map_shared(&self, range: PhysRange) -> KittenResult<()> {
+        self.page_tables.map(range.start.raw(), range.start, range.len, Perms::RWX, 2)?;
+        self.memmap
+            .write()
+            .add(range, RegionKind::Shared)
+            .map_err(KittenError::Invalid)?;
+        Ok(())
+    }
+
+    /// Map an attached segment from its transmitted page-frame list, one
+    /// 4 KiB page at a time — the faithful XPMEM attach path, whose cost
+    /// is linear in the segment size (this linearity dominates Figure 4).
+    pub fn map_shared_pagelist(&self, range: PhysRange, pages: &[u64]) -> KittenResult<()> {
+        for &page in pages {
+            self.page_tables.map(
+                page,
+                covirt_simhw::addr::HostPhysAddr::new(page),
+                covirt_simhw::addr::PAGE_SIZE_4K,
+                Perms::RWX,
+                1,
+            )?;
+        }
+        self.memmap
+            .write()
+            .add(range, RegionKind::Shared)
+            .map_err(KittenError::Invalid)?;
+        Ok(())
+    }
+
+    /// Unmap a shared segment on detach.
+    pub fn unmap_shared(&self, range: PhysRange) -> KittenResult<()> {
+        self.page_tables.unmap(range.start.raw(), range.len)?;
+        self.memmap.write().remove(range).map_err(KittenError::Invalid)?;
+        Ok(())
+    }
+
+    /// Forward a system call to the host OS/R.
+    pub fn forward_syscall(&self, nr: u64, arg0: u64, arg1: u64) -> KittenResult<()> {
+        self.ctrl
+            .send(&CtrlMsg::Syscall { nr, arg0, arg1 })
+            .map_err(|_| KittenError::Ctrl("send failed"))
+    }
+
+    /// Take the most recent syscall return, if one arrived.
+    pub fn take_syscall_ret(&self) -> Option<(u64, u64)> {
+        self.last_syscall_ret.lock().take()
+    }
+
+    /// Create a task pinned to `core` with an address space spanning the
+    /// kernel's current map.
+    pub fn spawn_task(&self, name: &str, core: CoreId) -> KittenResult<TaskId> {
+        if !self.cores().contains(&core) {
+            return Err(KittenError::Invalid("core not assigned to this enclave"));
+        }
+        let mut next = self.next_task.lock();
+        let id = TaskId(*next);
+        *next += 1;
+        let aspace = AddressSpace::spanning(&self.memmap.read());
+        self.tasks.write().push(Task::new(id, name.to_owned(), core, aspace));
+        Ok(id)
+    }
+
+    /// Snapshot of the task table.
+    pub fn tasks(&self) -> Vec<Task> {
+        self.tasks.read().clone()
+    }
+
+    /// A 2 MiB-aligned allocation carved from the top of the kernel's
+    /// *first boot region*, for workload arrays. Returns the identity
+    /// virtual address. This models Kitten's bump-style contiguous
+    /// allocator; there is no free — LWK workloads allocate once.
+    pub fn alloc_contiguous(&self, bytes: u64, cursor: &mut u64) -> KittenResult<u64> {
+        let boot = self
+            .memmap
+            .read()
+            .by_kind(RegionKind::Boot)
+            .first()
+            .copied()
+            .ok_or(KittenError::Invalid("no boot region"))?;
+        // Skip the page-table pool at the head of the region.
+        let base = (boot.range.start.raw() + self.params.pt_pool.1).div_ceil(PAGE_SIZE_2M)
+            * PAGE_SIZE_2M;
+        let aligned = (base + *cursor).div_ceil(PAGE_SIZE_2M) * PAGE_SIZE_2M;
+        let len = bytes.div_ceil(PAGE_SIZE_2M) * PAGE_SIZE_2M;
+        if aligned + len > boot.range.end().raw() {
+            return Err(KittenError::Invalid("enclave memory exhausted"));
+        }
+        *cursor = aligned + len - base;
+        Ok(aligned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covirt_simhw::node::{NodeConfig, SimNode};
+    use covirt_simhw::topology::ZoneId;
+    use pisces::host::PiscesHost;
+    use pisces::resources::ResourceRequest;
+
+    fn booted() -> (Arc<PiscesHost>, Arc<pisces::Enclave>, KittenKernel) {
+        let node = SimNode::new(NodeConfig::small());
+        let host = PiscesHost::new(node);
+        let req =
+            ResourceRequest::new(vec![CoreId(1), CoreId(2)], vec![(ZoneId(0), 64 * 1024 * 1024)]);
+        let enclave = host.create_enclave("e0", &req).unwrap();
+        let plan = host.launch(&enclave).unwrap();
+        let kernel = KittenKernel::boot(&host.node().mem, plan.pisces_params_addr).unwrap();
+        (host, enclave, kernel)
+    }
+
+    #[test]
+    fn boot_builds_identity_map() {
+        let (_h, e, k) = booted();
+        let res = e.resources();
+        let first = res.mem[0];
+        // An address in the middle of the assignment translates to itself.
+        let probe = first.start.raw() + first.len / 2;
+        assert_eq!(k.translate(probe).unwrap().raw(), probe);
+        // An address outside does not.
+        assert!(k.translate(first.end().raw() + 0x10_0000).is_err());
+        assert_eq!(k.memmap().total_bytes(), 64 * 1024 * 1024);
+    }
+
+    #[test]
+    fn grant_roundtrip_updates_map() {
+        let (h, e, k) = booted();
+        let range = h.add_memory(&e, ZoneId(0), 4 * 1024 * 1024).unwrap();
+        // Before the kernel polls, its map is stale (no new region).
+        assert!(!k.memmap().contains(range.start, 8));
+        let handled = k.poll_ctrl().unwrap();
+        assert_eq!(handled.len(), 1);
+        assert!(k.memmap().contains(range.start, range.len));
+        assert_eq!(k.translate(range.start.raw()).unwrap(), range.start);
+        // The host sees the ack.
+        let acks = h.process_acks(&e).unwrap();
+        assert!(matches!(acks[0], CtrlMsg::AddMemAck { .. }));
+    }
+
+    #[test]
+    fn remove_roundtrip_shrinks_map() {
+        let (h, e, k) = booted();
+        let range = h.add_memory(&e, ZoneId(0), 2 * 1024 * 1024).unwrap();
+        k.poll_ctrl().unwrap();
+        h.process_acks(&e).unwrap();
+        h.request_remove_memory(&e, range).unwrap();
+        k.poll_ctrl().unwrap();
+        assert!(!k.memmap().contains(range.start, 8));
+        assert!(k.translate(range.start.raw()).is_err());
+        h.process_acks(&e).unwrap();
+        assert!(!e.resources().mem.contains(&range));
+    }
+
+    #[test]
+    fn ping_is_answered() {
+        let (_h, e, k) = booted();
+        let ctrl = e.ctrl().unwrap();
+        ctrl.send(&CtrlMsg::Ping { token: 31337 }).unwrap();
+        k.poll_ctrl().unwrap();
+        let reply = ctrl.try_recv().unwrap().unwrap();
+        assert_eq!(reply, CtrlMsg::PingAck { token: 31337 });
+    }
+
+    #[test]
+    fn syscall_forwarding() {
+        let (h, e, k) = booted();
+        k.forward_syscall(60, 1, 2).unwrap();
+        h.process_acks(&e).unwrap(); // host answers with ret 0
+        k.poll_ctrl().unwrap();
+        assert_eq!(k.take_syscall_ret(), Some((60, 0)));
+        assert_eq!(k.take_syscall_ret(), None);
+    }
+
+    #[test]
+    fn shared_segment_map_unmap() {
+        let (h, _e, k) = booted();
+        // A segment somewhere else in host memory (another enclave's
+        // export).
+        let seg = h.node().mem.alloc_backed(ZoneId(0), 2 * 1024 * 1024, PAGE_SIZE_2M).unwrap();
+        k.map_shared(seg).unwrap();
+        assert_eq!(k.translate(seg.start.raw()).unwrap(), seg.start);
+        assert_eq!(k.memmap().by_kind(RegionKind::Shared).len(), 1);
+        k.unmap_shared(seg).unwrap();
+        assert!(k.translate(seg.start.raw()).is_err());
+    }
+
+    #[test]
+    fn task_spawn_respects_cores() {
+        let (_h, _e, k) = booted();
+        let t = k.spawn_task("app", CoreId(1)).unwrap();
+        assert_eq!(t.0, 1);
+        assert!(k.spawn_task("bad", CoreId(3)).is_err());
+        assert_eq!(k.tasks().len(), 1);
+    }
+
+    #[test]
+    fn contiguous_allocator_is_bump_and_aligned() {
+        let (_h, _e, k) = booted();
+        let mut cursor = 0u64;
+        let a = k.alloc_contiguous(1024 * 1024, &mut cursor).unwrap();
+        let b = k.alloc_contiguous(1024 * 1024, &mut cursor).unwrap();
+        assert_eq!(a % PAGE_SIZE_2M, 0);
+        assert_eq!(b % PAGE_SIZE_2M, 0);
+        assert!(b >= a + PAGE_SIZE_2M);
+        // Both are inside the kernel's map and translate.
+        assert!(k.translate(a).is_ok());
+        assert!(k.translate(b).is_ok());
+        // Exhaustion is detected.
+        let mut big_cursor = 0u64;
+        assert!(k.alloc_contiguous(1 << 40, &mut big_cursor).is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! System-call dispatch: the LWK / host division of labour.
+//!
+//! Kitten handles performance-critical system calls locally with simple,
+//! predictable implementations, and *forwards* heavy-weight ones to the
+//! host OS/R over the control channel (Pisces' system-call forwarding,
+//! carried over XEMEM in Hobbes). This split is the reason co-kernels need
+//! the shared state Covirt protects: a forwarded call exposes process
+//! state across the OS/R boundary.
+
+use crate::kernel::KittenKernel;
+use crate::{KittenError, KittenResult};
+
+/// The syscall numbers the model knows (Linux x86-64 numbering for the
+/// ABI-compatibility Kitten aims at).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u64)]
+pub enum Sysno {
+    /// read(2) — forwarded (needs host file descriptors).
+    Read = 0,
+    /// write(2) — forwarded.
+    Write = 1,
+    /// open(2) — forwarded (host VFS).
+    Open = 2,
+    /// mmap(2) — local (Kitten's contiguous allocator).
+    Mmap = 9,
+    /// getpid(2) — local.
+    Getpid = 39,
+    /// clock_gettime(2) — local (reads the TSC).
+    ClockGettime = 228,
+}
+
+/// Where a system call executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Disposition {
+    /// Handled inside the LWK with deterministic cost.
+    Local,
+    /// Delegated to the host OS/R over the control channel.
+    Forwarded,
+}
+
+/// Kitten's dispatch policy.
+pub fn disposition(nr: u64) -> Disposition {
+    match nr {
+        x if x == Sysno::Mmap as u64 => Disposition::Local,
+        x if x == Sysno::Getpid as u64 => Disposition::Local,
+        x if x == Sysno::ClockGettime as u64 => Disposition::Local,
+        _ => Disposition::Forwarded,
+    }
+}
+
+/// Result of a dispatched call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyscallResult {
+    /// Completed locally with this return value.
+    Done(u64),
+    /// Forwarded; the caller must pump the control channel until
+    /// [`KittenKernel::take_syscall_ret`] yields the reply.
+    InFlight,
+}
+
+/// Dispatch a system call on `kernel` for the (implicit current) task.
+///
+/// Local calls complete immediately; forwarded calls are transmitted and
+/// return [`SyscallResult::InFlight`].
+pub fn dispatch(
+    kernel: &KittenKernel,
+    nr: u64,
+    arg0: u64,
+    arg1: u64,
+    alloc_cursor: &mut u64,
+) -> KittenResult<SyscallResult> {
+    match disposition(nr) {
+        Disposition::Local => {
+            let ret = match nr {
+                x if x == Sysno::Getpid as u64 => kernel.params.enclave_id,
+                x if x == Sysno::ClockGettime as u64 => kernel.params.tsc_hz,
+                x if x == Sysno::Mmap as u64 => {
+                    // arg0 = length; identity address of fresh contiguous
+                    // memory (Kitten's deterministic mmap).
+                    kernel.alloc_contiguous(arg0.max(1), alloc_cursor)?
+                }
+                _ => return Err(KittenError::Invalid("unhandled local syscall")),
+            };
+            Ok(SyscallResult::Done(ret))
+        }
+        Disposition::Forwarded => {
+            kernel.forward_syscall(nr, arg0, arg1)?;
+            Ok(SyscallResult::InFlight)
+        }
+    }
+}
+
+/// Convenience: dispatch a forwarded call and spin until the host answers
+/// (requires the host side to pump `process_acks`; tests drive it from a
+/// thread or alternately).
+pub fn forwarded_sync(
+    kernel: &KittenKernel,
+    nr: u64,
+    arg0: u64,
+    arg1: u64,
+    spins: u64,
+) -> KittenResult<u64> {
+    kernel.forward_syscall(nr, arg0, arg1)?;
+    for _ in 0..spins {
+        kernel.poll_ctrl()?;
+        if let Some((got_nr, ret)) = kernel.take_syscall_ret() {
+            if got_nr == nr {
+                return Ok(ret);
+            }
+        }
+        std::thread::yield_now();
+    }
+    Err(KittenError::Ctrl("forwarded syscall timed out"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covirt_simhw::node::{NodeConfig, SimNode};
+    use covirt_simhw::topology::{CoreId, ZoneId};
+    use pisces::host::PiscesHost;
+    use pisces::resources::ResourceRequest;
+    use std::sync::Arc;
+
+    fn booted() -> (Arc<PiscesHost>, Arc<pisces::Enclave>, KittenKernel) {
+        let host = PiscesHost::new(SimNode::new(NodeConfig::small()));
+        let req = ResourceRequest::new(vec![CoreId(1)], vec![(ZoneId(0), 64 * 1024 * 1024)]);
+        let e = host.create_enclave("sc", &req).unwrap();
+        let plan = host.launch(&e).unwrap();
+        let k = KittenKernel::boot(&host.node().mem, plan.pisces_params_addr).unwrap();
+        (host, e, k)
+    }
+
+    #[test]
+    fn dispositions_match_lwk_policy() {
+        assert_eq!(disposition(Sysno::Mmap as u64), Disposition::Local);
+        assert_eq!(disposition(Sysno::Getpid as u64), Disposition::Local);
+        assert_eq!(disposition(Sysno::ClockGettime as u64), Disposition::Local);
+        assert_eq!(disposition(Sysno::Open as u64), Disposition::Forwarded);
+        assert_eq!(disposition(Sysno::Write as u64), Disposition::Forwarded);
+        assert_eq!(disposition(12345), Disposition::Forwarded);
+    }
+
+    #[test]
+    fn local_calls_complete_inline() {
+        let (_h, e, k) = booted();
+        let mut cursor = 0;
+        match dispatch(&k, Sysno::Getpid as u64, 0, 0, &mut cursor).unwrap() {
+            SyscallResult::Done(pid) => assert_eq!(pid, e.id.0),
+            r => panic!("unexpected {r:?}"),
+        }
+        match dispatch(&k, Sysno::Mmap as u64, 4096, 0, &mut cursor).unwrap() {
+            SyscallResult::Done(addr) => assert!(k.translate(addr).is_ok()),
+            r => panic!("unexpected {r:?}"),
+        }
+    }
+
+    #[test]
+    fn forwarded_calls_roundtrip_through_host() {
+        let (h, e, k) = booted();
+        let mut cursor = 0;
+        assert_eq!(
+            dispatch(&k, Sysno::Write as u64, 1, 42, &mut cursor).unwrap(),
+            SyscallResult::InFlight
+        );
+        h.process_acks(&e).unwrap(); // host executes and replies
+        k.poll_ctrl().unwrap();
+        assert_eq!(k.take_syscall_ret(), Some((Sysno::Write as u64, 0)));
+    }
+
+    #[test]
+    fn forwarded_sync_with_pumping_host() {
+        let (h, e, k) = booted();
+        let host = Arc::clone(&h);
+        let e2 = Arc::clone(&e);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let pump = std::thread::spawn(move || {
+            while !stop2.load(std::sync::atomic::Ordering::Acquire) {
+                host.process_acks(&e2).unwrap();
+                std::thread::yield_now();
+            }
+        });
+        let ret = forwarded_sync(&k, Sysno::Open as u64, 7, 0, 10_000_000).unwrap();
+        assert_eq!(ret, 0);
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        pump.join().unwrap();
+    }
+}

@@ -1,0 +1,64 @@
+//! Kitten tasks: minimal process objects pinned to cores.
+
+use crate::aspace::AddressSpace;
+use covirt_simhw::topology::CoreId;
+
+/// Task identifier (kernel-local).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TaskId(pub u64);
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// Task run state (Kitten's scheduler is run-to-completion per core; there
+/// is no preemption in the model, matching the LWK's noise goals).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskState {
+    /// Eligible to run.
+    Ready,
+    /// Currently on its core.
+    Running,
+    /// Waiting on a blocking operation (e.g. an XEMEM attach in flight).
+    Blocked,
+    /// Finished.
+    Exited,
+}
+
+/// A Kitten task.
+#[derive(Clone, Debug)]
+pub struct Task {
+    /// Identifier.
+    pub id: TaskId,
+    /// Name (for diagnostics).
+    pub name: String,
+    /// Core the task is pinned to (Kitten pins by default).
+    pub core: CoreId,
+    /// The task's address space.
+    pub aspace: AddressSpace,
+    /// Scheduler state.
+    pub state: TaskState,
+}
+
+impl Task {
+    /// New ready task.
+    pub fn new(id: TaskId, name: String, core: CoreId, aspace: AddressSpace) -> Self {
+        Task { id, name, core, aspace, state: TaskState::Ready }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memmap::MemMap;
+
+    #[test]
+    fn task_construction() {
+        let t = Task::new(TaskId(7), "mini".into(), CoreId(2), AddressSpace::spanning(&MemMap::new()));
+        assert_eq!(t.id, TaskId(7));
+        assert_eq!(t.state, TaskState::Ready);
+        assert_eq!(format!("{}", t.id), "task7");
+    }
+}

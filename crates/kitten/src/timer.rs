@@ -1,0 +1,59 @@
+//! LWK timer policy.
+//!
+//! Kitten minimizes timer interrupts ("timer interrupts have long been a
+//! target of optimization in LWK architectures and their use is usually
+//! minimized"). The policy selects the LAPIC timer programming an enclave
+//! core uses while running applications; the Selfish-Detour benchmark
+//! (Figure 3) measures exactly the noise this produces.
+
+/// Timer programming for enclave cores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimerPolicy {
+    /// Tick frequency in Hz; 0 = tickless.
+    pub tick_hz: u64,
+}
+
+impl Default for TimerPolicy {
+    /// Kitten's compute-core default: a slow 10 Hz housekeeping tick (the
+    /// LWK keeps one rare tick for watchdog/time maintenance).
+    fn default() -> Self {
+        TimerPolicy { tick_hz: 10 }
+    }
+}
+
+impl TimerPolicy {
+    /// Fully tickless.
+    pub const TICKLESS: TimerPolicy = TimerPolicy { tick_hz: 0 };
+
+    /// A Linux-like 250 Hz policy, for contrast experiments.
+    pub const GENERAL_PURPOSE: TimerPolicy = TimerPolicy { tick_hz: 250 };
+
+    /// Period between ticks in nanoseconds (`None` when tickless).
+    pub fn period_ns(&self) -> Option<u64> {
+        1_000_000_000u64.checked_div(self.tick_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_low_noise() {
+        let p = TimerPolicy::default();
+        assert_eq!(p.tick_hz, 10);
+        assert_eq!(p.period_ns(), Some(100_000_000));
+    }
+
+    #[test]
+    fn tickless_has_no_period() {
+        assert_eq!(TimerPolicy::TICKLESS.period_ns(), None);
+    }
+
+    #[test]
+    fn general_purpose_is_noisier() {
+        let lwk = TimerPolicy::default();
+        let gp = TimerPolicy::GENERAL_PURPOSE;
+        assert!(gp.period_ns().unwrap() < lwk.period_ns().unwrap());
+    }
+}

@@ -1,0 +1,334 @@
+//! The host ⇄ enclave control channel (Pisces' "longcall" interface).
+//!
+//! Each enclave gets a pair of shared-memory rings: host→enclave for
+//! resource-management commands, enclave→host for acknowledgements and
+//! forwarded system calls. Messages are fixed 64-byte records encoded with
+//! the [`crate::wire`] codec, because that is how the real framework moves
+//! them — as C structs in shared physical memory, not as Rust objects.
+
+use crate::ring::{RingError, SharedRing};
+use crate::wire::{WireError, WireReader, WireWriter};
+use covirt_simhw::addr::{HostPhysAddr, PhysRange};
+use covirt_simhw::memory::PhysMemory;
+
+/// Slot size of control messages.
+pub const CTRL_SLOT: u64 = 64;
+/// Slots per direction.
+pub const CTRL_SLOTS: u64 = 64;
+
+/// A control message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CtrlMsg {
+    /// Host → enclave: a memory region has been granted; extend your map.
+    AddMem {
+        /// Base of the granted region.
+        start: u64,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// Enclave → host: the granted region is now mapped.
+    AddMemAck {
+        /// Base of the region.
+        start: u64,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// Host → enclave: release this region; unmap and acknowledge.
+    RemoveMem {
+        /// Base of the region being reclaimed.
+        start: u64,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// Enclave → host: region unmapped from the co-kernel's memory map.
+    RemoveMemAck {
+        /// Base of the region.
+        start: u64,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// Enclave → host: a forwarded system call (Kitten delegates
+    /// heavy-weight syscalls to the host OS/R).
+    Syscall {
+        /// Syscall number.
+        nr: u64,
+        /// First argument.
+        arg0: u64,
+        /// Second argument.
+        arg1: u64,
+    },
+    /// Host → enclave: result of a forwarded system call.
+    SyscallRet {
+        /// Syscall number this answers.
+        nr: u64,
+        /// Return value.
+        ret: u64,
+    },
+    /// Host → enclave: orderly shutdown request.
+    Shutdown,
+    /// Enclave → host: shutdown complete.
+    ShutdownAck,
+    /// Liveness probe (either direction).
+    Ping {
+        /// Echo token.
+        token: u64,
+    },
+    /// Liveness response.
+    PingAck {
+        /// Echoed token.
+        token: u64,
+    },
+}
+
+const TAG_ADD_MEM: u64 = 1;
+const TAG_ADD_MEM_ACK: u64 = 2;
+const TAG_REMOVE_MEM: u64 = 3;
+const TAG_REMOVE_MEM_ACK: u64 = 4;
+const TAG_SYSCALL: u64 = 5;
+const TAG_SYSCALL_RET: u64 = 6;
+const TAG_SHUTDOWN: u64 = 7;
+const TAG_SHUTDOWN_ACK: u64 = 8;
+const TAG_PING: u64 = 9;
+const TAG_PING_ACK: u64 = 10;
+
+impl CtrlMsg {
+    /// Encode into a fixed-size slot payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            CtrlMsg::AddMem { start, len } => {
+                w.put_u64(TAG_ADD_MEM).put_u64(*start).put_u64(*len);
+            }
+            CtrlMsg::AddMemAck { start, len } => {
+                w.put_u64(TAG_ADD_MEM_ACK).put_u64(*start).put_u64(*len);
+            }
+            CtrlMsg::RemoveMem { start, len } => {
+                w.put_u64(TAG_REMOVE_MEM).put_u64(*start).put_u64(*len);
+            }
+            CtrlMsg::RemoveMemAck { start, len } => {
+                w.put_u64(TAG_REMOVE_MEM_ACK).put_u64(*start).put_u64(*len);
+            }
+            CtrlMsg::Syscall { nr, arg0, arg1 } => {
+                w.put_u64(TAG_SYSCALL).put_u64(*nr).put_u64(*arg0).put_u64(*arg1);
+            }
+            CtrlMsg::SyscallRet { nr, ret } => {
+                w.put_u64(TAG_SYSCALL_RET).put_u64(*nr).put_u64(*ret);
+            }
+            CtrlMsg::Shutdown => {
+                w.put_u64(TAG_SHUTDOWN);
+            }
+            CtrlMsg::ShutdownAck => {
+                w.put_u64(TAG_SHUTDOWN_ACK);
+            }
+            CtrlMsg::Ping { token } => {
+                w.put_u64(TAG_PING).put_u64(*token);
+            }
+            CtrlMsg::PingAck { token } => {
+                w.put_u64(TAG_PING_ACK).put_u64(*token);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decode from a slot payload.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        let tag = r.get_u64()?;
+        Ok(match tag {
+            TAG_ADD_MEM => CtrlMsg::AddMem { start: r.get_u64()?, len: r.get_u64()? },
+            TAG_ADD_MEM_ACK => CtrlMsg::AddMemAck { start: r.get_u64()?, len: r.get_u64()? },
+            TAG_REMOVE_MEM => CtrlMsg::RemoveMem { start: r.get_u64()?, len: r.get_u64()? },
+            TAG_REMOVE_MEM_ACK => {
+                CtrlMsg::RemoveMemAck { start: r.get_u64()?, len: r.get_u64()? }
+            }
+            TAG_SYSCALL => CtrlMsg::Syscall {
+                nr: r.get_u64()?,
+                arg0: r.get_u64()?,
+                arg1: r.get_u64()?,
+            },
+            TAG_SYSCALL_RET => CtrlMsg::SyscallRet { nr: r.get_u64()?, ret: r.get_u64()? },
+            TAG_SHUTDOWN => CtrlMsg::Shutdown,
+            TAG_SHUTDOWN_ACK => CtrlMsg::ShutdownAck,
+            TAG_PING => CtrlMsg::Ping { token: r.get_u64()? },
+            TAG_PING_ACK => CtrlMsg::PingAck { token: r.get_u64()? },
+            _ => return Err(WireError),
+        })
+    }
+}
+
+/// One endpoint of the control channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// The host (Linux + Pisces module) end.
+    Host,
+    /// The enclave (co-kernel) end.
+    Enclave,
+}
+
+/// The control channel: two SPSC rings over one shared region.
+///
+/// Layout: ring A (host→enclave) at `base`, ring B (enclave→host) at
+/// `base + half`.
+#[derive(Clone)]
+pub struct CtrlChannel {
+    side: Side,
+    to_enclave: SharedRing,
+    to_host: SharedRing,
+}
+
+impl CtrlChannel {
+    /// Bytes of shared memory a channel needs.
+    pub fn required_bytes() -> u64 {
+        2 * SharedRing::required_bytes(CTRL_SLOTS, CTRL_SLOT).next_power_of_two()
+    }
+
+    /// Format a channel into `range` (host side does this at enclave
+    /// creation).
+    pub fn create(mem: &PhysMemory, range: PhysRange) -> Result<Self, RingError> {
+        let half = range.len / 2;
+        let a = PhysRange::new(range.start, half);
+        let b = PhysRange::new(range.start.add(half), range.len - half);
+        Ok(CtrlChannel {
+            side: Side::Host,
+            to_enclave: SharedRing::create(mem, a, CTRL_SLOTS, CTRL_SLOT)?,
+            to_host: SharedRing::create(mem, b, CTRL_SLOTS, CTRL_SLOT)?,
+        })
+    }
+
+    /// Attach from the enclave side, given the base address and total
+    /// length out of the boot parameters.
+    pub fn attach_enclave(
+        mem: &PhysMemory,
+        base: HostPhysAddr,
+        total_len: u64,
+    ) -> Result<Self, RingError> {
+        let half = total_len / 2;
+        Ok(CtrlChannel {
+            side: Side::Enclave,
+            to_enclave: SharedRing::attach(mem, base)?,
+            to_host: SharedRing::attach(mem, base.add(half))?,
+        })
+    }
+
+    /// Which side this handle represents.
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    fn tx(&self) -> &SharedRing {
+        match self.side {
+            Side::Host => &self.to_enclave,
+            Side::Enclave => &self.to_host,
+        }
+    }
+
+    fn rx(&self) -> &SharedRing {
+        match self.side {
+            Side::Host => &self.to_host,
+            Side::Enclave => &self.to_enclave,
+        }
+    }
+
+    /// Send a message toward the peer.
+    pub fn send(&self, msg: &CtrlMsg) -> Result<(), RingError> {
+        self.tx().push(&msg.encode())
+    }
+
+    /// Non-blocking receive from the peer.
+    pub fn try_recv(&self) -> Result<Option<CtrlMsg>, RingError> {
+        match self.rx().pop() {
+            Ok(buf) => Ok(Some(CtrlMsg::decode(&buf).map_err(|_| RingError::Corrupt)?)),
+            Err(RingError::Empty) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Spin until a message arrives or `spins` polls elapse.
+    pub fn recv_spin(&self, spins: u64) -> Result<CtrlMsg, RingError> {
+        for _ in 0..spins {
+            if let Some(m) = self.try_recv()? {
+                return Ok(m);
+            }
+            std::thread::yield_now();
+        }
+        Err(RingError::Empty)
+    }
+
+    /// Messages queued toward this side.
+    pub fn pending(&self) -> u64 {
+        self.rx().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covirt_simhw::addr::PAGE_SIZE_4K;
+    use covirt_simhw::topology::ZoneId;
+    use std::sync::Arc;
+
+    fn channel() -> (Arc<PhysMemory>, PhysRange, CtrlChannel) {
+        let mem = Arc::new(PhysMemory::new(&[16 * 1024 * 1024]));
+        let range =
+            mem.alloc_backed(ZoneId(0), CtrlChannel::required_bytes(), PAGE_SIZE_4K).unwrap();
+        let ch = CtrlChannel::create(&mem, range).unwrap();
+        (mem, range, ch)
+    }
+
+    #[test]
+    fn encode_decode_all_variants() {
+        let msgs = [
+            CtrlMsg::AddMem { start: 1, len: 2 },
+            CtrlMsg::AddMemAck { start: 1, len: 2 },
+            CtrlMsg::RemoveMem { start: 3, len: 4 },
+            CtrlMsg::RemoveMemAck { start: 3, len: 4 },
+            CtrlMsg::Syscall { nr: 60, arg0: 1, arg1: 2 },
+            CtrlMsg::SyscallRet { nr: 60, ret: 0 },
+            CtrlMsg::Shutdown,
+            CtrlMsg::ShutdownAck,
+            CtrlMsg::Ping { token: 99 },
+            CtrlMsg::PingAck { token: 99 },
+        ];
+        for m in msgs {
+            let e = m.encode();
+            assert!(e.len() as u64 <= CTRL_SLOT, "message too large for slot");
+            assert_eq!(CtrlMsg::decode(&e).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn decode_garbage_fails() {
+        assert!(CtrlMsg::decode(&[0xffu8; 64]).is_err());
+        assert!(CtrlMsg::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn host_to_enclave_roundtrip() {
+        let (mem, range, host) = channel();
+        let enclave = CtrlChannel::attach_enclave(&mem, range.start, range.len).unwrap();
+        host.send(&CtrlMsg::AddMem { start: 0x100000, len: 0x2000 }).unwrap();
+        assert_eq!(enclave.pending(), 1);
+        let got = enclave.try_recv().unwrap().unwrap();
+        assert_eq!(got, CtrlMsg::AddMem { start: 0x100000, len: 0x2000 });
+        enclave.send(&CtrlMsg::AddMemAck { start: 0x100000, len: 0x2000 }).unwrap();
+        let ack = host.try_recv().unwrap().unwrap();
+        assert_eq!(ack, CtrlMsg::AddMemAck { start: 0x100000, len: 0x2000 });
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let (mem, range, host) = channel();
+        let enclave = CtrlChannel::attach_enclave(&mem, range.start, range.len).unwrap();
+        enclave.send(&CtrlMsg::Ping { token: 7 }).unwrap();
+        // Host rx has one message; enclave rx none.
+        assert_eq!(host.pending(), 1);
+        assert_eq!(enclave.pending(), 0);
+        assert!(enclave.try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn recv_spin_times_out() {
+        let (_mem, _range, host) = channel();
+        assert_eq!(host.recv_spin(10), Err(RingError::Empty));
+    }
+}

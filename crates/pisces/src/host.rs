@@ -1,0 +1,639 @@
+//! The host-side Pisces framework: enclave creation, dynamic resource
+//! assignment, and teardown/fault reclamation.
+//!
+//! `PiscesHost` models the Pisces Linux kernel module plus the host-side
+//! management process. It owns the node's resource bookkeeping (the host
+//! Linux "has" everything an enclave was not given), runs the hook chain
+//! around every resource event, and drives the control channels.
+
+use crate::boot::{BootParams, BootPlan, BootTarget, BOOT_MAGIC};
+use crate::ctrlchan::{CtrlChannel, CtrlMsg};
+use crate::enclave::{Enclave, EnclaveId, EnclaveState};
+use crate::hooks::EnclaveHooks;
+use crate::resources::{ResourceRequest, ResourceSpec};
+use crate::{PiscesError, PiscesResult};
+use covirt_simhw::addr::{PhysRange, PAGE_SIZE_2M, PAGE_SIZE_4K};
+use covirt_simhw::node::SimNode;
+use covirt_simhw::topology::{CoreId, ZoneId};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// First dynamically allocatable IPI vector (below are legacy/exception
+/// vectors and fixed OS vectors).
+pub const VECTOR_POOL_FIRST: u8 = 0x40;
+/// Last dynamically allocatable IPI vector.
+pub const VECTOR_POOL_LAST: u8 = 0xbf;
+
+/// Size reserved per enclave for boot structures + control channel.
+const MGMT_REGION_LEN: u64 = 256 * 1024;
+/// Of the enclave's first region, how much is designated as page-table pool.
+const PT_POOL_LEN: u64 = 16 * 1024 * 1024;
+
+/// The host-side framework instance.
+pub struct PiscesHost {
+    node: Arc<SimNode>,
+    enclaves: RwLock<BTreeMap<u64, Arc<Enclave>>>,
+    hooks: RwLock<Vec<Arc<dyn EnclaveHooks>>>,
+    next_id: AtomicU64,
+    assigned_cores: Mutex<HashSet<usize>>,
+    vector_pool: Mutex<VecDeque<u8>>,
+}
+
+impl PiscesHost {
+    /// Load the framework onto a node. Core 0 is reserved for the host OS.
+    pub fn new(node: Arc<SimNode>) -> Arc<Self> {
+        Arc::new(PiscesHost {
+            node,
+            enclaves: RwLock::new(BTreeMap::new()),
+            hooks: RwLock::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            assigned_cores: Mutex::new(HashSet::from([0])),
+            vector_pool: Mutex::new((VECTOR_POOL_FIRST..=VECTOR_POOL_LAST).collect()),
+        })
+    }
+
+    /// The node this framework manages.
+    pub fn node(&self) -> &Arc<SimNode> {
+        &self.node
+    }
+
+    /// Register a hook set (Covirt's controller registers here).
+    pub fn register_hooks(&self, hooks: Arc<dyn EnclaveHooks>) {
+        self.hooks.write().push(hooks);
+    }
+
+    fn run_hooks<T>(&self, f: impl Fn(&dyn EnclaveHooks) -> PiscesResult<T>) -> PiscesResult<()> {
+        for h in self.hooks.read().iter() {
+            f(h.as_ref())?;
+        }
+        Ok(())
+    }
+
+    /// Look up an enclave.
+    pub fn enclave(&self, id: EnclaveId) -> PiscesResult<Arc<Enclave>> {
+        self.enclaves.read().get(&id.0).cloned().ok_or(PiscesError::NoSuchEnclave(id.0))
+    }
+
+    /// All enclaves, by id.
+    pub fn enclaves(&self) -> Vec<Arc<Enclave>> {
+        self.enclaves.read().values().cloned().collect()
+    }
+
+    /// Create an enclave: claim cores, allocate (and populate) memory,
+    /// allocate IPI vectors, set up the control channel and boot
+    /// parameters. The enclave is left in `Loaded` state.
+    pub fn create_enclave(&self, name: &str, req: &ResourceRequest) -> PiscesResult<Arc<Enclave>> {
+        // Claim cores.
+        {
+            let mut assigned = self.assigned_cores.lock();
+            for c in &req.cores {
+                if c.0 >= self.node.topology.total_cores() {
+                    return Err(PiscesError::Invalid("core does not exist"));
+                }
+                if assigned.contains(&c.0) {
+                    return Err(PiscesError::ResourceBusy("core already assigned"));
+                }
+            }
+            for c in &req.cores {
+                assigned.insert(c.0);
+            }
+        }
+        let release_cores = |host: &Self| {
+            let mut assigned = host.assigned_cores.lock();
+            for c in &req.cores {
+                assigned.remove(&c.0);
+            }
+        };
+
+        // Management region (boot params + control channel) is allocated
+        // *before* the enclave's general-purpose memory so that the page
+        // after the enclave's last region is never framework-owned — a
+        // wild off-by-one access from the co-kernel lands in genuinely
+        // foreign memory.
+        let mgmt_zone = req.mem_per_zone.first().map(|&(z, _)| z).unwrap_or(ZoneId(0));
+        let mgmt = match self.node.mem.alloc_backed(mgmt_zone, MGMT_REGION_LEN, PAGE_SIZE_4K) {
+            Ok(r) => r,
+            Err(e) => {
+                release_cores(self);
+                return Err(e.into());
+            }
+        };
+
+        // Allocate memory, 2 MiB-aligned so identity maps coalesce.
+        let mut spec = ResourceSpec { cores: req.cores.clone(), ..Default::default() };
+        let mut allocated: Vec<PhysRange> = Vec::new();
+        for &(zone, bytes) in &req.mem_per_zone {
+            match self.node.mem.alloc_backed(zone, bytes, PAGE_SIZE_2M) {
+                Ok(r) => {
+                    allocated.push(r);
+                    spec.add_mem(r).expect("fresh allocations cannot overlap");
+                }
+                Err(e) => {
+                    for r in allocated {
+                        let _ = self.node.mem.free(r);
+                    }
+                    let _ = self.node.mem.free(mgmt);
+                    release_cores(self);
+                    return Err(e.into());
+                }
+            }
+        }
+        if spec.mem.is_empty() {
+            let _ = self.node.mem.free(mgmt);
+            release_cores(self);
+            return Err(PiscesError::Invalid("enclave needs at least one memory region"));
+        }
+
+        // Allocate IPI vectors.
+        {
+            let mut pool = self.vector_pool.lock();
+            if pool.len() < req.num_ipi_vectors {
+                for r in allocated {
+                    let _ = self.node.mem.free(r);
+                }
+                let _ = self.node.mem.free(mgmt);
+                release_cores(self);
+                return Err(PiscesError::ResourceBusy("IPI vector pool exhausted"));
+            }
+            for _ in 0..req.num_ipi_vectors {
+                spec.ipi_vectors.push(pool.pop_front().expect("checked length"));
+            }
+        }
+
+        let id = EnclaveId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let enclave = Arc::new(Enclave::new(id, name.to_owned(), spec.clone(), mgmt));
+
+        // Control channel occupies the tail of the management region.
+        let chan_len = CtrlChannel::required_bytes();
+        let chan_base = mgmt.start.add(mgmt.len - chan_len);
+        let chan = CtrlChannel::create(&self.node.mem, PhysRange::new(chan_base, chan_len))
+            .map_err(|_| PiscesError::Invalid("control channel setup failed"))?;
+        enclave.set_ctrl(chan);
+
+        // Boot parameters at the head of the management region.
+        let first = spec.mem[0];
+        let params = BootParams {
+            magic: BOOT_MAGIC,
+            enclave_id: id.0,
+            kernel_name: "kitten".into(),
+            cores: spec.cores.iter().map(|c| c.0 as u64).collect(),
+            mem_regions: spec.mem.iter().map(|r| (r.start.raw(), r.len)).collect(),
+            ipi_vectors: spec.ipi_vectors.clone(),
+            ctrlchan_base: chan_base.raw(),
+            ctrlchan_len: chan_len,
+            pt_pool: (first.start.raw(), PT_POOL_LEN.min(first.len / 4)),
+            tsc_hz: self.node.topology.tsc_hz,
+        };
+        params.write_to(&self.node.mem, mgmt.start)?;
+
+        enclave.set_state(EnclaveState::Loaded);
+        self.enclaves.write().insert(id.0, Arc::clone(&enclave));
+        Ok(enclave)
+    }
+
+    /// Produce the native boot plan for a loaded enclave.
+    pub fn boot_plan(&self, enclave: &Enclave) -> PiscesResult<BootPlan> {
+        let res = enclave.resources();
+        let boot_core = *res
+            .cores
+            .first()
+            .ok_or(PiscesError::Invalid("enclave has no cores"))?;
+        Ok(BootPlan {
+            enclave_id: enclave.id.0,
+            boot_core,
+            secondary_cores: res.cores[1..].to_vec(),
+            target: BootTarget::Kernel { params_addr: enclave.mgmt_region.start },
+            pisces_params_addr: enclave.mgmt_region.start,
+            boot_region: enclave.mgmt_region,
+        })
+    }
+
+    /// Launch: run the boot plan through the hook chain (Covirt rewrites it
+    /// here) and mark the enclave running. The caller then drives the
+    /// returned plan on the enclave's cores.
+    pub fn launch(&self, enclave: &Enclave) -> PiscesResult<BootPlan> {
+        if enclave.state() != EnclaveState::Loaded {
+            return Err(PiscesError::BadState { enclave: enclave.id.0, op: "launch" });
+        }
+        let mut plan = self.boot_plan(enclave)?;
+        for h in self.hooks.read().iter() {
+            plan = h.on_boot_plan(enclave, plan)?;
+        }
+        enclave.set_state(EnclaveState::Running);
+        Ok(plan)
+    }
+
+    /// Grant additional memory to a running enclave.
+    ///
+    /// Ordering (the Covirt contract): allocate → **hook** (EPT map) →
+    /// record in the partition → transmit the page list to the co-kernel.
+    pub fn add_memory(&self, enclave: &Enclave, zone: ZoneId, bytes: u64) -> PiscesResult<PhysRange> {
+        if !enclave.state().is_live() {
+            return Err(PiscesError::BadState { enclave: enclave.id.0, op: "add_memory" });
+        }
+        let range = self.node.mem.alloc_backed(zone, bytes, PAGE_SIZE_2M)?;
+        if let Err(e) = self.run_hooks(|h| h.on_mem_add_prepared(enclave, range)) {
+            let _ = self.node.mem.free(range);
+            return Err(e);
+        }
+        enclave
+            .with_resources_mut(|r| r.add_mem(range))
+            .map_err(PiscesError::Invalid)?;
+        let ctrl = enclave.ctrl().ok_or(PiscesError::Invalid("no control channel"))?;
+        ctrl.send(&CtrlMsg::AddMem { start: range.start.raw(), len: range.len })
+            .map_err(|_| PiscesError::ResourceBusy("control channel full"))?;
+        Ok(range)
+    }
+
+    /// Ask the enclave to give a region back. Completion happens when the
+    /// co-kernel acks and [`PiscesHost::process_acks`] handles it.
+    pub fn request_remove_memory(&self, enclave: &Enclave, range: PhysRange) -> PiscesResult<()> {
+        if !enclave.state().is_live() {
+            return Err(PiscesError::BadState { enclave: enclave.id.0, op: "remove_memory" });
+        }
+        if !enclave.resources().mem.contains(&range) {
+            return Err(PiscesError::Invalid("region is not assigned to the enclave"));
+        }
+        let ctrl = enclave.ctrl().ok_or(PiscesError::Invalid("no control channel"))?;
+        ctrl.send(&CtrlMsg::RemoveMem { start: range.start.raw(), len: range.len })
+            .map_err(|_| PiscesError::ResourceBusy("control channel full"))?;
+        Ok(())
+    }
+
+    /// Drain and handle pending enclave→host control messages. Returns the
+    /// messages that were processed.
+    ///
+    /// `RemoveMemAck` ordering (the Covirt contract): ack received →
+    /// **hook** (EPT unmap + TLB flush, blocking) → partition shrinks →
+    /// memory returns to the host allocator.
+    pub fn process_acks(&self, enclave: &Enclave) -> PiscesResult<Vec<CtrlMsg>> {
+        let ctrl = enclave.ctrl().ok_or(PiscesError::Invalid("no control channel"))?;
+        let mut handled = Vec::new();
+        while let Some(msg) = ctrl.try_recv().map_err(|_| PiscesError::Invalid("ctrl channel"))? {
+            match &msg {
+                CtrlMsg::RemoveMemAck { start, len } => {
+                    let range = PhysRange::new(covirt_simhw::addr::HostPhysAddr::new(*start), *len);
+                    self.run_hooks(|h| h.on_mem_remove_acked(enclave, range))?;
+                    enclave
+                        .with_resources_mut(|r| r.remove_mem(range))
+                        .map_err(PiscesError::Invalid)?;
+                    self.node.mem.free(range)?;
+                }
+                CtrlMsg::AddMemAck { .. } | CtrlMsg::PingAck { .. } | CtrlMsg::ShutdownAck => {}
+                CtrlMsg::Syscall { nr, arg0, arg1 } => {
+                    // Forwarded syscalls are executed "on the host" — the
+                    // model simply answers; real work is in the hobbes
+                    // layer.
+                    let _ = (arg0, arg1);
+                    ctrl.send(&CtrlMsg::SyscallRet { nr: *nr, ret: 0 })
+                        .map_err(|_| PiscesError::ResourceBusy("control channel full"))?;
+                }
+                other => {
+                    return Err(PiscesError::Invalid(match other {
+                        CtrlMsg::AddMem { .. } => "unexpected AddMem from enclave",
+                        CtrlMsg::RemoveMem { .. } => "unexpected RemoveMem from enclave",
+                        _ => "unexpected message from enclave",
+                    }))
+                }
+            }
+            handled.push(msg);
+        }
+        Ok(handled)
+    }
+
+    /// Convenience: request removal and spin until the enclave acks and the
+    /// reclaim completes (requires the enclave side to be polled by its own
+    /// thread, or by `pump` below).
+    pub fn remove_memory_sync(
+        &self,
+        enclave: &Enclave,
+        range: PhysRange,
+        spins: u64,
+    ) -> PiscesResult<()> {
+        self.request_remove_memory(enclave, range)?;
+        for _ in 0..spins {
+            self.process_acks(enclave)?;
+            if !enclave.resources().mem.contains(&range) {
+                return Ok(());
+            }
+            std::thread::yield_now();
+        }
+        Err(PiscesError::ResourceBusy("timed out waiting for remove ack"))
+    }
+
+    /// Allocate an IPI vector for the enclave from the global pool.
+    pub fn alloc_vector(&self, enclave: &Enclave) -> PiscesResult<u8> {
+        let v = self
+            .vector_pool
+            .lock()
+            .pop_front()
+            .ok_or(PiscesError::ResourceBusy("IPI vector pool exhausted"))?;
+        if let Err(e) = self.run_hooks(|h| h.on_vector_alloc(enclave, v)) {
+            self.vector_pool.lock().push_front(v);
+            return Err(e);
+        }
+        enclave.with_resources_mut(|r| r.ipi_vectors.push(v));
+        Ok(v)
+    }
+
+    /// Return a vector to the pool (hook first: the whitelist shrinks
+    /// before the vector can be re-assigned).
+    pub fn free_vector(&self, enclave: &Enclave, vector: u8) -> PiscesResult<()> {
+        if !enclave.resources().has_vector(vector) {
+            return Err(PiscesError::Invalid("vector not allocated to enclave"));
+        }
+        self.run_hooks(|h| h.on_vector_free(enclave, vector))?;
+        enclave.with_resources_mut(|r| r.ipi_vectors.retain(|&x| x != vector));
+        self.vector_pool.lock().push_back(vector);
+        Ok(())
+    }
+
+    fn reclaim(&self, enclave: &Enclave) {
+        let res = enclave.resources();
+        for r in &res.mem {
+            let _ = self.node.mem.free(*r);
+        }
+        let _ = self.node.mem.free(enclave.mgmt_region);
+        {
+            let mut assigned = self.assigned_cores.lock();
+            for c in &res.cores {
+                assigned.remove(&c.0);
+            }
+        }
+        {
+            let mut pool = self.vector_pool.lock();
+            for v in &res.ipi_vectors {
+                pool.push_back(*v);
+            }
+        }
+        enclave.with_resources_mut(|r| *r = ResourceSpec::new());
+    }
+
+    /// Orderly teardown: hooks, reclaim, `Terminated`.
+    pub fn teardown(&self, enclave: &Enclave) -> PiscesResult<()> {
+        match enclave.state() {
+            EnclaveState::Terminated | EnclaveState::Failed(_) => {
+                return Err(PiscesError::BadState { enclave: enclave.id.0, op: "teardown" })
+            }
+            _ => {}
+        }
+        for h in self.hooks.read().iter() {
+            h.on_teardown(enclave);
+        }
+        self.reclaim(enclave);
+        enclave.set_state(EnclaveState::Terminated);
+        Ok(())
+    }
+
+    /// Fault path: the hypervisor (or host policy) killed the enclave.
+    /// Resources are reclaimed, the state records the reason, and the rest
+    /// of the node keeps running — the isolation property Covirt provides.
+    pub fn report_fault(&self, enclave: &Enclave, reason: &str) -> PiscesResult<()> {
+        if matches!(enclave.state(), EnclaveState::Terminated | EnclaveState::Failed(_)) {
+            return Ok(()); // already dead; double reports are harmless
+        }
+        for h in self.hooks.read().iter() {
+            h.on_teardown(enclave);
+        }
+        self.reclaim(enclave);
+        enclave.set_state(EnclaveState::Failed(reason.to_owned()));
+        Ok(())
+    }
+
+    /// Begin an orderly shutdown: ask the co-kernel to quiesce over the
+    /// control channel. Completion is the `ShutdownAck` handled by
+    /// [`PiscesHost::process_acks`]; callers then invoke
+    /// [`PiscesHost::teardown`].
+    pub fn request_shutdown(&self, enclave: &Enclave) -> PiscesResult<()> {
+        if !enclave.state().is_live() {
+            return Err(PiscesError::BadState { enclave: enclave.id.0, op: "shutdown" });
+        }
+        enclave.set_state(EnclaveState::ShuttingDown);
+        let ctrl = enclave.ctrl().ok_or(PiscesError::Invalid("no control channel"))?;
+        ctrl.send(&CtrlMsg::Shutdown)
+            .map_err(|_| PiscesError::ResourceBusy("control channel full"))
+    }
+
+    /// Orderly shutdown end-to-end: request, wait for the co-kernel's ack
+    /// (the enclave side must be polled — by its own thread or by the
+    /// caller alternating), then tear down. Spins up to `spins` polls.
+    pub fn shutdown_enclave_sync(&self, enclave: &Enclave, spins: u64) -> PiscesResult<()> {
+        self.request_shutdown(enclave)?;
+        let ctrl = enclave.ctrl().ok_or(PiscesError::Invalid("no control channel"))?;
+        for _ in 0..spins {
+            // Drain directly: process_acks treats ShutdownAck as benign.
+            for msg in self.process_acks(enclave)? {
+                if msg == CtrlMsg::ShutdownAck {
+                    return self.teardown(enclave);
+                }
+            }
+            let _ = ctrl; // keep the handle alive for clarity
+            std::thread::yield_now();
+        }
+        Err(PiscesError::ResourceBusy("co-kernel did not acknowledge shutdown"))
+    }
+
+    /// Cores currently assigned (including core 0 = host).
+    pub fn assigned_cores(&self) -> Vec<CoreId> {
+        let mut v: Vec<CoreId> = self.assigned_cores.lock().iter().map(|&c| CoreId(c)).collect();
+        v.sort();
+        v
+    }
+
+    /// Number of free vectors remaining in the global pool.
+    pub fn free_vector_count(&self) -> usize {
+        self.vector_pool.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covirt_simhw::node::NodeConfig;
+
+    fn host() -> Arc<PiscesHost> {
+        PiscesHost::new(SimNode::new(NodeConfig::small()))
+    }
+
+    fn small_req() -> ResourceRequest {
+        ResourceRequest::new(vec![CoreId(1), CoreId(2)], vec![(ZoneId(0), 32 * 1024 * 1024)])
+    }
+
+    #[test]
+    fn create_assigns_resources() {
+        let h = host();
+        let e = h.create_enclave("e0", &small_req()).unwrap();
+        assert_eq!(e.state(), EnclaveState::Loaded);
+        let res = e.resources();
+        assert_eq!(res.cores, vec![CoreId(1), CoreId(2)]);
+        assert_eq!(res.mem_bytes(), 32 * 1024 * 1024);
+        assert_eq!(res.ipi_vectors.len(), 4);
+        // Boot params are readable from memory.
+        let bp = BootParams::read_from(&h.node().mem, e.mgmt_region.start).unwrap();
+        assert_eq!(bp.enclave_id, e.id.0);
+        assert_eq!(bp.mem_regions.len(), 1);
+    }
+
+    #[test]
+    fn core_conflicts_rejected() {
+        let h = host();
+        let _e = h.create_enclave("e0", &small_req()).unwrap();
+        let err = h.create_enclave("e1", &small_req()).unwrap_err();
+        assert!(matches!(err, PiscesError::ResourceBusy(_)));
+        // Core 0 is the host's.
+        let err = h
+            .create_enclave(
+                "e2",
+                &ResourceRequest::new(vec![CoreId(0)], vec![(ZoneId(0), 1024 * 1024)]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, PiscesError::ResourceBusy(_)));
+    }
+
+    #[test]
+    fn launch_requires_loaded() {
+        let h = host();
+        let e = h.create_enclave("e0", &small_req()).unwrap();
+        let plan = h.launch(&e).unwrap();
+        assert_eq!(plan.boot_core, CoreId(1));
+        assert_eq!(plan.secondary_cores, vec![CoreId(2)]);
+        assert!(matches!(plan.target, BootTarget::Kernel { .. }));
+        assert_eq!(e.state(), EnclaveState::Running);
+        assert!(matches!(h.launch(&e), Err(PiscesError::BadState { .. })));
+    }
+
+    #[test]
+    fn add_memory_transmits_to_enclave() {
+        let h = host();
+        let e = h.create_enclave("e0", &small_req()).unwrap();
+        h.launch(&e).unwrap();
+        let range = h.add_memory(&e, ZoneId(0), 4 * 1024 * 1024).unwrap();
+        assert!(e.resources().mem.contains(&range));
+        // The grant is visible on the enclave side of the channel.
+        let bp = BootParams::read_from(&h.node().mem, e.mgmt_region.start).unwrap();
+        let chan = CtrlChannel::attach_enclave(
+            &h.node().mem,
+            covirt_simhw::addr::HostPhysAddr::new(bp.ctrlchan_base),
+            bp.ctrlchan_len,
+        )
+        .unwrap();
+        let msg = chan.try_recv().unwrap().unwrap();
+        assert_eq!(msg, CtrlMsg::AddMem { start: range.start.raw(), len: range.len });
+    }
+
+    #[test]
+    fn remove_memory_completes_on_ack() {
+        let h = host();
+        let e = h.create_enclave("e0", &small_req()).unwrap();
+        h.launch(&e).unwrap();
+        let range = h.add_memory(&e, ZoneId(0), 2 * 1024 * 1024).unwrap();
+        h.request_remove_memory(&e, range).unwrap();
+        // Enclave side acks.
+        let bp = BootParams::read_from(&h.node().mem, e.mgmt_region.start).unwrap();
+        let chan = CtrlChannel::attach_enclave(
+            &h.node().mem,
+            covirt_simhw::addr::HostPhysAddr::new(bp.ctrlchan_base),
+            bp.ctrlchan_len,
+        )
+        .unwrap();
+        // Drain the AddMem + RemoveMem notifications, then ack removal.
+        while chan.try_recv().unwrap().is_some() {}
+        chan.send(&CtrlMsg::RemoveMemAck { start: range.start.raw(), len: range.len }).unwrap();
+        let handled = h.process_acks(&e).unwrap();
+        assert_eq!(handled.len(), 1);
+        assert!(!e.resources().mem.contains(&range));
+    }
+
+    #[test]
+    fn vector_lifecycle() {
+        let h = host();
+        let e = h.create_enclave("e0", &small_req()).unwrap();
+        let before = h.free_vector_count();
+        let v = h.alloc_vector(&e).unwrap();
+        assert!(e.resources().has_vector(v));
+        assert_eq!(h.free_vector_count(), before - 1);
+        h.free_vector(&e, v).unwrap();
+        assert!(!e.resources().has_vector(v));
+        assert_eq!(h.free_vector_count(), before);
+        assert!(h.free_vector(&e, 0x3f).is_err());
+    }
+
+    #[test]
+    fn teardown_releases_everything() {
+        let h = host();
+        let e = h.create_enclave("e0", &small_req()).unwrap();
+        h.launch(&e).unwrap();
+        let cores_before = h.assigned_cores().len();
+        h.teardown(&e).unwrap();
+        assert_eq!(e.state(), EnclaveState::Terminated);
+        assert_eq!(h.assigned_cores().len(), cores_before - 2);
+        // Memory is reusable: a same-size enclave can be created.
+        let e2 = h.create_enclave("e1", &small_req()).unwrap();
+        assert_eq!(e2.state(), EnclaveState::Loaded);
+        // Double teardown is an error.
+        assert!(h.teardown(&e).is_err());
+    }
+
+    #[test]
+    fn fault_reclaims_and_records() {
+        let h = host();
+        let e = h.create_enclave("e0", &small_req()).unwrap();
+        h.launch(&e).unwrap();
+        h.report_fault(&e, "ept violation at 0xdead0000").unwrap();
+        match e.state() {
+            EnclaveState::Failed(msg) => assert!(msg.contains("ept violation")),
+            s => panic!("expected Failed, got {s:?}"),
+        }
+        // Idempotent.
+        h.report_fault(&e, "again").unwrap();
+        // Other enclaves can be created afterwards — the node survived.
+        let e2 = h.create_enclave("e1", &small_req()).unwrap();
+        assert_eq!(e2.state(), EnclaveState::Loaded);
+    }
+
+    #[test]
+    fn hook_veto_aborts_grant() {
+        struct Veto;
+        impl EnclaveHooks for Veto {
+            fn on_mem_add_prepared(&self, _e: &Enclave, _r: PhysRange) -> PiscesResult<()> {
+                Err(PiscesError::Vetoed("test"))
+            }
+        }
+        let h = host();
+        let e = h.create_enclave("e0", &small_req()).unwrap();
+        h.launch(&e).unwrap();
+        h.register_hooks(Arc::new(Veto));
+        let before = e.resources().mem_bytes();
+        assert!(matches!(
+            h.add_memory(&e, ZoneId(0), 1024 * 1024),
+            Err(PiscesError::Vetoed(_))
+        ));
+        assert_eq!(e.resources().mem_bytes(), before, "vetoed grant must not stick");
+    }
+
+    #[test]
+    fn boot_plan_interposition() {
+        struct Interpose;
+        impl EnclaveHooks for Interpose {
+            fn on_boot_plan(&self, _e: &Enclave, mut plan: BootPlan) -> PiscesResult<BootPlan> {
+                plan.target = BootTarget::Interposed {
+                    layer: "covirt".into(),
+                    layer_params_addr: plan.pisces_params_addr.add(0x1000),
+                };
+                Ok(plan)
+            }
+        }
+        let h = host();
+        h.register_hooks(Arc::new(Interpose));
+        let e = h.create_enclave("e0", &small_req()).unwrap();
+        let plan = h.launch(&e).unwrap();
+        match plan.target {
+            BootTarget::Interposed { layer, .. } => assert_eq!(layer, "covirt"),
+            t => panic!("expected interposed target, got {t:?}"),
+        }
+        // The original params pointer is preserved for the co-kernel.
+        assert_eq!(plan.pisces_params_addr, e.mgmt_region.start);
+    }
+}

@@ -1,0 +1,243 @@
+//! The userspace management ABI (`/dev/pisces` ioctls) with an extension
+//! registry.
+//!
+//! Covirt's userspace control module "piggy-backs on the Pisces kernel ABI
+//! by adding a new set of ioctl commands". The dispatcher below reproduces
+//! that: built-in commands are handled by the framework; unknown command
+//! numbers in the extension space are routed to registered extensions.
+
+use crate::host::PiscesHost;
+use crate::resources::ResourceRequest;
+use crate::{EnclaveId, PiscesError, PiscesResult};
+use covirt_simhw::addr::{HostPhysAddr, PhysRange};
+use covirt_simhw::topology::{CoreId, ZoneId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// First command number reserved for extensions (Covirt uses this space).
+pub const EXTENSION_BASE: u32 = 0x8000_0000;
+
+/// Built-in management commands.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PiscesCtl {
+    /// Liveness check.
+    Ping,
+    /// Create an enclave.
+    CreateEnclave {
+        /// Name for the enclave.
+        name: String,
+        /// Cores to assign.
+        cores: Vec<usize>,
+        /// Memory per zone: `(zone, bytes)`.
+        mem: Vec<(usize, u64)>,
+    },
+    /// Launch a loaded enclave.
+    Launch {
+        /// Target enclave.
+        enclave: u64,
+    },
+    /// Grant memory.
+    AddMem {
+        /// Target enclave.
+        enclave: u64,
+        /// Zone to allocate from.
+        zone: usize,
+        /// Bytes to grant.
+        bytes: u64,
+    },
+    /// Begin memory reclamation.
+    RemoveMem {
+        /// Target enclave.
+        enclave: u64,
+        /// Region start.
+        start: u64,
+        /// Region length.
+        len: u64,
+    },
+    /// Tear an enclave down.
+    Teardown {
+        /// Target enclave.
+        enclave: u64,
+    },
+    /// List enclave ids.
+    List,
+}
+
+/// Replies from the dispatcher.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CtlReply {
+    /// Generic success.
+    Ok,
+    /// Created/affected enclave id.
+    EnclaveId(u64),
+    /// A memory region.
+    Region {
+        /// Start address.
+        start: u64,
+        /// Length.
+        len: u64,
+    },
+    /// Enclave ids.
+    List(Vec<u64>),
+    /// Raw bytes from an extension.
+    Raw(Vec<u8>),
+}
+
+/// An ioctl extension (Covirt registers one of these).
+pub trait IoctlExtension: Send + Sync {
+    /// Handle extension command `nr` with `payload`, returning reply bytes.
+    fn handle(&self, nr: u32, payload: &[u8]) -> PiscesResult<Vec<u8>>;
+}
+
+/// Routes commands to the framework or to registered extensions.
+pub struct IoctlDispatcher {
+    host: Arc<PiscesHost>,
+    extensions: RwLock<HashMap<u32, Arc<dyn IoctlExtension>>>,
+}
+
+impl IoctlDispatcher {
+    /// Build a dispatcher over `host`.
+    pub fn new(host: Arc<PiscesHost>) -> Self {
+        IoctlDispatcher { host, extensions: RwLock::new(HashMap::new()) }
+    }
+
+    /// Register an extension for command number `nr` (must be in the
+    /// extension space).
+    pub fn register_extension(&self, nr: u32, ext: Arc<dyn IoctlExtension>) -> PiscesResult<()> {
+        if nr < EXTENSION_BASE {
+            return Err(PiscesError::Invalid("extension number below EXTENSION_BASE"));
+        }
+        let mut map = self.extensions.write();
+        if map.contains_key(&nr) {
+            return Err(PiscesError::ResourceBusy("extension number already registered"));
+        }
+        map.insert(nr, ext);
+        Ok(())
+    }
+
+    /// Execute a built-in command.
+    pub fn ioctl(&self, cmd: PiscesCtl) -> PiscesResult<CtlReply> {
+        match cmd {
+            PiscesCtl::Ping => Ok(CtlReply::Ok),
+            PiscesCtl::CreateEnclave { name, cores, mem } => {
+                let req = ResourceRequest::new(
+                    cores.into_iter().map(CoreId).collect(),
+                    mem.into_iter().map(|(z, b)| (ZoneId(z), b)).collect(),
+                );
+                let e = self.host.create_enclave(&name, &req)?;
+                Ok(CtlReply::EnclaveId(e.id.0))
+            }
+            PiscesCtl::Launch { enclave } => {
+                let e = self.host.enclave(EnclaveId(enclave))?;
+                self.host.launch(&e)?;
+                Ok(CtlReply::EnclaveId(enclave))
+            }
+            PiscesCtl::AddMem { enclave, zone, bytes } => {
+                let e = self.host.enclave(EnclaveId(enclave))?;
+                let r = self.host.add_memory(&e, ZoneId(zone), bytes)?;
+                Ok(CtlReply::Region { start: r.start.raw(), len: r.len })
+            }
+            PiscesCtl::RemoveMem { enclave, start, len } => {
+                let e = self.host.enclave(EnclaveId(enclave))?;
+                self.host
+                    .request_remove_memory(&e, PhysRange::new(HostPhysAddr::new(start), len))?;
+                Ok(CtlReply::Ok)
+            }
+            PiscesCtl::Teardown { enclave } => {
+                let e = self.host.enclave(EnclaveId(enclave))?;
+                self.host.teardown(&e)?;
+                Ok(CtlReply::Ok)
+            }
+            PiscesCtl::List => {
+                Ok(CtlReply::List(self.host.enclaves().iter().map(|e| e.id.0).collect()))
+            }
+        }
+    }
+
+    /// Execute a raw (possibly extension) command.
+    pub fn ioctl_raw(&self, nr: u32, payload: &[u8]) -> PiscesResult<Vec<u8>> {
+        if nr >= EXTENSION_BASE {
+            let ext = self
+                .extensions
+                .read()
+                .get(&nr)
+                .cloned()
+                .ok_or(PiscesError::Invalid("unknown extension command"))?;
+            return ext.handle(nr, payload);
+        }
+        Err(PiscesError::Invalid("raw dispatch of built-in commands is not supported"))
+    }
+
+    /// The host behind this dispatcher.
+    pub fn host(&self) -> &Arc<PiscesHost> {
+        &self.host
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covirt_simhw::node::{NodeConfig, SimNode};
+
+    fn dispatcher() -> IoctlDispatcher {
+        IoctlDispatcher::new(PiscesHost::new(SimNode::new(NodeConfig::small())))
+    }
+
+    #[test]
+    fn ping() {
+        let d = dispatcher();
+        assert_eq!(d.ioctl(PiscesCtl::Ping).unwrap(), CtlReply::Ok);
+    }
+
+    #[test]
+    fn full_lifecycle_via_ioctls() {
+        let d = dispatcher();
+        let reply = d
+            .ioctl(PiscesCtl::CreateEnclave {
+                name: "e0".into(),
+                cores: vec![1, 2],
+                mem: vec![(0, 32 * 1024 * 1024)],
+            })
+            .unwrap();
+        let id = match reply {
+            CtlReply::EnclaveId(id) => id,
+            r => panic!("unexpected reply {r:?}"),
+        };
+        d.ioctl(PiscesCtl::Launch { enclave: id }).unwrap();
+        let r = d.ioctl(PiscesCtl::AddMem { enclave: id, zone: 0, bytes: 1024 * 1024 }).unwrap();
+        assert!(matches!(r, CtlReply::Region { .. }));
+        assert_eq!(d.ioctl(PiscesCtl::List).unwrap(), CtlReply::List(vec![id]));
+        d.ioctl(PiscesCtl::Teardown { enclave: id }).unwrap();
+    }
+
+    #[test]
+    fn unknown_enclave_errors() {
+        let d = dispatcher();
+        assert!(matches!(
+            d.ioctl(PiscesCtl::Launch { enclave: 42 }),
+            Err(PiscesError::NoSuchEnclave(42))
+        ));
+    }
+
+    #[test]
+    fn extension_registration_and_dispatch() {
+        struct Echo;
+        impl IoctlExtension for Echo {
+            fn handle(&self, _nr: u32, payload: &[u8]) -> PiscesResult<Vec<u8>> {
+                Ok(payload.to_vec())
+            }
+        }
+        let d = dispatcher();
+        assert!(d.register_extension(5, Arc::new(Echo)).is_err(), "below extension base");
+        d.register_extension(EXTENSION_BASE + 1, Arc::new(Echo)).unwrap();
+        assert!(
+            d.register_extension(EXTENSION_BASE + 1, Arc::new(Echo)).is_err(),
+            "duplicate registration"
+        );
+        let out = d.ioctl_raw(EXTENSION_BASE + 1, b"covirt-cfg").unwrap();
+        assert_eq!(out, b"covirt-cfg");
+        assert!(d.ioctl_raw(EXTENSION_BASE + 2, b"").is_err());
+        assert!(d.ioctl_raw(3, b"").is_err());
+    }
+}

@@ -1,0 +1,362 @@
+//! The node's physical address space: per-zone allocators and the populated
+//! region map.
+//!
+//! Each NUMA zone owns a disjoint span of host-physical addresses
+//! (`zone i` starts at `i * ZONE_SPAN`). A [`PhysMemory`] hands out
+//! page-aligned [`PhysRange`]s from a first-fit free list per zone, and
+//! tracks which ranges are *populated* — i.e. have real host memory behind
+//! them (see [`crate::backing::Backing`]). Page walks, boot structures and
+//! workload data all resolve through [`PhysMemory::resolve`].
+
+use crate::addr::{HostPhysAddr, PhysRange, PAGE_SIZE_4K};
+use crate::backing::Backing;
+use crate::error::{HwError, HwResult};
+use crate::topology::ZoneId;
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Host-physical span reserved for each NUMA zone (1 TiB), far larger than
+/// any real zone so zone membership is recoverable from an address alone.
+pub const ZONE_SPAN: u64 = 1 << 40;
+
+/// First usable offset within a zone span; the low 16 MiB stand in for
+/// firmware/legacy holes so that address 0 is never valid RAM.
+pub const ZONE_RAM_BASE: u64 = 16 * 1024 * 1024;
+
+/// Free-list allocator for one NUMA zone.
+struct ZoneAllocator {
+    /// start -> len of free extents, keyed by start for coalescing.
+    free: BTreeMap<u64, u64>,
+    total: u64,
+    in_use: u64,
+}
+
+impl ZoneAllocator {
+    fn new(zone: usize, bytes: u64) -> Self {
+        let base = zone as u64 * ZONE_SPAN + ZONE_RAM_BASE;
+        let mut free = BTreeMap::new();
+        free.insert(base, bytes);
+        ZoneAllocator { free, total: bytes, in_use: 0 }
+    }
+
+    fn alloc(&mut self, len: u64, align: u64) -> Option<PhysRange> {
+        debug_assert!(align.is_power_of_two());
+        let (pick_start, pick_len, alloc_at) = self.free.iter().find_map(|(&start, &flen)| {
+            let aligned = (start + align - 1) & !(align - 1);
+            let head_waste = aligned - start;
+            if flen >= head_waste + len {
+                Some((start, flen, aligned))
+            } else {
+                None
+            }
+        })?;
+        self.free.remove(&pick_start);
+        // Re-insert the head fragment (below the aligned start), if any.
+        if alloc_at > pick_start {
+            self.free.insert(pick_start, alloc_at - pick_start);
+        }
+        // Re-insert the tail fragment, if any.
+        let tail_start = alloc_at + len;
+        let tail_len = pick_start + pick_len - tail_start;
+        if tail_len > 0 {
+            self.free.insert(tail_start, tail_len);
+        }
+        self.in_use += len;
+        Some(PhysRange::new(HostPhysAddr::new(alloc_at), len))
+    }
+
+    fn free(&mut self, range: PhysRange) {
+        let mut start = range.start.raw();
+        let mut len = range.len;
+        // Coalesce with the previous extent if adjacent.
+        if let Some((&pstart, &plen)) = self.free.range(..start).next_back() {
+            assert!(pstart + plen <= start, "double free overlapping previous extent");
+            if pstart + plen == start {
+                self.free.remove(&pstart);
+                start = pstart;
+                len += plen;
+            }
+        }
+        // Coalesce with the next extent if adjacent.
+        if let Some((&nstart, &nlen)) = self.free.range(start + len..).next() {
+            if start + len == nstart {
+                self.free.remove(&nstart);
+                len += nlen;
+            }
+        }
+        self.free.insert(start, len);
+        self.in_use -= range.len;
+    }
+}
+
+/// A populated physical region and its host backing.
+#[derive(Clone)]
+struct Populated {
+    range: PhysRange,
+    backing: Arc<Backing>,
+}
+
+/// The node's physical memory: allocation bookkeeping plus the populated
+/// region map used to resolve physical accesses.
+pub struct PhysMemory {
+    zones: Vec<Mutex<ZoneAllocator>>,
+    /// Populated regions keyed by start address (non-overlapping).
+    populated: RwLock<BTreeMap<u64, Populated>>,
+}
+
+impl PhysMemory {
+    /// Build the physical memory of a node with `zone_bytes[i]` bytes of RAM
+    /// in zone `i`.
+    pub fn new(zone_bytes: &[u64]) -> Self {
+        let zones = zone_bytes
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| Mutex::new(ZoneAllocator::new(i, b)))
+            .collect();
+        PhysMemory { zones, populated: RwLock::new(BTreeMap::new()) }
+    }
+
+    /// Number of NUMA zones.
+    pub fn zone_count(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// The NUMA zone an address belongs to (derivable from the span layout).
+    pub fn zone_of(&self, addr: HostPhysAddr) -> ZoneId {
+        ZoneId((addr.raw() / ZONE_SPAN) as usize)
+    }
+
+    /// (total, in-use) bytes for a zone.
+    pub fn zone_usage(&self, zone: ZoneId) -> HwResult<(u64, u64)> {
+        let z = self.zones.get(zone.0).ok_or(HwError::NoSuchZone(zone.0))?.lock();
+        Ok((z.total, z.in_use))
+    }
+
+    /// Allocate `len` bytes (rounded up to 4 KiB) from `zone` with at least
+    /// `align` alignment. Bookkeeping only — the range is *not* populated.
+    pub fn alloc(&self, zone: ZoneId, len: u64, align: u64) -> HwResult<PhysRange> {
+        if len == 0 {
+            return Err(HwError::Invalid("zero-length allocation"));
+        }
+        let len = len.div_ceil(PAGE_SIZE_4K) * PAGE_SIZE_4K;
+        let align = align.max(PAGE_SIZE_4K);
+        let mut z = self.zones.get(zone.0).ok_or(HwError::NoSuchZone(zone.0))?.lock();
+        z.alloc(len, align).ok_or(HwError::OutOfMemory { zone: zone.0, requested: len })
+    }
+
+    /// Allocate and immediately populate a range.
+    pub fn alloc_backed(&self, zone: ZoneId, len: u64, align: u64) -> HwResult<PhysRange> {
+        let range = self.alloc(zone, len, align)?;
+        self.populate(range)?;
+        Ok(range)
+    }
+
+    /// Attach real host memory to an allocated range so it can be accessed.
+    pub fn populate(&self, range: PhysRange) -> HwResult<()> {
+        let mut pop = self.populated.write();
+        // Reject overlap with an existing populated region.
+        if let Some((_, p)) = pop.range(..range.end().raw()).next_back() {
+            if p.range.overlaps(&range) {
+                return Err(HwError::Invalid("populate overlaps an existing populated region"));
+            }
+        }
+        let backing = Arc::new(Backing::new(range.len as usize));
+        pop.insert(range.start.raw(), Populated { range, backing });
+        Ok(())
+    }
+
+    /// Drop the backing of a populated range (exact match required).
+    pub fn depopulate(&self, range: PhysRange) -> HwResult<()> {
+        let mut pop = self.populated.write();
+        match pop.get(&range.start.raw()) {
+            Some(p) if p.range == range => {
+                pop.remove(&range.start.raw());
+                Ok(())
+            }
+            _ => Err(HwError::NotAllocated(range.start)),
+        }
+    }
+
+    /// Return the range to its zone's free list (and drop backing if any).
+    pub fn free(&self, range: PhysRange) -> HwResult<()> {
+        {
+            let mut pop = self.populated.write();
+            if let Some(p) = pop.get(&range.start.raw()) {
+                if p.range == range {
+                    pop.remove(&range.start.raw());
+                }
+            }
+        }
+        let zone = self.zone_of(range.start);
+        let mut z = self.zones.get(zone.0).ok_or(HwError::NoSuchZone(zone.0))?.lock();
+        z.free(range);
+        Ok(())
+    }
+
+    /// Resolve a physical address to a host pointer valid for `len` bytes,
+    /// plus the backing keep-alive. Fails if the range is not fully inside
+    /// one populated region.
+    pub fn resolve(&self, addr: HostPhysAddr, len: u64) -> HwResult<(Arc<Backing>, usize)> {
+        let pop = self.populated.read();
+        let (_, p) = pop.range(..=addr.raw()).next_back().ok_or(HwError::UnbackedPhys(addr))?;
+        if !p.range.contains(addr) || addr.raw() + len > p.range.end().raw() {
+            return Err(HwError::UnbackedPhys(addr));
+        }
+        Ok((Arc::clone(&p.backing), (addr.raw() - p.range.start.raw()) as usize))
+    }
+
+    /// Aligned 64-bit physical load.
+    #[inline]
+    pub fn read_u64(&self, addr: HostPhysAddr) -> HwResult<u64> {
+        let (b, off) = self.resolve(addr, 8)?;
+        Ok(b.read_u64(off))
+    }
+
+    /// Aligned 64-bit physical store.
+    #[inline]
+    pub fn write_u64(&self, addr: HostPhysAddr, value: u64) -> HwResult<()> {
+        let (b, off) = self.resolve(addr, 8)?;
+        b.write_u64(off, value);
+        Ok(())
+    }
+
+    /// Copy bytes out of physical memory.
+    pub fn read_bytes(&self, addr: HostPhysAddr, buf: &mut [u8]) -> HwResult<()> {
+        let (b, off) = self.resolve(addr, buf.len() as u64)?;
+        b.read_bytes(off, buf);
+        Ok(())
+    }
+
+    /// Copy bytes into physical memory.
+    pub fn write_bytes(&self, addr: HostPhysAddr, buf: &[u8]) -> HwResult<()> {
+        let (b, off) = self.resolve(addr, buf.len() as u64)?;
+        b.write_bytes(off, buf);
+        Ok(())
+    }
+
+    /// Zero a physical range (must be fully populated).
+    pub fn zero_range(&self, range: PhysRange) -> HwResult<()> {
+        let (b, off) = self.resolve(range.start, range.len)?;
+        b.zero(off, range.len as usize);
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for PhysMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let pop = self.populated.read();
+        write!(f, "PhysMemory({} zones, {} populated regions)", self.zones.len(), pop.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> PhysMemory {
+        PhysMemory::new(&[64 * 1024 * 1024, 64 * 1024 * 1024])
+    }
+
+    #[test]
+    fn alloc_is_zone_local_and_aligned() {
+        let m = mem();
+        let r0 = m.alloc(ZoneId(0), 8192, PAGE_SIZE_4K).unwrap();
+        let r1 = m.alloc(ZoneId(1), 8192, PAGE_SIZE_4K).unwrap();
+        assert_eq!(m.zone_of(r0.start), ZoneId(0));
+        assert_eq!(m.zone_of(r1.start), ZoneId(1));
+        assert!(r0.start.is_aligned(PAGE_SIZE_4K));
+    }
+
+    #[test]
+    fn alloc_respects_large_alignment() {
+        let m = mem();
+        let r = m.alloc(ZoneId(0), 4096, 2 * 1024 * 1024).unwrap();
+        assert!(r.start.is_aligned(2 * 1024 * 1024));
+    }
+
+    #[test]
+    fn alloc_rounds_to_page() {
+        let m = mem();
+        let r = m.alloc(ZoneId(0), 1, PAGE_SIZE_4K).unwrap();
+        assert_eq!(r.len, PAGE_SIZE_4K);
+    }
+
+    #[test]
+    fn out_of_memory_reported() {
+        let m = PhysMemory::new(&[1024 * 1024]);
+        let e = m.alloc(ZoneId(0), 2 * 1024 * 1024, PAGE_SIZE_4K).unwrap_err();
+        assert!(matches!(e, HwError::OutOfMemory { zone: 0, .. }));
+    }
+
+    #[test]
+    fn free_coalesces() {
+        let m = mem();
+        let a = m.alloc(ZoneId(0), 4096, PAGE_SIZE_4K).unwrap();
+        let b = m.alloc(ZoneId(0), 4096, PAGE_SIZE_4K).unwrap();
+        let c = m.alloc(ZoneId(0), 4096, PAGE_SIZE_4K).unwrap();
+        m.free(b).unwrap();
+        m.free(a).unwrap();
+        m.free(c).unwrap();
+        // After coalescing everything, a fresh max-size alloc succeeds.
+        let (total, in_use) = m.zone_usage(ZoneId(0)).unwrap();
+        assert_eq!(in_use, 0);
+        let big = m.alloc(ZoneId(0), total, PAGE_SIZE_4K).unwrap();
+        assert_eq!(big.len, total);
+    }
+
+    #[test]
+    fn resolve_requires_population() {
+        let m = mem();
+        let r = m.alloc(ZoneId(0), 4096, PAGE_SIZE_4K).unwrap();
+        assert!(matches!(m.read_u64(r.start), Err(HwError::UnbackedPhys(_))));
+        m.populate(r).unwrap();
+        assert_eq!(m.read_u64(r.start).unwrap(), 0);
+    }
+
+    #[test]
+    fn rw_roundtrip_across_regions() {
+        let m = mem();
+        let r = m.alloc_backed(ZoneId(0), 8192, PAGE_SIZE_4K).unwrap();
+        m.write_u64(r.start.add(4096), 99).unwrap();
+        assert_eq!(m.read_u64(r.start.add(4096)).unwrap(), 99);
+        // A straddling read past the end fails.
+        assert!(m.resolve(r.start.add(8192 - 4), 8).is_err());
+    }
+
+    #[test]
+    fn depopulate_then_access_fails() {
+        let m = mem();
+        let r = m.alloc_backed(ZoneId(0), 4096, PAGE_SIZE_4K).unwrap();
+        m.write_u64(r.start, 1).unwrap();
+        m.depopulate(r).unwrap();
+        assert!(m.read_u64(r.start).is_err());
+    }
+
+    #[test]
+    fn populate_overlap_rejected() {
+        let m = mem();
+        let r = m.alloc_backed(ZoneId(0), 8192, PAGE_SIZE_4K).unwrap();
+        let inner = PhysRange::new(r.start.add(4096), 4096);
+        assert!(m.populate(inner).is_err());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let m = mem();
+        let r = m.alloc_backed(ZoneId(0), 4096, PAGE_SIZE_4K).unwrap();
+        m.write_bytes(r.start.add(100), b"covirt").unwrap();
+        let mut buf = [0u8; 6];
+        m.read_bytes(r.start.add(100), &mut buf).unwrap();
+        assert_eq!(&buf, b"covirt");
+    }
+
+    #[test]
+    fn zone_usage_tracks() {
+        let m = mem();
+        let r = m.alloc(ZoneId(0), 4096, PAGE_SIZE_4K).unwrap();
+        assert_eq!(m.zone_usage(ZoneId(0)).unwrap().1, 4096);
+        m.free(r).unwrap();
+        assert_eq!(m.zone_usage(ZoneId(0)).unwrap().1, 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! The Virtual Machine Control Structure.
+//!
+//! A [`Vmcs`] bundles the guest register state the hypervisor launches
+//! from, the execution controls that decide what exits, and the exit
+//! information fields. In Covirt's design the *controller module* writes
+//! the whole structure before the enclave CPU boots, and later edits it in
+//! place (it "retains access to the data structures of the co-kernel's
+//! virtualization context"); the hypervisor merely loads and launches it.
+//! The structure is therefore shared: `Arc<RwLock<Vmcs>>` plays the role of
+//! the in-memory VMCS region.
+
+use crate::addr::HostPhysAddr;
+use crate::exit::ExitInfo;
+use crate::ioport::IoBitmap;
+use crate::msr::MsrBitmap;
+use crate::posted::PostedIntDescriptor;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Guest register state at launch (the subset the Pisces trampoline
+/// establishes: 64-bit long mode, identity page tables, entry point and
+/// boot-parameter pointer in RDI).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GuestState {
+    /// Entry instruction pointer (the co-kernel's start address).
+    pub rip: u64,
+    /// Initial stack pointer.
+    pub rsp: u64,
+    /// Root of the guest's identity page tables (CR3).
+    pub cr3: u64,
+    /// Boot-parameter pointer handed to the kernel in RDI.
+    pub rdi: u64,
+    /// EFER at entry (LME|LMA — launched directly into long mode).
+    pub efer: u64,
+    /// XCR0 (extended-state enable), set via xsetbv.
+    pub xcr0: u64,
+}
+
+impl Default for GuestState {
+    fn default() -> Self {
+        GuestState { rip: 0, rsp: 0, cr3: 0, rdi: 0, efer: 0x500, xcr0: 1 }
+    }
+}
+
+/// How the local APIC is virtualized for this guest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ApicVirtMode {
+    /// No APIC virtualization: the guest's APIC accesses go straight to
+    /// hardware (Covirt disabled / IPI protection off).
+    #[default]
+    Passthrough,
+    /// Full virtualization: every ICR write traps, and *all incoming
+    /// interrupts force VM exits* (the VMX requirement the paper notes).
+    TrapAll,
+    /// Posted-interrupt mode: ICR writes still trap for whitelisting, but
+    /// incoming interrupts are posted without exits.
+    Posted,
+}
+
+/// Execution controls — which events leave the guest.
+#[derive(Default)]
+pub struct VmcsControls {
+    /// Extended page table pointer; `None` disables nested paging.
+    pub eptp: Option<HostPhysAddr>,
+    /// Exit on external interrupts (required by TrapAll APIC mode).
+    pub ext_int_exiting: bool,
+    /// Exit on HLT.
+    pub hlt_exiting: bool,
+    /// APIC virtualization mode.
+    pub apic_virt: ApicVirtMode,
+    /// MSR intercept bitmap; `None` intercepts every MSR access.
+    pub msr_bitmap: Option<Arc<RwLock<MsrBitmap>>>,
+    /// I/O intercept bitmap; `None` intercepts every port access.
+    pub io_bitmap: Option<Arc<RwLock<IoBitmap>>>,
+    /// Posted-interrupt descriptor (required for `ApicVirtMode::Posted`).
+    pub posted_desc: Option<Arc<PostedIntDescriptor>>,
+}
+
+/// The virtual-machine control structure for one enclave vCPU.
+#[derive(Default)]
+pub struct Vmcs {
+    /// Guest register state.
+    pub guest: GuestState,
+    /// Execution controls.
+    pub controls: VmcsControls,
+    /// Whether VMLAUNCH has been executed.
+    pub launched: bool,
+    /// Exit-information fields: the most recent exit.
+    pub last_exit: Option<ExitInfo>,
+    /// Cumulative exit counts by reason name (instrumentation register —
+    /// stands in for the perf counters the paper reads).
+    pub exit_counts: HashMap<&'static str, u64>,
+}
+
+impl Vmcs {
+    /// Fresh, unlaunched VMCS.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an exit in the exit-information fields.
+    pub fn record_exit(&mut self, info: ExitInfo) {
+        *self.exit_counts.entry(info.reason.name()).or_insert(0) += 1;
+        self.last_exit = Some(info);
+    }
+
+    /// Total exits so far.
+    pub fn total_exits(&self) -> u64 {
+        self.exit_counts.values().sum()
+    }
+}
+
+/// Shared handle to a VMCS, as both controller and hypervisor hold one.
+pub type VmcsHandle = Arc<RwLock<Vmcs>>;
+
+/// Allocate a fresh shared VMCS.
+pub fn new_vmcs() -> VmcsHandle {
+    Arc::new(RwLock::new(Vmcs::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exit::ExitReason;
+
+    #[test]
+    fn defaults() {
+        let v = Vmcs::new();
+        assert!(!v.launched);
+        assert!(v.last_exit.is_none());
+        assert_eq!(v.guest.efer, 0x500);
+        assert_eq!(v.controls.apic_virt, ApicVirtMode::Passthrough);
+        assert!(v.controls.eptp.is_none());
+    }
+
+    #[test]
+    fn record_and_count_exits() {
+        let mut v = Vmcs::new();
+        v.record_exit(ExitInfo { reason: ExitReason::Cpuid { leaf: 0 }, tsc: 10 });
+        v.record_exit(ExitInfo { reason: ExitReason::Cpuid { leaf: 1 }, tsc: 20 });
+        v.record_exit(ExitInfo { reason: ExitReason::Hlt, tsc: 30 });
+        assert_eq!(v.exit_counts["cpuid"], 2);
+        assert_eq!(v.exit_counts["hlt"], 1);
+        assert_eq!(v.total_exits(), 3);
+        assert_eq!(v.last_exit.unwrap().tsc, 30);
+    }
+}

@@ -1,0 +1,254 @@
+//! Workload environment: one fully built co-kernel world per execution
+//! mode, plus the parallel-execution harness.
+
+use covirt::controller::CovirtController;
+use covirt::{CovirtResult, ExecMode, GuestCore};
+use covirt_simhw::node::{NodeConfig, SimNode};
+use covirt_simhw::tlb::TlbParams;
+use covirt_simhw::topology::{HwLayout, Topology};
+use hobbes::MasterControl;
+use kitten::KittenKernel;
+use parking_lot::Mutex;
+use pisces::resources::ResourceRequest;
+use std::sync::Arc;
+
+/// Default enclave memory for workload worlds. The paper uses 14 GiB; the
+/// simulation scales this down so populated backing stays laptop-sized
+/// while every code path (multi-region, NUMA-split allocation) is
+/// identical.
+pub const DEFAULT_ENCLAVE_MEM: u64 = 192 * 1024 * 1024;
+
+/// A complete world: node, Pisces host, optional Covirt controller, one
+/// enclave running a Kitten kernel on a chosen hardware layout.
+pub struct World {
+    /// The simulated node.
+    pub node: Arc<SimNode>,
+    /// Master control (owns the Pisces host + XEMEM).
+    pub master: Arc<MasterControl>,
+    /// The Covirt controller, when the mode interposes one.
+    pub controller: Option<Arc<CovirtController>>,
+    /// The workload enclave.
+    pub enclave: Arc<pisces::Enclave>,
+    /// Its kernel.
+    pub kernel: Arc<KittenKernel>,
+    /// Execution mode this world was built for.
+    pub mode: ExecMode,
+    /// Enclave core ids (one workload thread each).
+    pub cores: Vec<usize>,
+    /// TLB geometry used by every guest core.
+    pub tlb: TlbParams,
+    alloc_cursor: Mutex<u64>,
+}
+
+impl World {
+    /// Build a world on the paper's testbed topology with the given
+    /// enclave layout and memory.
+    pub fn build(mode: ExecMode, layout: HwLayout, enclave_mem: u64) -> World {
+        Self::build_on(Topology::paper_testbed(), mode, layout, enclave_mem)
+    }
+
+    /// Build with defaults (1 core / 1 zone, default memory) — handy for
+    /// tests and examples.
+    pub fn quick(mode: ExecMode) -> World {
+        Self::build(mode, HwLayout { cores: 1, zones: 1 }, DEFAULT_ENCLAVE_MEM)
+    }
+
+    /// Build on an explicit topology.
+    pub fn build_on(topo: Topology, mode: ExecMode, layout: HwLayout, enclave_mem: u64) -> World {
+        let node = SimNode::new(NodeConfig { topology: topo.clone() });
+        let master = MasterControl::new(Arc::clone(&node));
+        let controller = mode.config().map(|cfg| {
+            let c = CovirtController::new(Arc::clone(&node), cfg);
+            c.attach_hobbes(&master);
+            c
+        });
+        let req = ResourceRequest::from_layout(layout, &topo, enclave_mem);
+        let cores: Vec<usize> = req.cores.iter().map(|c| c.0).collect();
+        let (enclave, kernel) = master
+            .bring_up_enclave("workload", &req)
+            .expect("enclave bring-up failed");
+        World {
+            node,
+            master,
+            controller,
+            enclave,
+            kernel,
+            mode,
+            cores,
+            tlb: TlbParams::default(),
+            alloc_cursor: Mutex::new(0),
+        }
+    }
+
+    /// Launch a guest execution context on one of the enclave's cores.
+    pub fn guest_core(&self, core: usize) -> CovirtResult<GuestCore> {
+        match &self.controller {
+            Some(c) => GuestCore::launch_covirt(
+                Arc::clone(&self.node),
+                Arc::clone(&self.kernel),
+                Arc::clone(c),
+                core,
+                self.tlb,
+            ),
+            None => GuestCore::launch_native(
+                Arc::clone(&self.node),
+                Arc::clone(&self.kernel),
+                core,
+                self.tlb,
+            ),
+        }
+    }
+
+    /// Allocate a contiguous, 2 MiB-aligned guest array of `bytes` from the
+    /// enclave's memory; returns its (identity) virtual address.
+    pub fn alloc_array(&self, bytes: u64) -> u64 {
+        let mut cursor = self.alloc_cursor.lock();
+        self.kernel
+            .alloc_contiguous(bytes, &mut cursor)
+            .expect("enclave memory exhausted — shrink the workload")
+    }
+
+    /// Run `f(rank, guest_core)` on every enclave core concurrently, one
+    /// OS thread per core (the workload's "OpenMP threads"). Results are
+    /// returned in rank order.
+    pub fn run_on_cores<R: Send>(
+        &self,
+        f: impl Fn(usize, &mut GuestCore) -> R + Sync,
+    ) -> Vec<R> {
+        let n = self.cores.len();
+        let mut guests: Vec<GuestCore> = self
+            .cores
+            .iter()
+            .map(|&c| self.guest_core(c).expect("guest core launch failed"))
+            .collect();
+        if n == 1 {
+            let r = f(0, &mut guests[0]);
+            for g in guests {
+                g.shutdown();
+            }
+            return vec![r];
+        }
+        let f = &f;
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        crossbeam::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (rank, (mut g, slot)) in
+                guests.drain(..).zip(out.iter_mut()).enumerate()
+            {
+                handles.push(s.spawn(move |_| {
+                    let r = f(rank, &mut g);
+                    g.shutdown();
+                    *slot = Some(r);
+                }));
+            }
+            for h in handles {
+                h.join().expect("workload thread panicked");
+            }
+        })
+        .expect("crossbeam scope failed");
+        out.into_iter().map(|r| r.expect("rank produced no result")).collect()
+    }
+
+    /// The enclave's allocated IPI vectors (for cross-core signalling in
+    /// workloads that use IPIs).
+    pub fn ipi_vectors(&self) -> Vec<u8> {
+        self.enclave.resources().ipi_vectors.clone()
+    }
+}
+
+/// Split `n` items into `parts` contiguous ranges (for row/atom
+/// partitioning across cores).
+pub fn partition(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covirt::config::CovirtConfig;
+
+    #[test]
+    fn quick_world_native() {
+        let w = World::quick(ExecMode::Native);
+        assert_eq!(w.cores.len(), 1);
+        assert!(w.controller.is_none());
+        let mut g = w.guest_core(w.cores[0]).unwrap();
+        let a = w.alloc_array(1024 * 1024);
+        g.write_u64(a, 5).unwrap();
+        assert_eq!(g.read_u64(a).unwrap(), 5);
+    }
+
+    #[test]
+    fn covirt_world_builds_context() {
+        let w = World::quick(ExecMode::Covirt(CovirtConfig::MEM));
+        let ctl = w.controller.as_ref().unwrap();
+        assert!(ctl.context(w.enclave.id.0).is_ok());
+        let mut g = w.guest_core(w.cores[0]).unwrap();
+        let a = w.alloc_array(1024 * 1024);
+        g.write_u64(a, 9).unwrap();
+        assert_eq!(g.read_u64(a).unwrap(), 9);
+    }
+
+    #[test]
+    fn layouts_pick_distinct_cores() {
+        let w = World::build(
+            ExecMode::Native,
+            HwLayout { cores: 8, zones: 2 },
+            DEFAULT_ENCLAVE_MEM,
+        );
+        assert_eq!(w.cores.len(), 8);
+        let mut sorted = w.cores.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+    }
+
+    #[test]
+    fn run_on_cores_parallel_sum() {
+        let w = World::build(
+            ExecMode::Covirt(CovirtConfig::MEM),
+            HwLayout { cores: 4, zones: 2 },
+            DEFAULT_ENCLAVE_MEM,
+        );
+        let a = w.alloc_array(4 * 8 * 1024);
+        let results = w.run_on_cores(|rank, g| {
+            let base = a + (rank as u64) * 8 * 1024;
+            for i in 0..1024u64 {
+                g.write_u64(base + i * 8, rank as u64 + 1).unwrap();
+            }
+            let mut s = 0u64;
+            for i in 0..1024u64 {
+                s += g.read_u64(base + i * 8).unwrap();
+            }
+            s
+        });
+        assert_eq!(results, vec![1024, 2048, 3072, 4096]);
+    }
+
+    #[test]
+    fn alloc_array_distinct() {
+        let w = World::quick(ExecMode::Native);
+        let a = w.alloc_array(1024 * 1024);
+        let b = w.alloc_array(1024 * 1024);
+        assert_ne!(a, b);
+        assert!(b >= a + 1024 * 1024);
+    }
+
+    #[test]
+    fn partition_covers_all() {
+        let parts = partition(10, 3);
+        assert_eq!(parts, vec![0..4, 4..7, 7..10]);
+        let parts = partition(4, 4);
+        assert_eq!(parts.iter().map(|r| r.len()).sum::<usize>(), 4);
+        let parts = partition(3, 5);
+        assert_eq!(parts.iter().map(|r| r.len()).sum::<usize>(), 3);
+    }
+}

@@ -1,0 +1,196 @@
+//! HPCG — preconditioned conjugate gradient (Figure 7).
+//!
+//! A faithful-in-structure, scaled-down HPCG: PCG over the 27-point
+//! stencil with a symmetric-Gauss-Seidel preconditioner (block-Jacobi
+//! across ranks — see DESIGN.md for the substitution note). Each rank owns
+//! a contiguous row block; dot products reduce through shared atomic
+//! cells behind barriers, matching the OpenMP structure of the reference.
+
+use crate::env::World;
+use crate::sparse::{row_parts, vec_ops, CgShared, GuestCsr, ReduceCell};
+use covirt::{CovirtResult, GuestCore};
+use std::sync::Barrier;
+
+/// HPCG result.
+#[derive(Clone, Copy, Debug)]
+pub struct HpcgResult {
+    /// Effective GFLOP/s over the timed CG phase (the figure's y-axis).
+    pub gflops: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final relative residual.
+    pub final_residual: f64,
+    /// Wall time of the solve in seconds.
+    pub seconds: f64,
+}
+
+/// Flop count per CG iteration for an `nnz`-non-zero matrix of dimension
+/// `n` with a SYMGS preconditioner (2 sweeps ≈ 4·nnz + CG vector work).
+fn flops_per_iteration(n: usize, nnz: usize) -> f64 {
+    (2 * nnz + 4 * nnz + 10 * n) as f64
+}
+
+/// All-ranks reduction: every rank contributes `local` and receives the
+/// global sum. Three barriers fence reset / accumulate / read so no rank
+/// can observe a half-built value.
+pub fn reduce(bar: &Barrier, cell: &ReduceCell, local: f64) -> f64 {
+    bar.wait();
+    cell.reset(); // idempotent: every rank stores the same zero
+    bar.wait();
+    cell.add(local);
+    bar.wait();
+    cell.get()
+}
+
+struct Vectors {
+    x: u64,
+    b: u64,
+    r: u64,
+    z: u64,
+    p: u64,
+    ap: u64,
+}
+
+fn alloc_vectors(world: &World, n: usize) -> Vectors {
+    let bytes = (n * 8) as u64;
+    Vectors {
+        x: world.alloc_array(bytes),
+        b: world.alloc_array(bytes),
+        r: world.alloc_array(bytes),
+        z: world.alloc_array(bytes),
+        p: world.alloc_array(bytes),
+        ap: world.alloc_array(bytes),
+    }
+}
+
+/// One rank's PCG loop body. All ranks execute this concurrently.
+#[allow(clippy::too_many_arguments)]
+fn pcg_rank(
+    g: &mut GuestCore,
+    m: &GuestCsr,
+    v: &Vectors,
+    rows: std::ops::Range<usize>,
+    shared: &CgShared,
+    max_iters: usize,
+    tol: f64,
+    precondition: bool,
+) -> CovirtResult<(usize, f64)> {
+    let bar: &Barrier = &shared.barrier;
+
+    // x = 0, r = b, z = M⁻¹ r, p = z.
+    vec_ops::fill(g, v.x, rows.clone(), 0.0)?;
+    vec_ops::copy(g, v.b, v.r, rows.clone())?;
+    if precondition {
+        vec_ops::fill(g, v.z, rows.clone(), 0.0)?;
+        m.symgs_block(g, v.r, v.z, rows.clone())?;
+    } else {
+        vec_ops::copy(g, v.r, v.z, rows.clone())?;
+    }
+    vec_ops::copy(g, v.z, v.p, rows.clone())?;
+
+    let mut rz = reduce(bar, &shared.dots[0], vec_ops::dot_local(g, v.r, v.z, rows.clone())?);
+    let b_norm = reduce(bar, &shared.dots[1], vec_ops::dot_local(g, v.b, v.b, rows.clone())?)
+        .sqrt()
+        .max(f64::MIN_POSITIVE);
+
+    let mut iters = 0;
+    let mut rel = f64::INFINITY;
+    for _ in 0..max_iters {
+        // Ap = A p (barrier first: p must be fully updated everywhere).
+        bar.wait();
+        m.spmv_rows(g, v.p, v.ap, rows.clone())?;
+        let pap =
+            reduce(bar, &shared.dots[1], vec_ops::dot_local(g, v.p, v.ap, rows.clone())?);
+        let alpha = rz / pap;
+        vec_ops::axpy(g, alpha, v.p, v.x, rows.clone())?;
+        vec_ops::axpy(g, -alpha, v.ap, v.r, rows.clone())?;
+        // z = M⁻¹ r
+        if precondition {
+            vec_ops::fill(g, v.z, rows.clone(), 0.0)?;
+            m.symgs_block(g, v.r, v.z, rows.clone())?;
+        } else {
+            vec_ops::copy(g, v.r, v.z, rows.clone())?;
+        }
+        let rz_new =
+            reduce(bar, &shared.dots[0], vec_ops::dot_local(g, v.r, v.z, rows.clone())?);
+        let rr = reduce(bar, &shared.dots[1], vec_ops::dot_local(g, v.r, v.r, rows.clone())?);
+        rel = rr.sqrt() / b_norm;
+        iters += 1;
+        if rel < tol {
+            break;
+        }
+        let beta = rz_new / rz;
+        rz = rz_new;
+        vec_ops::xpby(g, v.z, beta, v.p, rows.clone())?;
+        g.poll()?;
+    }
+    Ok((iters, rel))
+}
+
+/// Run HPCG in `world`: assemble a `dim³` problem (on the first core),
+/// solve with PCG for at most `max_iters` iterations, report GFLOP/s.
+pub fn run(world: &World, dim: usize, max_iters: usize) -> HpcgResult {
+    let (m, v) = {
+        let mut g = world.guest_core(world.cores[0]).expect("setup core");
+        let m = GuestCsr::assemble(world, &mut g, dim, dim, dim).expect("assemble");
+        let v = alloc_vectors(world, m.n);
+        // b = A·1 so the exact solution is the ones vector.
+        let ones = world.alloc_array((m.n * 8) as u64);
+        vec_ops::fill(&mut g, ones, 0..m.n, 1.0).expect("fill");
+        m.spmv_rows(&mut g, ones, v.b, 0..m.n).expect("rhs");
+        g.shutdown();
+        (m, v)
+    };
+
+    let ranks = world.cores.len();
+    let shared = CgShared::new(ranks);
+    let parts = row_parts(m.n, ranks);
+    let t0 = std::time::Instant::now();
+    let results = world.run_on_cores(|rank, g| {
+        pcg_rank(g, &m, &v, parts[rank].clone(), &shared, max_iters, 1e-9, true)
+            .expect("pcg rank")
+    });
+    let seconds = t0.elapsed().as_secs_f64();
+    let (iterations, final_residual) = results[0];
+    HpcgResult {
+        gflops: flops_per_iteration(m.n, m.nnz) * iterations as f64 / seconds / 1e9,
+        iterations,
+        final_residual,
+        seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covirt::config::CovirtConfig;
+    use covirt::ExecMode;
+    use covirt_simhw::topology::HwLayout;
+
+    #[test]
+    fn converges_to_ones_single_core() {
+        let w = World::quick(ExecMode::Native);
+        let r = run(&w, 8, 100);
+        assert!(r.final_residual < 1e-9, "residual {}", r.final_residual);
+        assert!(r.iterations < 100, "PCG should converge quickly on 8³");
+        assert!(r.gflops > 0.0);
+    }
+
+    #[test]
+    fn converges_multicore() {
+        let w = World::build(
+            ExecMode::Native,
+            HwLayout { cores: 4, zones: 2 },
+            crate::env::DEFAULT_ENCLAVE_MEM,
+        );
+        let r = run(&w, 10, 150);
+        assert!(r.final_residual < 1e-9, "residual {}", r.final_residual);
+    }
+
+    #[test]
+    fn converges_under_covirt() {
+        let w = World::quick(ExecMode::Covirt(CovirtConfig::MEM_IPI));
+        let r = run(&w, 8, 100);
+        assert!(r.final_residual < 1e-9);
+    }
+}

@@ -1,0 +1,150 @@
+//! MiniFE — implicit finite-element proxy app (Figure 6).
+//!
+//! MiniFE's two phases are reproduced: *assembly* (building the sparse
+//! operator in guest memory element by element) and an unpreconditioned
+//! CG *solve*. As the paper notes, MiniFE "does not require significant
+//! amounts of inter-process coordination": the solve has only the CG dot
+//! products as cross-rank synchronization, which is why IPI protection has
+//! no visible effect on it.
+
+use crate::env::World;
+use crate::hpcg::reduce;
+use crate::sparse::{row_parts, vec_ops, CgShared, GuestCsr};
+use covirt::{CovirtResult, GuestCore};
+
+/// MiniFE result.
+#[derive(Clone, Copy, Debug)]
+pub struct MinifeResult {
+    /// CG MFLOP/s (the scaling figure's y-axis).
+    pub mflops: f64,
+    /// Assembly wall time in seconds.
+    pub assembly_seconds: f64,
+    /// Solve wall time in seconds.
+    pub solve_seconds: f64,
+    /// CG iterations run.
+    pub iterations: usize,
+    /// Final relative residual.
+    pub final_residual: f64,
+}
+
+/// One rank's plain-CG loop (no preconditioner — MiniFE's solver).
+#[allow(clippy::too_many_arguments)] // mirrors the solver's natural vector set
+fn cg_rank(
+    g: &mut GuestCore,
+    m: &GuestCsr,
+    x: u64,
+    b: u64,
+    r: u64,
+    p: u64,
+    ap: u64,
+    rows: std::ops::Range<usize>,
+    shared: &CgShared,
+    max_iters: usize,
+    tol: f64,
+) -> CovirtResult<(usize, f64)> {
+    let bar = &shared.barrier;
+    vec_ops::fill(g, x, rows.clone(), 0.0)?;
+    vec_ops::copy(g, b, r, rows.clone())?;
+    vec_ops::copy(g, r, p, rows.clone())?;
+    let mut rr = reduce(bar, &shared.dots[0], vec_ops::dot_local(g, r, r, rows.clone())?);
+    let b_norm = rr.sqrt().max(f64::MIN_POSITIVE);
+
+    let mut iters = 0;
+    let mut rel = f64::INFINITY;
+    for _ in 0..max_iters {
+        bar.wait();
+        m.spmv_rows(g, p, ap, rows.clone())?;
+        let pap = reduce(bar, &shared.dots[1], vec_ops::dot_local(g, p, ap, rows.clone())?);
+        let alpha = rr / pap;
+        vec_ops::axpy(g, alpha, p, x, rows.clone())?;
+        vec_ops::axpy(g, -alpha, ap, r, rows.clone())?;
+        let rr_new = reduce(bar, &shared.dots[0], vec_ops::dot_local(g, r, r, rows.clone())?);
+        rel = rr_new.sqrt() / b_norm;
+        iters += 1;
+        if rel < tol {
+            break;
+        }
+        let beta = rr_new / rr;
+        rr = rr_new;
+        vec_ops::xpby(g, r, beta, p, rows.clone())?;
+        g.poll()?;
+    }
+    Ok((iters, rel))
+}
+
+/// Run MiniFE in `world` on an `nx = ny = nz = dim` box.
+pub fn run(world: &World, dim: usize, max_iters: usize) -> MinifeResult {
+    // Assembly phase (single core, like the reference's default build).
+    let t_asm = std::time::Instant::now();
+    let (m, b) = {
+        let mut g = world.guest_core(world.cores[0]).expect("setup core");
+        let m = GuestCsr::assemble(world, &mut g, dim, dim, dim).expect("assemble");
+        let b = world.alloc_array((m.n * 8) as u64);
+        let ones = world.alloc_array((m.n * 8) as u64);
+        vec_ops::fill(&mut g, ones, 0..m.n, 1.0).expect("fill");
+        m.spmv_rows(&mut g, ones, b, 0..m.n).expect("rhs");
+        g.shutdown();
+        (m, b)
+    };
+    let assembly_seconds = t_asm.elapsed().as_secs_f64();
+
+    let x = world.alloc_array((m.n * 8) as u64);
+    let r = world.alloc_array((m.n * 8) as u64);
+    let p = world.alloc_array((m.n * 8) as u64);
+    let ap = world.alloc_array((m.n * 8) as u64);
+
+    let ranks = world.cores.len();
+    let shared = CgShared::new(ranks);
+    let parts = row_parts(m.n, ranks);
+    let t0 = std::time::Instant::now();
+    let results = world.run_on_cores(|rank, g| {
+        cg_rank(g, &m, x, b, r, p, ap, parts[rank].clone(), &shared, max_iters, 1e-9)
+            .expect("cg rank")
+    });
+    let solve_seconds = t0.elapsed().as_secs_f64();
+    let (iterations, final_residual) = results[0];
+    // CG flops/iter: SpMV (2 nnz) + 2 dots (4n) + 3 axpy-class (6n).
+    let flops = (2 * m.nnz + 10 * m.n) as f64 * iterations as f64;
+    MinifeResult {
+        mflops: flops / solve_seconds / 1e6,
+        assembly_seconds,
+        solve_seconds,
+        iterations,
+        final_residual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covirt::config::CovirtConfig;
+    use covirt::ExecMode;
+    use covirt_simhw::topology::HwLayout;
+
+    #[test]
+    fn solves_small_problem() {
+        let w = World::quick(ExecMode::Native);
+        let r = run(&w, 8, 200);
+        assert!(r.final_residual < 1e-9, "residual {}", r.final_residual);
+        assert!(r.mflops > 0.0);
+        assert!(r.assembly_seconds > 0.0);
+    }
+
+    #[test]
+    fn multicore_matches_convergence() {
+        let w = World::build(
+            ExecMode::Native,
+            HwLayout { cores: 4, zones: 1 },
+            crate::env::DEFAULT_ENCLAVE_MEM,
+        );
+        let r = run(&w, 10, 300);
+        assert!(r.final_residual < 1e-9);
+    }
+
+    #[test]
+    fn covirt_solve_converges() {
+        let w = World::quick(ExecMode::Covirt(CovirtConfig::MEM));
+        let r = run(&w, 8, 200);
+        assert!(r.final_residual < 1e-9);
+    }
+}

@@ -1,0 +1,76 @@
+//! Table I — benchmark versions and parameters, as constants so the
+//! harness can print the table verbatim and every driver pulls its
+//! parameters from one place.
+
+/// One row of Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BenchRow {
+    /// Benchmark name as printed in the paper.
+    pub name: &'static str,
+    /// Version string.
+    pub version: &'static str,
+    /// Parameters string.
+    pub parameters: &'static str,
+}
+
+/// The table, in the paper's order.
+pub const TABLE1: [BenchRow; 6] = [
+    BenchRow { name: "Selfish Detour", version: "1.0.7", parameters: "None" },
+    BenchRow { name: "STREAM", version: "5.10", parameters: "None" },
+    BenchRow { name: "RandomAccess_OMP", version: "10/28/04", parameters: "25" },
+    BenchRow { name: "HPCG", version: "Revision 3.1", parameters: "104 104 104 330" },
+    BenchRow { name: "MiniFE", version: "2.0", parameters: "nx 250 ny 250 nz 250" },
+    BenchRow { name: "LAMMPS", version: "3 Mar 2020", parameters: "None" },
+];
+
+/// RandomAccess log2 table size from Table I (paper scale).
+pub const RA_LOG2_TABLE_PAPER: u32 = 25;
+/// Default RandomAccess table: the paper's own parameter (2^25 entries =
+/// 256 MiB) — affordable because backing is allocated lazily.
+pub const RA_LOG2_TABLE_DEFAULT: u32 = 25;
+
+/// HPCG local grid from Table I (paper scale).
+pub const HPCG_DIM_PAPER: usize = 104;
+/// Scaled-down HPCG grid.
+pub const HPCG_DIM_DEFAULT: usize = 32;
+
+/// MiniFE grid from Table I (paper scale).
+pub const MINIFE_DIM_PAPER: usize = 250;
+/// Scaled-down MiniFE grid.
+pub const MINIFE_DIM_DEFAULT: usize = 40;
+
+/// Render the table as aligned text (the `figures table1` output).
+pub fn format_table1() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<20} {:<14} {}\n",
+        "Benchmark Name", "Version", "Parameters"
+    ));
+    for row in TABLE1 {
+        out.push_str(&format!("{:<20} {:<14} {}\n", row.name, row.version, row.parameters));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper() {
+        assert_eq!(TABLE1.len(), 6);
+        assert_eq!(TABLE1[0].name, "Selfish Detour");
+        assert_eq!(TABLE1[2].parameters, "25");
+        assert_eq!(TABLE1[3].parameters, "104 104 104 330");
+        assert_eq!(TABLE1[4].parameters, "nx 250 ny 250 nz 250");
+    }
+
+    #[test]
+    fn formatting_contains_all_rows() {
+        let s = format_table1();
+        for row in TABLE1 {
+            assert!(s.contains(row.name));
+            assert!(s.contains(row.version));
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! The node-local name service mapping well-known names to segment ids.
+//!
+//! XEMEM "provides a global view of shared memory through the use of XPMEM
+//! segment IDs managed across the entire system by a node-local name
+//! service" — this is that service.
+
+use crate::segment::SegmentId;
+use crate::{XememError, XememResult};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Name → segid registry.
+#[derive(Default)]
+pub struct NameService {
+    names: RwLock<HashMap<String, SegmentId>>,
+}
+
+impl NameService {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `name` for `segid`.
+    pub fn register(&self, name: &str, segid: SegmentId) -> XememResult<()> {
+        let mut names = self.names.write();
+        if names.contains_key(name) {
+            return Err(XememError::NameTaken(name.to_owned()));
+        }
+        names.insert(name.to_owned(), segid);
+        Ok(())
+    }
+
+    /// Resolve a name.
+    pub fn lookup(&self, name: &str) -> XememResult<SegmentId> {
+        self.names
+            .read()
+            .get(name)
+            .copied()
+            .ok_or_else(|| XememError::NoSuchName(name.to_owned()))
+    }
+
+    /// Remove a name (on segment destruction).
+    pub fn unregister(&self, name: &str) -> XememResult<SegmentId> {
+        self.names
+            .write()
+            .remove(name)
+            .ok_or_else(|| XememError::NoSuchName(name.to_owned()))
+    }
+
+    /// All registered names.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.names.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_lookup_unregister() {
+        let ns = NameService::new();
+        ns.register("ctrl", SegmentId(7)).unwrap();
+        assert_eq!(ns.lookup("ctrl").unwrap(), SegmentId(7));
+        assert!(matches!(ns.register("ctrl", SegmentId(8)), Err(XememError::NameTaken(_))));
+        assert_eq!(ns.unregister("ctrl").unwrap(), SegmentId(7));
+        assert!(matches!(ns.lookup("ctrl"), Err(XememError::NoSuchName(_))));
+        assert!(ns.unregister("ctrl").is_err());
+    }
+
+    #[test]
+    fn names_sorted() {
+        let ns = NameService::new();
+        ns.register("b", SegmentId(2)).unwrap();
+        ns.register("a", SegmentId(1)).unwrap();
+        assert_eq!(ns.names(), vec!["a".to_owned(), "b".to_owned()]);
+    }
+}

@@ -1,0 +1,218 @@
+//! The XEMEM service: export, attach and detach of shared segments.
+//!
+//! The service tracks ownership and attachments; it deliberately allows an
+//! owner to destroy a segment while other enclaves remain attached —
+//! that is the stale-mapping hazard from the paper's XEMEM-cleanup-path
+//! anecdote, and the fault-injection suite exercises it.
+
+use crate::name_service::NameService;
+use crate::segment::{SegmentId, SegmentInfo};
+use crate::wellknown::DYNAMIC_BASE;
+use crate::{XememError, XememResult};
+use covirt_simhw::addr::PhysRange;
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct SegmentRecord {
+    info: SegmentInfo,
+    /// Enclaves currently attached.
+    attached: HashSet<u64>,
+}
+
+/// The node-wide shared-memory service.
+pub struct XememService {
+    names: NameService,
+    segments: RwLock<HashMap<SegmentId, SegmentRecord>>,
+    next_segid: AtomicU64,
+    /// Count of destroys that happened with live attachments (stale-mapping
+    /// hazards created) — instrumentation for the fault studies.
+    hazardous_destroys: AtomicU64,
+}
+
+impl Default for XememService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl XememService {
+    /// Fresh service.
+    pub fn new() -> Self {
+        XememService {
+            names: NameService::new(),
+            segments: RwLock::new(HashMap::new()),
+            next_segid: AtomicU64::new(DYNAMIC_BASE),
+            hazardous_destroys: AtomicU64::new(0),
+        }
+    }
+
+    /// The name service.
+    pub fn names(&self) -> &NameService {
+        &self.names
+    }
+
+    /// `xpmem_make` + name registration: export `range` owned by enclave
+    /// `owner` under `name`.
+    pub fn export(&self, name: &str, owner: u64, range: PhysRange) -> XememResult<SegmentId> {
+        if range.len == 0 {
+            return Err(XememError::Invalid("empty segment"));
+        }
+        let segid = SegmentId(self.next_segid.fetch_add(1, Ordering::Relaxed));
+        self.names.register(name, segid)?;
+        let info = SegmentInfo { segid, name: name.to_owned(), owner, range };
+        self.segments.write().insert(segid, SegmentRecord { info, attached: HashSet::new() });
+        Ok(segid)
+    }
+
+    /// `xpmem_search`: resolve a well-known name.
+    pub fn lookup(&self, name: &str) -> XememResult<SegmentId> {
+        self.names.lookup(name)
+    }
+
+    /// Segment metadata.
+    pub fn info(&self, segid: SegmentId) -> XememResult<SegmentInfo> {
+        self.segments
+            .read()
+            .get(&segid)
+            .map(|r| r.info.clone())
+            .ok_or(XememError::NoSuchSegment(segid))
+    }
+
+    /// `xpmem_get` + `xpmem_attach`: record enclave `who` as attached and
+    /// return the segment info (whose page-frame list the framework then
+    /// transmits).
+    pub fn attach(&self, segid: SegmentId, who: u64) -> XememResult<SegmentInfo> {
+        let mut segs = self.segments.write();
+        let rec = segs.get_mut(&segid).ok_or(XememError::NoSuchSegment(segid))?;
+        if rec.info.owner == who {
+            return Err(XememError::OwnerAttach);
+        }
+        if !rec.attached.insert(who) {
+            return Err(XememError::AlreadyAttached);
+        }
+        Ok(rec.info.clone())
+    }
+
+    /// `xpmem_detach`.
+    pub fn detach(&self, segid: SegmentId, who: u64) -> XememResult<SegmentInfo> {
+        let mut segs = self.segments.write();
+        let rec = segs.get_mut(&segid).ok_or(XememError::NoSuchSegment(segid))?;
+        if !rec.attached.remove(&who) {
+            return Err(XememError::NotAttached);
+        }
+        Ok(rec.info.clone())
+    }
+
+    /// `xpmem_remove`: destroy a segment. Returns the enclaves that were
+    /// still attached — a non-empty list is the stale-mapping hazard.
+    pub fn destroy(&self, segid: SegmentId) -> XememResult<Vec<u64>> {
+        let rec = self
+            .segments
+            .write()
+            .remove(&segid)
+            .ok_or(XememError::NoSuchSegment(segid))?;
+        self.names.unregister(&rec.info.name)?;
+        let mut leftover: Vec<u64> = rec.attached.into_iter().collect();
+        leftover.sort_unstable();
+        if !leftover.is_empty() {
+            self.hazardous_destroys.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(leftover)
+    }
+
+    /// Enclaves attached to a segment.
+    pub fn attachments(&self, segid: SegmentId) -> XememResult<Vec<u64>> {
+        let segs = self.segments.read();
+        let rec = segs.get(&segid).ok_or(XememError::NoSuchSegment(segid))?;
+        let mut v: Vec<u64> = rec.attached.iter().copied().collect();
+        v.sort_unstable();
+        Ok(v)
+    }
+
+    /// Destroys that left dangling attachments.
+    pub fn hazardous_destroy_count(&self) -> u64 {
+        self.hazardous_destroys.load(Ordering::Relaxed)
+    }
+
+    /// All live segments.
+    pub fn segments(&self) -> Vec<SegmentInfo> {
+        let mut v: Vec<SegmentInfo> =
+            self.segments.read().values().map(|r| r.info.clone()).collect();
+        v.sort_by_key(|s| s.segid);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covirt_simhw::addr::HostPhysAddr;
+
+    fn range(start: u64, len: u64) -> PhysRange {
+        PhysRange::new(HostPhysAddr::new(start), len)
+    }
+
+    #[test]
+    fn export_lookup_attach_detach() {
+        let x = XememService::new();
+        let segid = x.export("dbuf", 1, range(0x100000, 0x2000)).unwrap();
+        assert_eq!(x.lookup("dbuf").unwrap(), segid);
+        let info = x.attach(segid, 2).unwrap();
+        assert_eq!(info.range.len, 0x2000);
+        assert_eq!(x.attachments(segid).unwrap(), vec![2]);
+        assert!(matches!(x.attach(segid, 2), Err(XememError::AlreadyAttached)));
+        x.detach(segid, 2).unwrap();
+        assert!(x.attachments(segid).unwrap().is_empty());
+        assert!(matches!(x.detach(segid, 2), Err(XememError::NotAttached)));
+    }
+
+    #[test]
+    fn owner_cannot_attach() {
+        let x = XememService::new();
+        let segid = x.export("own", 3, range(0x1000, 0x1000)).unwrap();
+        assert!(matches!(x.attach(segid, 3), Err(XememError::OwnerAttach)));
+    }
+
+    #[test]
+    fn clean_destroy() {
+        let x = XememService::new();
+        let segid = x.export("tmp", 1, range(0x1000, 0x1000)).unwrap();
+        assert_eq!(x.destroy(segid).unwrap(), Vec::<u64>::new());
+        assert_eq!(x.hazardous_destroy_count(), 0);
+        assert!(x.lookup("tmp").is_err());
+        // Name is reusable after destroy.
+        x.export("tmp", 1, range(0x2000, 0x1000)).unwrap();
+    }
+
+    #[test]
+    fn hazardous_destroy_reports_attachments() {
+        let x = XememService::new();
+        let segid = x.export("shared", 1, range(0x1000, 0x1000)).unwrap();
+        x.attach(segid, 2).unwrap();
+        x.attach(segid, 3).unwrap();
+        let leftover = x.destroy(segid).unwrap();
+        assert_eq!(leftover, vec![2, 3]);
+        assert_eq!(x.hazardous_destroy_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let x = XememService::new();
+        x.export("a", 1, range(0x1000, 0x1000)).unwrap();
+        assert!(matches!(
+            x.export("a", 2, range(0x2000, 0x1000)),
+            Err(XememError::NameTaken(_))
+        ));
+    }
+
+    #[test]
+    fn segids_unique_and_dynamic() {
+        let x = XememService::new();
+        let a = x.export("a", 1, range(0x1000, 0x1000)).unwrap();
+        let b = x.export("b", 1, range(0x2000, 0x1000)).unwrap();
+        assert_ne!(a, b);
+        assert!(a.0 >= DYNAMIC_BASE && b.0 >= DYNAMIC_BASE);
+        assert_eq!(x.segments().len(), 2);
+    }
+}

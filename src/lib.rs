@@ -1,0 +1,14 @@
+//! # covirt-suite — facade crate for the Covirt reproduction
+//!
+//! Re-exports the public API of every crate in the workspace so examples
+//! and integration tests have a single import root. See the README for a
+//! tour and DESIGN.md for the system inventory.
+
+pub use covirt_simhw as simhw;
+pub use hobbes;
+pub use kitten;
+pub use pisces;
+pub use workloads;
+pub use xemem;
+
+pub use covirt;

@@ -1,0 +1,128 @@
+//! The Hobbes application-composition layer under Covirt: composed apps
+//! exchange data across enclaves with zero data-path exits, and survive a
+//! component failure.
+
+use covirt_suite::covirt::config::CovirtConfig;
+use covirt_suite::covirt::{CovirtController, GuestCore};
+use covirt_suite::hobbes::app::{Composer, ComponentSpec};
+use covirt_suite::hobbes::MasterControl;
+use covirt_suite::pisces::resources::ResourceRequest;
+use covirt_suite::simhw::node::{NodeConfig, SimNode};
+use covirt_suite::simhw::tlb::TlbParams;
+use covirt_suite::simhw::topology::{CoreId, ZoneId};
+use std::sync::Arc;
+
+fn setup(cfg: CovirtConfig) -> (Arc<SimNode>, Arc<MasterControl>, Arc<CovirtController>, Composer, u64, u64)
+{
+    let node = SimNode::new(NodeConfig::paper_testbed());
+    let master = MasterControl::new(Arc::clone(&node));
+    let ctl = CovirtController::new(Arc::clone(&node), cfg);
+    ctl.attach_hobbes(&master);
+    let mk = |name: &str, core: usize, zone: usize| {
+        let req = ResourceRequest::new(
+            vec![CoreId(core)],
+            vec![(ZoneId(zone), 96 * 1024 * 1024)],
+        );
+        master.bring_up_enclave(name, &req).unwrap()
+    };
+    let (e1, _) = mk("sim", 2, 0);
+    let (e2, _) = mk("ana", 8, 1);
+    let composer = Composer::new(Arc::clone(&master));
+    let (id1, id2) = (e1.id.0, e2.id.0);
+    (node, master, ctl, composer, id1, id2)
+}
+
+#[test]
+fn composed_app_exchanges_data_without_data_path_exits() {
+    let (node, master, ctl, composer, e1, e2) = setup(CovirtConfig::MEM);
+    let app = composer
+        .compose(
+            "pipeline",
+            &[
+                ComponentSpec { name: "producer".into(), enclave: e1, core: CoreId(2) },
+                ComponentSpec { name: "consumer".into(), enclave: e2, core: CoreId(8) },
+            ],
+            4 * 1024 * 1024,
+        )
+        .unwrap();
+    let base = app.exchange_range.start.raw();
+
+    let k1 = master.kernel(e1).unwrap();
+    let k2 = master.kernel(e2).unwrap();
+    let mut p = GuestCore::launch_covirt(Arc::clone(&node), k1, Arc::clone(&ctl), 2, TlbParams::default())
+        .unwrap();
+    let mut c = GuestCore::launch_covirt(Arc::clone(&node), k2, Arc::clone(&ctl), 8, TlbParams::default())
+        .unwrap();
+
+    for i in 0..4096u64 {
+        p.write_u64(base + i * 8, i * 3).unwrap();
+    }
+    let mut sum = 0u64;
+    for i in 0..4096u64 {
+        sum += c.read_u64(base + i * 8).unwrap();
+    }
+    assert_eq!(sum, 3 * 4095 * 4096 / 2);
+    assert_eq!(p.exit_count(), 0, "producer data path must not exit");
+    assert_eq!(c.exit_count(), 0, "consumer data path must not exit");
+}
+
+#[test]
+fn exchange_segment_is_bounded_for_third_parties() {
+    // A third enclave that never attached must not reach the exchange.
+    let (node, master, ctl, composer, e1, e2) = setup(CovirtConfig::MEM);
+    let app = composer
+        .compose(
+            "bounded",
+            &[
+                ComponentSpec { name: "a".into(), enclave: e1, core: CoreId(2) },
+                ComponentSpec { name: "b".into(), enclave: e2, core: CoreId(8) },
+            ],
+            2 * 1024 * 1024,
+        )
+        .unwrap();
+    let req = ResourceRequest::new(vec![CoreId(3)], vec![(ZoneId(0), 64 * 1024 * 1024)]);
+    let (e3, k3) = master.bring_up_enclave("outsider", &req).unwrap();
+    let mut g3 = GuestCore::launch_covirt(Arc::clone(&node), Arc::clone(&k3), Arc::clone(&ctl), 3, TlbParams::default())
+        .unwrap();
+    // The outsider forges a mapping (the bug) and pokes the exchange.
+    let fault = covirt_suite::kitten::faults::stale_shared_mapping(&k3, app.exchange_range);
+    match g3.execute_fault(fault) {
+        covirt_suite::covirt::exec::FaultOutcome::Contained(_) => {}
+        o => panic!("outsider access must be contained, got {o:?}"),
+    }
+    assert!(matches!(e3.state(), covirt_suite::pisces::EnclaveState::Failed(_)));
+    // The app's enclaves are unaffected.
+    assert_eq!(master.pisces().enclave(covirt_suite::pisces::EnclaveId(e1)).unwrap().state(),
+        covirt_suite::pisces::EnclaveState::Running);
+}
+
+#[test]
+fn component_failure_marks_only_that_component() {
+    let (node, master, ctl, composer, e1, e2) = setup(CovirtConfig::MEM);
+    let app = composer
+        .compose(
+            "resilient",
+            &[
+                ComponentSpec { name: "victim".into(), enclave: e1, core: CoreId(2) },
+                ComponentSpec { name: "survivor".into(), enclave: e2, core: CoreId(8) },
+            ],
+            2 * 1024 * 1024,
+        )
+        .unwrap();
+    let k1 = master.kernel(e1).unwrap();
+    let mut g1 =
+        GuestCore::launch_covirt(Arc::clone(&node), Arc::clone(&k1), Arc::clone(&ctl), 2, TlbParams::default())
+            .unwrap();
+    let fault = covirt_suite::kitten::faults::off_by_one_region(&k1);
+    assert!(matches!(
+        g1.execute_fault(fault),
+        covirt_suite::covirt::exec::FaultOutcome::Contained(_)
+    ));
+    composer.mark_enclave_failed(e1);
+    let app = composer.app(app.id).unwrap();
+    assert!(!app.components[0].healthy);
+    assert!(app.components[1].healthy);
+    // The survivor was notified through the master control process.
+    let notices = master.notices.drain();
+    assert!(notices.iter().any(|n| n.dependent == e2 && n.failed == e1));
+}

@@ -1,0 +1,237 @@
+//! The fault-isolation matrix (Section V): every injected bug class,
+//! native vs Covirt, asserting the paper's containment claims.
+
+use covirt_suite::covirt::config::CovirtConfig;
+use covirt_suite::covirt::exec::FaultOutcome;
+use covirt_suite::covirt::{CovirtController, ExecMode, GuestCore};
+use covirt_suite::hobbes::MasterControl;
+use covirt_suite::kitten::faults;
+use covirt_suite::kitten::KittenKernel;
+use covirt_suite::pisces::resources::ResourceRequest;
+use covirt_suite::pisces::{Enclave, EnclaveState};
+use covirt_suite::simhw::node::{NodeConfig, SimNode};
+use covirt_suite::simhw::tlb::TlbParams;
+use covirt_suite::simhw::topology::{CoreId, ZoneId};
+use std::sync::Arc;
+
+struct Lab {
+    node: Arc<SimNode>,
+    master: Arc<MasterControl>,
+    controller: Option<Arc<CovirtController>>,
+}
+
+impl Lab {
+    fn new(mode: ExecMode) -> Lab {
+        let node = SimNode::new(NodeConfig::paper_testbed());
+        let master = MasterControl::new(Arc::clone(&node));
+        let controller = mode.config().map(|cfg| {
+            let c = CovirtController::new(Arc::clone(&node), cfg);
+            c.attach_hobbes(&master);
+            c
+        });
+        Lab { node, master, controller }
+    }
+
+    fn enclave(&self, core: usize) -> (Arc<Enclave>, Arc<KittenKernel>, GuestCore) {
+        let req = ResourceRequest::new(
+            vec![CoreId(core)],
+            vec![(ZoneId(0), 96 * 1024 * 1024)],
+        );
+        let (e, k) = self.master.bring_up_enclave("fi", &req).expect("bring-up");
+        let g = match &self.controller {
+            Some(c) => GuestCore::launch_covirt(
+                Arc::clone(&self.node),
+                Arc::clone(&k),
+                Arc::clone(c),
+                core,
+                TlbParams::default(),
+            )
+            .unwrap(),
+            None => {
+                GuestCore::launch_native(Arc::clone(&self.node), Arc::clone(&k), core, TlbParams::default())
+                    .unwrap()
+            }
+        };
+        (e, k, g)
+    }
+}
+
+#[test]
+fn off_by_one_contained_only_under_covirt() {
+    // Native: escapes (corrupts or crashes). Covirt: contained, enclave dead,
+    // neighbours alive.
+    let lab = Lab::new(ExecMode::Native);
+    let (_e, k, mut g) = lab.enclave(2);
+    match g.execute_fault(faults::off_by_one_region(&k)) {
+        FaultOutcome::CorruptedMemory { .. } | FaultOutcome::NodeCrash(_) => {}
+        o => panic!("native must escape, got {o:?}"),
+    }
+
+    let lab = Lab::new(ExecMode::Covirt(CovirtConfig::MEM));
+    let (e, k, mut g) = lab.enclave(2);
+    let (e2, _k2, mut g2) = lab.enclave(3); // innocent neighbour
+    match g.execute_fault(faults::off_by_one_region(&k)) {
+        FaultOutcome::Contained(r) => assert!(r.contains("EPT violation")),
+        o => panic!("covirt must contain, got {o:?}"),
+    }
+    assert!(matches!(e.state(), EnclaveState::Failed(_)));
+    // The neighbour is untouched and still runs.
+    assert_eq!(e2.state(), EnclaveState::Running);
+    let mut cursor = 0;
+    let a = g2.kernel().alloc_contiguous(4096, &mut cursor).unwrap();
+    g2.write_u64(a, 7).unwrap();
+    assert_eq!(g2.read_u64(a).unwrap(), 7);
+    // And the fault was logged for the operator.
+    assert_eq!(lab.controller.as_ref().unwrap().faults.for_enclave(e.id.0).len(), 1);
+}
+
+#[test]
+fn native_wild_write_actually_corrupts_victim() {
+    // The scary baseline: natively, the off-by-one lands in the next
+    // allocation and changes its bytes without anyone noticing.
+    let lab = Lab::new(ExecMode::Native);
+    let (_e, k, mut g) = lab.enclave(2);
+    // Place a victim page right after the enclave's memory.
+    let last = k.memmap().regions().last().unwrap().range;
+    let victim = lab
+        .node
+        .mem
+        .alloc_backed(ZoneId(0), 4096, covirt_suite::simhw::addr::PAGE_SIZE_4K)
+        .unwrap();
+    if victim.start != last.end() {
+        // Allocator placed it elsewhere; nothing to assert deterministically.
+        return;
+    }
+    lab.node.mem.write_u64(victim.start, 0x600D_600D).unwrap();
+    match g.execute_fault(faults::off_by_one_region(&k)) {
+        FaultOutcome::CorruptedMemory { addr } => {
+            assert_eq!(addr.align_down(4096), victim.start);
+            let now = lab.node.mem.read_u64(victim.start).unwrap();
+            assert_ne!(now, 0x600D_600D, "victim data must have been clobbered");
+        }
+        o => panic!("expected corruption, got {o:?}"),
+    }
+}
+
+#[test]
+fn errant_ipi_matrix() {
+    // Native: delivered. Covirt+IPI: dropped. Covirt memory-only: delivered
+    // (feature off — the modularity trade-off is real).
+    let cases = [
+        (ExecMode::Native, false),
+        (ExecMode::Covirt(CovirtConfig::MEM), false),
+        (ExecMode::Covirt(CovirtConfig::MEM_IPI), true),
+        (ExecMode::Covirt(CovirtConfig::MEM_IPI_PIV), true),
+    ];
+    for (mode, blocked) in cases {
+        let lab = Lab::new(mode);
+        let (_e, _k, mut g) = lab.enclave(2);
+        let outcome = g.execute_fault(faults::errant_ipi(0, 0x2f));
+        if blocked {
+            assert_eq!(outcome, FaultOutcome::IpiBlocked, "{mode}");
+        } else {
+            assert_eq!(
+                outcome,
+                FaultOutcome::IpiDelivered { victim: 0, vector: 0x2f },
+                "{mode}"
+            );
+        }
+    }
+}
+
+#[test]
+fn stale_xemem_mapping_contained_after_flush_protocol() {
+    // The paper's anecdote end-to-end with a live guest core: grant →
+    // touch (cache in TLB) → reclaim (controller flushes via NMI) → buggy
+    // stale access → contained.
+    let lab = Lab::new(ExecMode::Covirt(CovirtConfig::MEM));
+    let (e, k, mut g) = lab.enclave(2);
+    let range = lab.master.pisces().add_memory(&e, ZoneId(0), 2 * 1024 * 1024).unwrap();
+    k.poll_ctrl().unwrap();
+    lab.master.pisces().process_acks(&e).unwrap();
+    g.write_u64(range.start.raw(), 0xAA).unwrap(); // warm the TLB
+
+    lab.master.pisces().request_remove_memory(&e, range).unwrap();
+    k.poll_ctrl().unwrap(); // guest acks removal
+    let host = Arc::clone(lab.master.pisces());
+    let e2 = Arc::clone(&e);
+    let reclaim = std::thread::spawn(move || {
+        for _ in 0..2_000_000 {
+            host.process_acks(&e2).unwrap();
+            if !e2.resources().mem.contains(&range) {
+                return true;
+            }
+            std::thread::yield_now();
+        }
+        false
+    });
+    while !reclaim.is_finished() {
+        g.poll().unwrap();
+        std::thread::yield_now();
+    }
+    assert!(reclaim.join().unwrap(), "reclaim must complete");
+
+    let fault = faults::stale_shared_mapping(&k, range);
+    match g.execute_fault(fault) {
+        FaultOutcome::Contained(r) => assert!(r.contains("EPT violation")),
+        o => panic!("stale access must be contained, got {o:?}"),
+    }
+}
+
+#[test]
+fn dependent_enclaves_notified_not_crashed() {
+    let lab = Lab::new(ExecMode::Covirt(CovirtConfig::MEM));
+    let (e1, _k1, mut g1) = lab.enclave(2);
+    let (e2, k2, mut g2) = lab.enclave(3);
+    // Share a segment from e1 to e2.
+    let r1 = e1.resources().mem[0];
+    let seg = covirt_suite::simhw::addr::PhysRange::new(
+        r1.start.add(r1.len - 2 * 1024 * 1024),
+        2 * 1024 * 1024,
+    );
+    lab.master.export_segment(e1.id.0, "x", seg).unwrap();
+    lab.master.attach_segment(e2.id.0, "x").unwrap();
+    g2.write_u64(seg.start.raw(), 1).unwrap(); // consumer uses it
+
+    // Producer faults.
+    let (_k1_fault, outcome) = {
+        let f = faults::off_by_one_region(lab.master.kernel(e1.id.0).unwrap().as_ref());
+        (0, g1.execute_fault(f))
+    };
+    assert!(matches!(outcome, FaultOutcome::Contained(_)));
+    // Consumer is running and was told.
+    assert_eq!(e2.state(), EnclaveState::Running);
+    let notices = lab.master.notices.drain();
+    assert_eq!(notices.len(), 1);
+    assert_eq!(notices[0].dependent, e2.id.0);
+    assert_eq!(notices[0].failed, e1.id.0);
+    // The consumer's kernel still translates the shared segment (its own
+    // cleanup runs later; with Covirt that is safe, not fatal).
+    assert!(k2.translate(seg.start.raw()).is_ok());
+}
+
+#[test]
+fn msr_and_io_protection_full_config() {
+    let lab = Lab::new(ExecMode::Covirt(CovirtConfig::FULL));
+    let (_e, _k, mut g) = lab.enclave(2);
+    g.wrmsr(covirt_suite::simhw::msr::IA32_MC0_CTL, 0xbad).unwrap();
+    assert_eq!(
+        lab.node.cpu(CoreId(2)).unwrap().msrs.read(covirt_suite::simhw::msr::IA32_MC0_CTL),
+        0,
+        "machine-check MSR write must be blocked"
+    );
+    g.io_write(covirt_suite::simhw::ioport::PORT_KBD_RESET, 0xfe).unwrap();
+    assert_eq!(
+        lab.node.ioports.write_count(covirt_suite::simhw::ioport::PORT_KBD_RESET),
+        0,
+        "reset-port write must be blocked"
+    );
+    // Benign accesses pass through unchanged.
+    g.wrmsr(covirt_suite::simhw::msr::IA32_FS_BASE, 0x1000).unwrap();
+    assert_eq!(
+        lab.node.cpu(CoreId(2)).unwrap().msrs.read(covirt_suite::simhw::msr::IA32_FS_BASE),
+        0x1000
+    );
+    g.io_write(covirt_suite::simhw::ioport::PORT_COM1, b'k' as u32).unwrap();
+    assert_eq!(lab.node.ioports.write_count(covirt_suite::simhw::ioport::PORT_COM1), 1);
+}

@@ -1,0 +1,183 @@
+//! IPI protection end-to-end: whitelisting, vector lifecycle, cross-enclave
+//! grants, both VAPIC and posted-interrupt implementations.
+
+use covirt_suite::covirt::config::CovirtConfig;
+use covirt_suite::covirt::{CovirtController, ExecMode, GuestCore};
+use covirt_suite::hobbes::MasterControl;
+use covirt_suite::pisces::resources::ResourceRequest;
+use covirt_suite::simhw::node::{NodeConfig, SimNode};
+use covirt_suite::simhw::tlb::TlbParams;
+use covirt_suite::simhw::topology::{CoreId, ZoneId};
+use std::sync::Arc;
+
+struct W {
+    node: Arc<SimNode>,
+    master: Arc<MasterControl>,
+    ctl: Arc<CovirtController>,
+}
+
+fn world(cfg: CovirtConfig) -> W {
+    let node = SimNode::new(NodeConfig::paper_testbed());
+    let master = MasterControl::new(Arc::clone(&node));
+    let ctl = CovirtController::new(Arc::clone(&node), cfg);
+    ctl.attach_hobbes(&master);
+    W { node, master, ctl }
+}
+
+impl W {
+    fn enclave(&self, cores: Vec<usize>) -> (Arc<covirt_suite::pisces::Enclave>, Arc<covirt_suite::kitten::KittenKernel>) {
+        let req = ResourceRequest::new(
+            cores.into_iter().map(CoreId).collect(),
+            vec![(ZoneId(0), 64 * 1024 * 1024)],
+        );
+        self.master.bring_up_enclave("ipi", &req).unwrap()
+    }
+
+    fn core(&self, k: &Arc<covirt_suite::kitten::KittenKernel>, c: usize) -> GuestCore {
+        GuestCore::launch_covirt(
+            Arc::clone(&self.node),
+            Arc::clone(k),
+            Arc::clone(&self.ctl),
+            c,
+            TlbParams::default(),
+        )
+        .unwrap()
+    }
+}
+
+#[test]
+fn intra_enclave_ipi_roundtrip_vapic() {
+    let w = world(CovirtConfig::MEM_IPI);
+    let (e, k) = w.enclave(vec![2, 3]);
+    let v = e.resources().ipi_vectors[0];
+    let mut tx = w.core(&k, 2);
+    let mut rx = w.core(&k, 3);
+    for _ in 0..5 {
+        tx.send_ipi(3, v).unwrap();
+        rx.poll().unwrap();
+    }
+    assert_eq!(rx.counters.ipi_irqs, 5);
+    // Sender trapped on every ICR write; receiver exited on every receive.
+    assert!(tx.exit_count() >= 5);
+    assert!(rx.exit_count() >= 5);
+    let (permitted, dropped) = w.ctl.context(e.id.0).unwrap().whitelist.counts();
+    assert_eq!(permitted, 5);
+    assert_eq!(dropped, 0);
+}
+
+#[test]
+fn posted_mode_merges_and_avoids_receive_exits() {
+    let w = world(CovirtConfig::MEM_IPI_PIV);
+    let (e, k) = w.enclave(vec![2, 3]);
+    let v = e.resources().ipi_vectors[0];
+    let mut tx = w.core(&k, 2);
+    let mut rx = w.core(&k, 3);
+    // A burst of the same vector merges in the PIR: one handler run.
+    for _ in 0..10 {
+        tx.send_ipi(3, v).unwrap();
+    }
+    let exits_before = rx.exit_count();
+    rx.poll().unwrap();
+    assert_eq!(rx.counters.ipi_irqs, 1, "same-vector burst must merge");
+    assert_eq!(rx.counters.posted_harvested, 1);
+    assert_eq!(rx.exit_count(), exits_before, "posted receive must not exit");
+    // Distinct vectors all arrive.
+    let v2 = e.resources().ipi_vectors[1];
+    tx.send_ipi(3, v).unwrap();
+    tx.send_ipi(3, v2).unwrap();
+    rx.poll().unwrap();
+    assert_eq!(rx.counters.posted_harvested, 3);
+}
+
+#[test]
+fn dynamic_vector_alloc_updates_whitelist_without_commands() {
+    let w = world(CovirtConfig::MEM_IPI);
+    let (e, k) = w.enclave(vec![2, 3]);
+    let vctx = w.ctl.context(e.id.0).unwrap();
+    let mut tx = w.core(&k, 2);
+    let mut rx = w.core(&k, 3);
+
+    // A fresh vector from the global pool becomes usable immediately —
+    // with no command-queue traffic (the paper's "not all configuration
+    // changes require hypervisor coordination").
+    let pending_before = vctx.cmdq(2).map(|q| q.pending()).unwrap_or(0);
+    let v = w.master.pisces().alloc_vector(&e).unwrap();
+    assert_eq!(vctx.cmdq(2).map(|q| q.pending()).unwrap_or(0), pending_before);
+    tx.send_ipi(3, v).unwrap();
+    rx.poll().unwrap();
+    assert_eq!(rx.counters.ipi_irqs, 1);
+
+    // Freeing revokes transmission rights before the vector is recycled.
+    w.master.pisces().free_vector(&e, v).unwrap();
+    tx.send_ipi(3, v).unwrap();
+    rx.poll().unwrap();
+    assert_eq!(rx.counters.ipi_irqs, 1, "freed vector must be dropped");
+    let (_, dropped) = vctx.whitelist.counts();
+    assert_eq!(dropped, 1);
+}
+
+#[test]
+fn cross_enclave_grant_allows_specific_pair_only() {
+    let w = world(CovirtConfig::MEM_IPI);
+    let (e1, k1) = w.enclave(vec![2]);
+    let (_e2, k2) = {
+        let req = ResourceRequest::new(vec![CoreId(8)], vec![(ZoneId(1), 64 * 1024 * 1024)]);
+        w.master.bring_up_enclave("peer", &req).unwrap()
+    };
+    let v = w.master.pisces().alloc_vector(&e1).unwrap();
+    let vctx1 = w.ctl.context(e1.id.0).unwrap();
+    let mut tx = w.core(&k1, 2);
+    let mut rx = w.core(&k2, 8);
+
+    // Without the grant, the cross-enclave send is dropped.
+    tx.send_ipi(8, v).unwrap();
+    rx.poll().unwrap();
+    assert_eq!(rx.counters.ipi_irqs, 0);
+    // With a (core, vector) grant it flows — and only to that core.
+    vctx1.whitelist.grant(8, v);
+    tx.send_ipi(8, v).unwrap();
+    rx.poll().unwrap();
+    assert_eq!(rx.counters.ipi_irqs, 1);
+    // Another core in the same foreign enclave is still out of reach.
+    tx.send_ipi(9, v).unwrap();
+    let (_, dropped) = vctx1.whitelist.counts();
+    assert!(dropped >= 2);
+}
+
+#[test]
+fn timer_keeps_ticking_under_every_ipi_mode() {
+    for mode in [
+        ExecMode::Native,
+        ExecMode::Covirt(CovirtConfig::MEM_IPI),
+        ExecMode::Covirt(CovirtConfig::MEM_IPI_PIV),
+    ] {
+        let node = SimNode::new(NodeConfig::small());
+        let master = MasterControl::new(Arc::clone(&node));
+        let ctl = mode.config().map(|cfg| {
+            let c = CovirtController::new(Arc::clone(&node), cfg);
+            c.attach_hobbes(&master);
+            c
+        });
+        let req = ResourceRequest::new(vec![CoreId(1)], vec![(ZoneId(0), 64 * 1024 * 1024)]);
+        let (_e, k) = master.bring_up_enclave("t", &req).unwrap();
+        let mut g = match &ctl {
+            Some(c) => GuestCore::launch_covirt(
+                Arc::clone(&node),
+                Arc::clone(&k),
+                Arc::clone(c),
+                1,
+                TlbParams::default(),
+            )
+            .unwrap(),
+            None => GuestCore::launch_native(Arc::clone(&node), Arc::clone(&k), 1, TlbParams::default())
+                .unwrap(),
+        };
+        // Fast tick for the test.
+        node.cpu(CoreId(1)).unwrap().apic.arm_timer(200_000, true, covirt_suite::covirt::vctx::TIMER_VECTOR);
+        let t0 = std::time::Instant::now();
+        while g.counters.timer_irqs < 3 && t0.elapsed().as_secs() < 5 {
+            g.poll().unwrap();
+        }
+        assert!(g.counters.timer_irqs >= 3, "{mode}: timer starved");
+    }
+}

@@ -1,0 +1,100 @@
+//! Workload correctness across execution modes: every benchmark validates
+//! its own output identically whether it runs natively or under any Covirt
+//! configuration — transparency, the other half of the paper's claim.
+
+use covirt_suite::covirt::config::CovirtConfig;
+use covirt_suite::covirt::ExecMode;
+use covirt_suite::simhw::topology::HwLayout;
+use covirt_suite::workloads::{hpcg, md, minife, randomaccess, stream, World};
+
+fn modes() -> [ExecMode; 3] {
+    [
+        ExecMode::Native,
+        ExecMode::Covirt(CovirtConfig::MEM),
+        ExecMode::Covirt(CovirtConfig::MEM_IPI_PIV),
+    ]
+}
+
+#[test]
+fn stream_validates_everywhere() {
+    for mode in modes() {
+        let w = World::quick(mode);
+        let r = stream::run(&w, 1 << 15, 2); // validation is inside run()
+        assert!(r.triad_mbs > 0.0, "{mode}");
+    }
+}
+
+#[test]
+fn randomaccess_involution_everywhere() {
+    for mode in modes() {
+        let w = World::quick(mode);
+        let ra = randomaccess::RandomAccess::setup(&w, 14);
+        let mut g = w.guest_core(w.cores[0]).unwrap();
+        ra.init(&mut g).unwrap();
+        ra.run(&mut g, 30_000).unwrap();
+        assert_eq!(ra.verify(&mut g, 30_000).unwrap(), 0, "{mode}");
+    }
+}
+
+#[test]
+fn hpcg_residual_identical_across_modes() {
+    // The solver is deterministic given the partitioning, so iterations
+    // and residual must be bit-stable across modes on the same layout.
+    let mut results = Vec::new();
+    for mode in modes() {
+        let w = World::quick(mode);
+        let r = hpcg::run(&w, 8, 100);
+        assert!(r.final_residual < 1e-9, "{mode}");
+        results.push((r.iterations, r.final_residual));
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[0], results[2]);
+}
+
+#[test]
+fn minife_converges_on_parallel_layouts() {
+    for layout in [HwLayout { cores: 1, zones: 1 }, HwLayout { cores: 4, zones: 2 }] {
+        for mode in [ExecMode::Native, ExecMode::Covirt(CovirtConfig::MEM_IPI)] {
+            let w = World::build(mode, layout, 192 * 1024 * 1024);
+            let r = minife::run(&w, 10, 300);
+            assert!(
+                r.final_residual < 1e-9,
+                "{mode} {layout}: residual {}",
+                r.final_residual
+            );
+        }
+    }
+}
+
+#[test]
+fn md_energy_finite_everywhere() {
+    for mode in modes() {
+        for wl in md::MdWorkload::ALL {
+            let w = World::quick(mode);
+            let params = md::MdParams { n_atoms: 216, steps: 5, dt: 0.002, rebuild: 2, workload: wl };
+            let r = md::run(&w, params);
+            assert!(r.energy_end.is_finite(), "{mode} {}", wl.label());
+        }
+    }
+}
+
+#[test]
+fn lj_trajectories_identical_native_vs_covirt() {
+    // Byte-identical physics under the hypervisor: run the same seed in
+    // both worlds and compare final energies exactly.
+    let run_one = |mode| {
+        let w = World::quick(mode);
+        let params = md::MdParams {
+            n_atoms: 216,
+            steps: 8,
+            dt: 0.002,
+            rebuild: 4,
+            workload: md::MdWorkload::Lj,
+        };
+        md::run(&w, params)
+    };
+    let a = run_one(ExecMode::Native);
+    let b = run_one(ExecMode::Covirt(CovirtConfig::MEM));
+    assert_eq!(a.energy_start.to_bits(), b.energy_start.to_bits());
+    assert_eq!(a.energy_end.to_bits(), b.energy_end.to_bits());
+}
