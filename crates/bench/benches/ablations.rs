@@ -8,9 +8,12 @@
 //! * `cmdqueue`        — the asynchronous controller-side reconfiguration
 //!   protocol: EPT unmap + TlbFlush command + NMI + completion wait, with
 //!   a live guest polling — the cost the paper claims is minimal;
-//! * `exit_cost`       — per-exit-reason hypervisor handling cost.
+//! * `exit_cost`       — per-exit-reason hypervisor handling cost;
+//! * `shootdown`       — broadcast-shootdown wall clock vs live-core count
+//!   (two-phase post-all-then-wait-all must stay ~flat 1→8 cores);
+//! * `walk_cache`      — nested-walk cost with the EPT paging-structure
+//!   cache on vs off.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use covirt::cmdqueue::Command;
 use covirt::config::CovirtConfig;
 use covirt::ExecMode;
@@ -20,12 +23,15 @@ use covirt_simhw::interconnect::{DeliveryMode, IpiDest};
 use covirt_simhw::memory::PhysMemory;
 use covirt_simhw::paging::{Access, DirectLoad, FramePool};
 use covirt_simhw::topology::{HwLayout, ZoneId};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use workloads::World;
 
 fn ept_for(mem: &Arc<PhysMemory>) -> Ept {
-    let pool = mem.alloc_backed(ZoneId(0), 8 * 1024 * 1024, PAGE_SIZE_4K).unwrap();
+    let pool = mem
+        .alloc_backed(ZoneId(0), 8 * 1024 * 1024, PAGE_SIZE_4K)
+        .unwrap();
     Ept::new(Arc::new(FramePool::new(Arc::clone(mem), pool))).unwrap()
 }
 
@@ -34,7 +40,9 @@ fn ablate_ept_coalescing(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     let mem = Arc::new(PhysMemory::new(&[256 * 1024 * 1024]));
-    let region = mem.alloc(ZoneId(0), 32 * PAGE_SIZE_2M, PAGE_SIZE_2M).unwrap();
+    let region = mem
+        .alloc(ZoneId(0), 32 * PAGE_SIZE_2M, PAGE_SIZE_2M)
+        .unwrap();
 
     for (label, max_level) in [("4k-only", 1u8), ("coalesced-2m", 3u8)] {
         let ept = ept_for(&mem);
@@ -45,7 +53,8 @@ fn ablate_ept_coalescing(c: &mut Criterion) {
         group.bench_function(label, |b| {
             b.iter(|| {
                 // Walk a striding address so caches of the radix path vary.
-                addr = region.start.raw() + (addr.wrapping_mul(6364136223846793005) % region.len) / 8 * 8;
+                addr = region.start.raw()
+                    + (addr.wrapping_mul(6364136223846793005) % region.len) / 8 * 8;
                 criterion::black_box(
                     ept.translate(GuestPhysAddr::new(addr), Access::Read, &DirectLoad(&mem))
                         .unwrap()
@@ -64,7 +73,7 @@ fn ablate_ipi_mode(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for mode in [
         ExecMode::Native,
-        ExecMode::Covirt(CovirtConfig::MEM_IPI),     // TrapAll
+        ExecMode::Covirt(CovirtConfig::MEM_IPI), // TrapAll
         ExecMode::Covirt(CovirtConfig::MEM_IPI_PIV), // Posted
     ] {
         let world = World::build(mode, HwLayout { cores: 2, zones: 1 }, 96 * 1024 * 1024);
@@ -116,8 +125,10 @@ fn ablate_cmdqueue(c: &mut Criterion) {
     group.bench_function("async-cmd+nmi-roundtrip", |b| {
         b.iter(|| {
             let seq = q.post(Command::Sync).unwrap();
-            node.interconnect.send(0, IpiDest::Core(core), DeliveryMode::Nmi).unwrap();
-            assert!(q.wait(seq, 50_000_000), "flush ack timed out");
+            node.interconnect
+                .send(0, IpiDest::Core(core), DeliveryMode::Nmi)
+                .unwrap();
+            q.wait(seq, 50_000_000).expect("flush ack timed out");
         })
     });
 
@@ -125,7 +136,9 @@ fn ablate_cmdqueue(c: &mut Criterion) {
     // hypervisor involvement — the "many cases" fast path).
     let mem = Arc::new(PhysMemory::new(&[256 * 1024 * 1024]));
     let ept = ept_for(&mem);
-    let region = mem.alloc(ZoneId(0), 4 * PAGE_SIZE_2M, PAGE_SIZE_2M).unwrap();
+    let region = mem
+        .alloc(ZoneId(0), 4 * PAGE_SIZE_2M, PAGE_SIZE_2M)
+        .unwrap();
     group.bench_function("controller-side-ept-edit", |b| {
         b.iter(|| {
             ept.map_identity(region, 3).unwrap();
@@ -135,6 +148,100 @@ fn ablate_cmdqueue(c: &mut Criterion) {
 
     stop.store(true, Ordering::Release);
     poller.join().unwrap();
+    group.finish();
+}
+
+fn ablate_shootdown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_shootdown");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    // The controller runs the two-phase broadcast barrier (post + NMI to
+    // all, then wait on all). A single service thread polls every guest
+    // core round-robin, modelling cores that each handle their own NMI
+    // concurrently: per-core service is microseconds, so wall clock tracks
+    // the number of cross-thread round trips the *protocol* needs — one for
+    // the broadcast barrier regardless of core count (a serial post-wait
+    // loop would need one per core). This also keeps the measurement honest
+    // on single-CPU hosts, where one thread per core would serialize on the
+    // host scheduler and measure its quantum instead of the protocol.
+    for n in [1usize, 2, 4, 8] {
+        let zones = if n > 6 { 2 } else { 1 };
+        let world = World::build(
+            ExecMode::Covirt(CovirtConfig::MEM),
+            HwLayout { cores: n, zones },
+            96 * 1024 * 1024,
+        );
+        let ctl = Arc::clone(world.controller.as_ref().unwrap());
+        ctl.set_flush_spins(50_000_000);
+        let enclave = world.enclave.id.0;
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut guests: Vec<_> = world
+            .cores
+            .iter()
+            .map(|&core| world.guest_core(core).unwrap())
+            .collect();
+        let service = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    for g in &mut guests {
+                        g.poll().unwrap();
+                    }
+                    std::hint::spin_loop();
+                }
+                for g in guests {
+                    g.shutdown();
+                }
+            })
+        };
+
+        group.bench_function(format!("broadcast-{n}-cores"), |b| {
+            b.iter(|| ctl.shootdown_barrier(enclave).expect("shootdown barrier"))
+        });
+
+        stop.store(true, Ordering::Release);
+        service.join().unwrap();
+    }
+    group.finish();
+}
+
+fn ablate_walk_cache(c: &mut Criterion) {
+    use covirt_simhw::tlb::TlbParams;
+    use workloads::randomaccess::RandomAccess;
+    let mut group = c.benchmark_group("ablate_walk_cache");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for (label, enabled) in [("walk-cache-on", true), ("walk-cache-off", false)] {
+        let mut world = World::build(
+            ExecMode::Covirt(CovirtConfig::MEM),
+            HwLayout { cores: 1, zones: 1 },
+            96 * 1024 * 1024,
+        );
+        // Shrink the TLB so the random stream misses steadily — every
+        // iteration pays the nested-walk path the cache accelerates.
+        world.tlb = TlbParams {
+            entries_4k: 16,
+            entries_2m: 2,
+            entries_1g: 1,
+        };
+        let ra = RandomAccess::setup(&world, 20);
+        let mut g = world.guest_core(world.cores[0]).unwrap();
+        g.set_walk_cache_enabled(enabled);
+        ra.init(&mut g).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| criterion::black_box(ra.run(&mut g, 1024).unwrap().walks))
+        });
+        let r = ra.run(&mut g, 100_000).unwrap();
+        eprintln!(
+            "[{label}] walk loads/miss {:.2}, cache hit rate {:.1}% ({} walks)",
+            r.walk_loads_per_miss(),
+            r.walk_cache_hit_rate() * 100.0,
+            r.walks
+        );
+    }
     group.finish();
 }
 
@@ -153,7 +260,10 @@ fn ablate_exit_cost(c: &mut Criterion) {
     let mut g = world.guest_core(world.cores[0]).unwrap();
     let a = world.alloc_array(1024 * 1024);
     let reasons: [(&str, GuestOp); 3] = [
-        ("cpuid", Box::new(|g: &mut covirt::GuestCore| g.cpuid(1).unwrap())),
+        (
+            "cpuid",
+            Box::new(|g: &mut covirt::GuestCore| g.cpuid(1).unwrap()),
+        ),
         (
             "wrmsr-benign",
             Box::new(|g: &mut covirt::GuestCore| {
@@ -184,6 +294,8 @@ criterion_group!(
     ablate_ept_coalescing,
     ablate_ipi_mode,
     ablate_cmdqueue,
-    ablate_exit_cost
+    ablate_exit_cost,
+    ablate_shootdown,
+    ablate_walk_cache
 );
 criterion_main!(benches);

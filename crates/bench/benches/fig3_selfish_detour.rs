@@ -3,8 +3,8 @@
 //! per-configuration counters criterion's notes capture; the `figures`
 //! binary prints the full noise profile.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use covirt::ExecMode;
+use criterion::{criterion_group, criterion_main, Criterion};
 use workloads::{selfish, World};
 
 fn bench(c: &mut Criterion) {

@@ -1,8 +1,8 @@
 //! Figure 4 bench: XEMEM attach latency per region size, Covirt on/off.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use covirt::config::CovirtConfig;
 use covirt::ExecMode;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use workloads::xemem_bench;
 
 fn bench(c: &mut Criterion) {

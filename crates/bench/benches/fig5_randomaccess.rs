@@ -2,9 +2,9 @@
 //! configuration. The covirt-mem configurations should show the paper's
 //! few-percent degradation from nested walks on TLB misses.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use covirt::ExecMode;
 use covirt_simhw::topology::HwLayout;
+use criterion::{criterion_group, criterion_main, Criterion};
 use workloads::{randomaccess, World};
 
 fn bench(c: &mut Criterion) {
@@ -15,8 +15,7 @@ fn bench(c: &mut Criterion) {
     let log2_n = 22; // 32 MiB table
     let updates = 200_000u64;
     for mode in ExecMode::paper_sweep() {
-        let world =
-            World::build(mode, HwLayout { cores: 1, zones: 1 }, 128 * 1024 * 1024);
+        let world = World::build(mode, HwLayout { cores: 1, zones: 1 }, 128 * 1024 * 1024);
         let ra = randomaccess::RandomAccess::setup(&world, log2_n);
         let mut g = world.guest_core(world.cores[0]).unwrap();
         ra.init(&mut g).unwrap();

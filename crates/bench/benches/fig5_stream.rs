@@ -2,9 +2,9 @@
 //! configuration. The paper's finding — no measurable Covirt overhead —
 //! shows as statistically indistinguishable timings.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use covirt::ExecMode;
 use covirt_simhw::topology::HwLayout;
+use criterion::{criterion_group, criterion_main, Criterion};
 use workloads::{stream, World};
 
 fn bench(c: &mut Criterion) {

@@ -1,8 +1,8 @@
 //! Figure 7 bench: HPCG solve per configuration × hardware layout.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use covirt::ExecMode;
 use covirt_simhw::topology::HwLayout;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use workloads::{hpcg, World};
 
 fn bench(c: &mut Criterion) {
@@ -10,7 +10,10 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for layout in [HwLayout { cores: 1, zones: 1 }, HwLayout { cores: 4, zones: 2 }] {
+    for layout in [
+        HwLayout { cores: 1, zones: 1 },
+        HwLayout { cores: 4, zones: 2 },
+    ] {
         for mode in ExecMode::paper_sweep() {
             group.bench_with_input(
                 BenchmarkId::new(mode.label(), layout.to_string()),

@@ -1,8 +1,8 @@
 //! Figure 8 bench: LAMMPS-class MD loop time per workload × configuration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use covirt::ExecMode;
 use covirt_simhw::topology::HwLayout;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use workloads::md::{self, MdParams, MdWorkload};
 use workloads::World;
 
@@ -13,18 +13,20 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for wl in MdWorkload::ALL {
         for mode in ExecMode::paper_sweep() {
-            group.bench_with_input(
-                BenchmarkId::new(wl.label(), mode.label()),
-                &wl,
-                |b, &wl| {
-                    b.iter(|| {
-                        let world =
-                            World::build(mode, HwLayout { cores: 4, zones: 2 }, 192 * 1024 * 1024);
-                        let params = MdParams { n_atoms: 512, steps: 6, dt: 0.004, rebuild: 3, workload: wl };
-                        criterion::black_box(md::run(&world, params).loop_time_s)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(wl.label(), mode.label()), &wl, |b, &wl| {
+                b.iter(|| {
+                    let world =
+                        World::build(mode, HwLayout { cores: 4, zones: 2 }, 192 * 1024 * 1024);
+                    let params = MdParams {
+                        n_atoms: 512,
+                        steps: 6,
+                        dt: 0.004,
+                        rebuild: 3,
+                        workload: wl,
+                    };
+                    criterion::black_box(md::run(&world, params).loop_time_s)
+                })
+            });
         }
     }
     group.finish();

@@ -9,13 +9,15 @@
 //! or series of the corresponding table/figure; `--full` selects the
 //! paper-scale parameters from Table I instead of the scaled defaults.
 
-use covirt_bench::{render_fig3, render_fig4, render_fig5a, render_fig5b, render_fig8, render_scaling};
+use covirt_bench::{
+    render_fig3, render_fig4, render_fig5a, render_fig5b, render_fig8, render_scaling,
+};
 use workloads::figures::{self, Scale};
 use workloads::table1;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8|all> [--full]\n\
+        "usage: figures <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8|shootdown|all> [--full]\n\
          \n  table1  benchmark versions/parameters (Table I)\
          \n  fig3    Selfish-Detour noise profile\
          \n  fig4    XEMEM attach delay vs region size\
@@ -24,10 +26,105 @@ fn usage() -> ! {
          \n  fig6    MiniFE scaling over core/NUMA layouts\
          \n  fig7    HPCG scaling over core/NUMA layouts\
          \n  fig8    LAMMPS loop times (lj/chain/eam/chute)\
+         \n  shootdown  coalesced reclaim-epoch demo with TLB flush stats\
          \n  all     everything above\
          \n  --full  paper-scale parameters (slow; needs several GiB)"
     );
     std::process::exit(2)
+}
+
+/// Demonstrate the coalesced two-phase shootdown: grant two ranges, touch
+/// them on every live core, reclaim both inside one epoch, and print the
+/// per-core TLB flush statistics (range vs full) plus walk-cache counters.
+fn shootdown_demo() {
+    use covirt::config::CovirtConfig;
+    use covirt::ExecMode;
+    use covirt_simhw::topology::{HwLayout, ZoneId};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use workloads::World;
+
+    let world = World::build(
+        ExecMode::Covirt(CovirtConfig::MEM),
+        HwLayout { cores: 2, zones: 1 },
+        96 * 1024 * 1024,
+    );
+    let ctl = Arc::clone(world.controller.as_ref().unwrap());
+    ctl.set_flush_spins(50_000_000);
+    let enclave = Arc::clone(&world.enclave);
+    let kernel = Arc::clone(&world.kernel);
+    let pisces = world.master.pisces();
+
+    let r1 = pisces
+        .add_memory(&enclave, ZoneId(0), 2 * 1024 * 1024)
+        .unwrap();
+    let r2 = pisces
+        .add_memory(&enclave, ZoneId(0), 2 * 1024 * 1024)
+        .unwrap();
+    kernel.poll_ctrl().unwrap();
+    pisces.process_acks(&enclave).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    // Wait for every core to cache the translations before reclaiming,
+    // so the demo actually exercises the stale-entry invalidation.
+    let ready = Arc::new(std::sync::Barrier::new(world.cores.len() + 1));
+    let handles: Vec<_> = world
+        .cores
+        .iter()
+        .map(|&core| {
+            let mut g = world.guest_core(core).unwrap();
+            let stop = Arc::clone(&stop);
+            let ready = Arc::clone(&ready);
+            std::thread::spawn(move || {
+                // Fill the TLB with soon-to-be-stale entries, then keep
+                // polling so the NMI-driven flushes get serviced.
+                g.write_u64(r1.start.raw(), 1).unwrap();
+                g.write_u64(r2.start.raw(), 1).unwrap();
+                ready.wait();
+                while !stop.load(Ordering::Acquire) {
+                    g.poll().unwrap();
+                    std::hint::spin_loop();
+                }
+                g
+            })
+        })
+        .collect();
+    ready.wait();
+
+    eprintln!("[shootdown] reclaiming 2 ranges inside one epoch...");
+    ctl.begin_reclaim_epoch(enclave.id.0);
+    for r in [r1, r2] {
+        pisces.request_remove_memory(&enclave, r).unwrap();
+        while enclave.resources().mem.contains(&r) {
+            kernel.poll_ctrl().unwrap();
+            pisces.process_acks(&enclave).unwrap();
+        }
+    }
+    eprintln!("[shootdown] both reclaims acked; closing epoch...");
+    ctl.end_reclaim_epoch(enclave.id.0).unwrap();
+    eprintln!("[shootdown] epoch closed — all cores flushed");
+    stop.store(true, Ordering::Release);
+
+    println!(
+        "Coalesced reclaim epoch: 2 x 2 MiB reclaimed, {} broadcast shootdown(s)",
+        ctl.shootdown_count()
+    );
+    println!("core   tlb-hits  tlb-misses  full-flush  page-flush  range-flush  wcache h/m");
+    for h in handles {
+        let g = h.join().unwrap();
+        let s = g.tlb_stats();
+        println!(
+            "cpu{:<4} {:>8} {:>11} {:>11} {:>11} {:>12} {:>6}/{}",
+            g.core,
+            s.hits,
+            s.misses,
+            s.full_flushes,
+            s.page_flushes,
+            s.range_flushes,
+            g.counters.walk_cache_hits,
+            g.counters.walk_cache_misses,
+        );
+    }
 }
 
 fn main() {
@@ -35,13 +132,20 @@ fn main() {
     if args.is_empty() {
         usage();
     }
-    let scale = if args.iter().any(|a| a == "--full") { Scale::Paper } else { Scale::Quick };
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Paper
+    } else {
+        Scale::Quick
+    };
     let what = args[0].as_str();
     let all = what == "all";
 
     let t0 = std::time::Instant::now();
     if all || what == "table1" {
-        println!("TABLE I: Benchmark Versions and Parameters\n{}", table1::format_table1());
+        println!(
+            "TABLE I: Benchmark Versions and Parameters\n{}",
+            table1::format_table1()
+        );
     }
     if all || what == "fig3" {
         println!("{}", render_fig3(&figures::fig3(scale)));
@@ -56,18 +160,27 @@ fn main() {
         println!("{}", render_fig5b(&figures::fig5b(scale)));
     }
     if all || what == "fig6" {
-        println!("{}", render_scaling("Fig. 6 — MiniFE scaling", "MFLOP/s", &figures::fig6(scale)));
+        println!(
+            "{}",
+            render_scaling("Fig. 6 — MiniFE scaling", "MFLOP/s", &figures::fig6(scale))
+        );
     }
     if all || what == "fig7" {
-        println!("{}", render_scaling("Fig. 7 — HPCG scaling", "GFLOP/s", &figures::fig7(scale)));
+        println!(
+            "{}",
+            render_scaling("Fig. 7 — HPCG scaling", "GFLOP/s", &figures::fig7(scale))
+        );
     }
     if all || what == "fig8" {
         println!("{}", render_fig8(&figures::fig8(scale)));
     }
+    if all || what == "shootdown" {
+        shootdown_demo();
+    }
     if !all
         && !matches!(
             what,
-            "table1" | "fig3" | "fig4" | "fig5a" | "fig5b" | "fig6" | "fig7" | "fig8"
+            "table1" | "fig3" | "fig4" | "fig5a" | "fig5b" | "fig6" | "fig7" | "fig8" | "shootdown"
         )
     {
         usage();

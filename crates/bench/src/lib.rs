@@ -66,7 +66,10 @@ pub fn render_fig4(rows: &[Fig4Row]) -> String {
 
 /// Render Figure 5a (STREAM) with overhead-vs-native percentages.
 pub fn render_fig5a(rows: &[Fig5aRow]) -> String {
-    let native = rows.iter().find(|r| r.mode == "native").expect("native row");
+    let native = rows
+        .iter()
+        .find(|r| r.mode == "native")
+        .expect("native row");
     let mut out = String::from(
         "Fig. 5a — STREAM bandwidth (MB/s)\n\
          config              copy        scale       add         triad     triad-ovh%\n",
@@ -85,19 +88,26 @@ pub fn render_fig5a(rows: &[Fig5aRow]) -> String {
     out
 }
 
-/// Render Figure 5b (RandomAccess GUPS) with overheads.
+/// Render Figure 5b (RandomAccess GUPS) with overheads and the nested-walk
+/// instrumentation behind them.
 pub fn render_fig5b(rows: &[Fig5bRow]) -> String {
-    let native = rows.iter().find(|r| r.mode == "native").expect("native row");
+    let native = rows
+        .iter()
+        .find(|r| r.mode == "native")
+        .expect("native row");
     let mut out = String::from(
-        "Fig. 5b — RandomAccess\nconfig              GUPS        miss-rate   overhead-%\n",
+        "Fig. 5b — RandomAccess\n\
+         config              GUPS        miss-rate   overhead-%  loads/miss  wcache-hit%\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{:<18} {:>10.5} {:>11.4} {:>11.2}\n",
+            "{:<18} {:>10.5} {:>11.4} {:>11.2} {:>11.2} {:>12.1}\n",
             r.mode,
             r.gups,
             r.tlb_miss_rate,
-            overhead_pct(r.gups, native.gups)
+            overhead_pct(r.gups, native.gups),
+            r.walk_loads_per_miss,
+            r.walk_cache_hit_rate * 100.0
         ));
     }
     out
@@ -105,7 +115,8 @@ pub fn render_fig5b(rows: &[Fig5bRow]) -> String {
 
 /// Render a scaling figure (6 or 7).
 pub fn render_scaling(title: &str, unit: &str, rows: &[ScalingRow]) -> String {
-    let mut out = format!("{title}\nlayout  config              {unit:>12}   seconds   ovh-vs-native-%\n");
+    let mut out =
+        format!("{title}\nlayout  config              {unit:>12}   seconds   ovh-vs-native-%\n");
     let mut layouts: Vec<String> = rows.iter().map(|r| r.layout.clone()).collect();
     layouts.dedup();
     for layout in &layouts {
@@ -160,8 +171,20 @@ mod tests {
     #[test]
     fn fig5b_render_includes_overheads() {
         let rows = vec![
-            Fig5bRow { mode: "native".into(), gups: 0.010, tlb_miss_rate: 0.05 },
-            Fig5bRow { mode: "covirt-mem".into(), gups: 0.0098, tlb_miss_rate: 0.05 },
+            Fig5bRow {
+                mode: "native".into(),
+                gups: 0.010,
+                tlb_miss_rate: 0.05,
+                walk_loads_per_miss: 4.0,
+                walk_cache_hit_rate: 0.0,
+            },
+            Fig5bRow {
+                mode: "covirt-mem".into(),
+                gups: 0.0098,
+                tlb_miss_rate: 0.05,
+                walk_loads_per_miss: 6.2,
+                walk_cache_hit_rate: 0.74,
+            },
         ];
         let s = render_fig5b(&rows);
         assert!(s.contains("native"));
@@ -173,9 +196,24 @@ mod tests {
     #[test]
     fn scaling_render_groups_by_layout() {
         let rows = vec![
-            ScalingRow { mode: "native".into(), layout: "1c/1z".into(), perf: 100.0, seconds: 1.0 },
-            ScalingRow { mode: "covirt-mem".into(), layout: "1c/1z".into(), perf: 99.0, seconds: 1.01 },
-            ScalingRow { mode: "native".into(), layout: "4c/2z".into(), perf: 300.0, seconds: 0.4 },
+            ScalingRow {
+                mode: "native".into(),
+                layout: "1c/1z".into(),
+                perf: 100.0,
+                seconds: 1.0,
+            },
+            ScalingRow {
+                mode: "covirt-mem".into(),
+                layout: "1c/1z".into(),
+                perf: 99.0,
+                seconds: 1.01,
+            },
+            ScalingRow {
+                mode: "native".into(),
+                layout: "4c/2z".into(),
+                perf: 300.0,
+                seconds: 0.4,
+            },
         ];
         let s = render_scaling("Fig. 7 — HPCG", "GFLOP/s", &rows);
         assert!(s.contains("1c/1z"));
@@ -185,8 +223,16 @@ mod tests {
     #[test]
     fn fig8_render_lower_is_better_sign() {
         let rows = vec![
-            Fig8Row { mode: "native".into(), workload: "lj".into(), loop_time_s: 1.0 },
-            Fig8Row { mode: "covirt-mem".into(), workload: "lj".into(), loop_time_s: 1.05 },
+            Fig8Row {
+                mode: "native".into(),
+                workload: "lj".into(),
+                loop_time_s: 1.0,
+            },
+            Fig8Row {
+                mode: "covirt-mem".into(),
+                workload: "lj".into(),
+                loop_time_s: 1.05,
+            },
         ];
         let s = render_fig8(&rows);
         // covirt is 5% slower ⇒ positive overhead.

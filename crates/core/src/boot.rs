@@ -138,7 +138,11 @@ impl CovirtBootParams {
     }
 
     /// Store at `addr` with a length prefix.
-    pub fn write_to(&self, mem: &PhysMemory, addr: HostPhysAddr) -> Result<(), covirt_simhw::HwError> {
+    pub fn write_to(
+        &self,
+        mem: &PhysMemory,
+        addr: HostPhysAddr,
+    ) -> Result<(), covirt_simhw::HwError> {
         let bytes = self.encode();
         mem.write_u64(addr, bytes.len() as u64)?;
         mem.write_bytes(addr.add(8), &bytes)
@@ -151,7 +155,8 @@ impl CovirtBootParams {
             return Err(WireError);
         }
         let mut buf = vec![0u8; len as usize];
-        mem.read_bytes(addr.add(8), &mut buf).map_err(|_| WireError)?;
+        mem.read_bytes(addr.add(8), &mut buf)
+            .map_err(|_| WireError)?;
         Self::decode(&buf)
     }
 
@@ -231,6 +236,9 @@ mod tests {
         assert!(CMDQ_STRIDE >= CmdQueue::required_bytes());
         let base = HostPhysAddr::new(0x100000);
         assert_eq!(cmdq_addr(base, 0).raw(), 0x100000 + CMDQ_BASE_OFFSET);
-        assert_eq!(cmdq_addr(base, 2).raw(), 0x100000 + CMDQ_BASE_OFFSET + 2 * CMDQ_STRIDE);
+        assert_eq!(
+            cmdq_addr(base, 2).raw(),
+            0x100000 + CMDQ_BASE_OFFSET + 2 * CMDQ_STRIDE
+        );
     }
 }

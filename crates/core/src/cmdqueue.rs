@@ -43,6 +43,14 @@ pub enum Command {
         /// Guest-virtual page to invalidate.
         gva: u64,
     },
+    /// Flush every translation overlapping a range (a coalesced reclaim
+    /// shootdown that leaves unrelated hot entries alive).
+    TlbFlushRange {
+        /// Start of the range to invalidate.
+        gva: u64,
+        /// Length of the range in bytes.
+        len: u64,
+    },
     /// Re-load the VMCS from memory (controls changed).
     ReloadVmcs,
     /// Terminate the enclave on this core (host-initiated kill).
@@ -57,6 +65,19 @@ const OP_FLUSH_PAGE: u64 = 2;
 const OP_RELOAD: u64 = 3;
 const OP_TERMINATE: u64 = 4;
 const OP_SYNC: u64 = 5;
+const OP_FLUSH_RANGE: u64 = 6;
+
+impl Command {
+    /// True for TLB-invalidation commands. Any of these is subsumed by a
+    /// single `TlbFlushAll`, which is what makes drain-merge coalescing
+    /// sound when the ring fills.
+    pub fn is_flush(&self) -> bool {
+        matches!(
+            self,
+            Command::TlbFlushAll | Command::TlbFlushPage { .. } | Command::TlbFlushRange { .. }
+        )
+    }
+}
 
 /// A command tagged with its sequence number.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -78,6 +99,9 @@ impl SeqCommand {
             Command::TlbFlushPage { gva } => {
                 w.put_u64(OP_FLUSH_PAGE).put_u64(gva);
             }
+            Command::TlbFlushRange { gva, len } => {
+                w.put_u64(OP_FLUSH_RANGE).put_u64(gva).put_u64(len);
+            }
             Command::ReloadVmcs => {
                 w.put_u64(OP_RELOAD);
             }
@@ -97,7 +121,13 @@ impl SeqCommand {
         let op = r.get_u64().ok()?;
         let cmd = match op {
             OP_FLUSH_ALL => Command::TlbFlushAll,
-            OP_FLUSH_PAGE => Command::TlbFlushPage { gva: r.get_u64().ok()? },
+            OP_FLUSH_PAGE => Command::TlbFlushPage {
+                gva: r.get_u64().ok()?,
+            },
+            OP_FLUSH_RANGE => Command::TlbFlushRange {
+                gva: r.get_u64().ok()?,
+                len: r.get_u64().ok()?,
+            },
             OP_RELOAD => Command::ReloadVmcs,
             OP_TERMINATE => Command::Terminate,
             OP_SYNC => Command::Sync,
@@ -107,6 +137,31 @@ impl SeqCommand {
     }
 }
 
+/// A synchronization wait that ran out of budget: names the core that
+/// failed to acknowledge, the sequence number waited for, and how far the
+/// core actually got — so controller errors can say *which* CPU is stuck.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlushTimeout {
+    /// The core whose queue this is.
+    pub core: u64,
+    /// Sequence number that was being waited on.
+    pub seq: u64,
+    /// Highest sequence number the core had completed at timeout.
+    pub completed: u64,
+}
+
+impl std::fmt::Display for FlushTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "core {} did not acknowledge seq {} (completed {})",
+            self.core, self.seq, self.completed
+        )
+    }
+}
+
+impl std::error::Error for FlushTimeout {}
+
 /// One per-core command queue over shared physical memory. Cloneable:
 /// controller and hypervisor each hold a handle onto the same region.
 #[derive(Clone)]
@@ -114,6 +169,9 @@ pub struct CmdQueue {
     mem: Arc<PhysMemory>,
     base: HostPhysAddr,
     ring: SharedRing,
+    /// The core this queue serves (diagnostic only; carried into
+    /// [`FlushTimeout`] errors).
+    core: u64,
 }
 
 impl CmdQueue {
@@ -127,21 +185,44 @@ impl CmdQueue {
         if range.len < Self::required_bytes() {
             return Err(RingError::Corrupt);
         }
-        mem.write_u64(range.start.add(OFF_COMPLETION), 0).map_err(|_| RingError::Corrupt)?;
-        mem.write_u64(range.start.add(OFF_NEXT_SEQ), 1).map_err(|_| RingError::Corrupt)?;
+        mem.write_u64(range.start.add(OFF_COMPLETION), 0)
+            .map_err(|_| RingError::Corrupt)?;
+        mem.write_u64(range.start.add(OFF_NEXT_SEQ), 1)
+            .map_err(|_| RingError::Corrupt)?;
         let ring = SharedRing::create(
             mem,
             PhysRange::new(range.start.add(OFF_RING), range.len - OFF_RING),
             CMD_SLOTS,
             CMD_SLOT,
         )?;
-        Ok(CmdQueue { mem: Arc::clone(mem), base: range.start, ring })
+        Ok(CmdQueue {
+            mem: Arc::clone(mem),
+            base: range.start,
+            ring,
+            core: 0,
+        })
     }
 
     /// Attach to an existing queue (hypervisor side, from boot parameters).
     pub fn attach(mem: &Arc<PhysMemory>, base: HostPhysAddr) -> Result<Self, RingError> {
         let ring = SharedRing::attach(mem, base.add(OFF_RING))?;
-        Ok(CmdQueue { mem: Arc::clone(mem), base, ring })
+        Ok(CmdQueue {
+            mem: Arc::clone(mem),
+            base,
+            ring,
+            core: 0,
+        })
+    }
+
+    /// Tag the queue with the core it serves (for timeout diagnostics).
+    pub fn with_core(mut self, core: u64) -> Self {
+        self.core = core;
+        self
+    }
+
+    /// The core this queue serves.
+    pub fn core(&self) -> u64 {
+        self.core
     }
 
     /// The queue's base address (recorded in the Covirt boot parameters).
@@ -149,23 +230,89 @@ impl CmdQueue {
         self.base
     }
 
-    /// Controller: post a command, returning its sequence number. The
-    /// caller is responsible for signalling the target core with an NMI.
-    pub fn post(&self, cmd: Command) -> Result<u64, RingError> {
+    fn alloc_seq(&self) -> Result<u64, RingError> {
         // Sequence numbers live in shared memory so any controller thread
         // allocates them consistently.
         let (backing, off) = self
             .mem
             .resolve(self.base.add(OFF_NEXT_SEQ), 8)
             .map_err(|_| RingError::Corrupt)?;
-        let seq = loop {
+        loop {
             let cur = backing.read_u64_acquire(off);
             if backing.cas_u64(off, cur, cur + 1).is_ok() {
-                break cur;
+                return Ok(cur);
             }
-        };
-        self.ring.push(&SeqCommand { seq, cmd }.encode())?;
-        Ok(seq)
+        }
+    }
+
+    /// Controller: post a command, returning its sequence number. The
+    /// caller is responsible for signalling the target core with an NMI.
+    ///
+    /// A full ring does not fail the caller: pending flush commands are
+    /// drained and merged into a single `TlbFlushAll` (see
+    /// [`Command::is_flush`]), which both makes room and subsumes the
+    /// drained work.
+    pub fn post(&self, cmd: Command) -> Result<u64, RingError> {
+        let seq = self.alloc_seq()?;
+        match self.ring.push(&SeqCommand { seq, cmd }.encode()) {
+            Ok(()) => Ok(seq),
+            Err(RingError::Full) => self.post_coalescing(cmd),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Slow path when the ring is full: drain it, merge every flush-class
+    /// command into one `TlbFlushAll`, re-post the rest, then post `cmd`.
+    ///
+    /// Soundness: flush commands are idempotent and mutually subsumable, so
+    /// replacing N of them with one `TlbFlushAll` carrying a *fresh,
+    /// maximal* sequence number preserves every waiter's contract — the
+    /// completion counter is a monotonic max, so acknowledging the merged
+    /// command also acknowledges every drained sequence number below it.
+    /// Racing the hypervisor's own drain is harmless for the same reason:
+    /// a command observed by both sides executes twice, and every command
+    /// in the protocol is idempotent.
+    fn post_coalescing(&self, cmd: Command) -> Result<u64, RingError> {
+        let mut kept = Vec::new();
+        let mut flushes = 0u64;
+        while let Ok(buf) = self.ring.pop() {
+            if let Some(c) = SeqCommand::decode(&buf) {
+                if c.cmd.is_flush() {
+                    flushes += 1;
+                } else {
+                    kept.push(c);
+                }
+            }
+        }
+        for c in &kept {
+            self.ring.push(&c.encode())?;
+        }
+        if cmd.is_flush() {
+            // The merged flush covers the drained flushes *and* `cmd`.
+            let seq = self.alloc_seq()?;
+            self.ring.push(
+                &SeqCommand {
+                    seq,
+                    cmd: Command::TlbFlushAll,
+                }
+                .encode(),
+            )?;
+            Ok(seq)
+        } else {
+            if flushes > 0 {
+                let seq = self.alloc_seq()?;
+                self.ring.push(
+                    &SeqCommand {
+                        seq,
+                        cmd: Command::TlbFlushAll,
+                    }
+                    .encode(),
+                )?;
+            }
+            let seq = self.alloc_seq()?;
+            self.ring.push(&SeqCommand { seq, cmd }.encode())?;
+            Ok(seq)
+        }
     }
 
     /// Hypervisor: drain all pending commands.
@@ -195,18 +342,42 @@ impl CmdQueue {
 
     /// Highest completed sequence number.
     pub fn completed(&self) -> u64 {
-        self.mem.read_u64(self.base.add(OFF_COMPLETION)).unwrap_or(0)
+        self.mem
+            .read_u64(self.base.add(OFF_COMPLETION))
+            .unwrap_or(0)
     }
 
-    /// Controller: spin until `seq` completes or `spins` polls elapse.
-    pub fn wait(&self, seq: u64, spins: u64) -> bool {
-        for _ in 0..spins {
+    /// Controller: wait until `seq` completes or `spins` polls elapse.
+    ///
+    /// The wait escalates: the first polls busy-spin (the common case — a
+    /// core in its NMI handler acknowledges within nanoseconds), then yield
+    /// the CPU, then back off with short sleeps so a slow core never costs
+    /// the controller a saturated CPU. On timeout the error names the stuck
+    /// core and how far it got.
+    pub fn wait(&self, seq: u64, spins: u64) -> Result<(), FlushTimeout> {
+        const SPIN_POLLS: u64 = 128;
+        const YIELD_POLLS: u64 = 4096;
+        for i in 0..spins {
             if self.completed() >= seq {
-                return true;
+                return Ok(());
             }
-            std::thread::yield_now();
+            if i < SPIN_POLLS {
+                std::hint::spin_loop();
+            } else if i < YIELD_POLLS {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(20));
+            }
         }
-        self.completed() >= seq
+        if self.completed() >= seq {
+            Ok(())
+        } else {
+            Err(FlushTimeout {
+                core: self.core,
+                seq,
+                completed: self.completed(),
+            })
+        }
     }
 
     /// Pending (unconsumed) command count.
@@ -223,7 +394,9 @@ mod tests {
 
     fn queue() -> (Arc<PhysMemory>, CmdQueue) {
         let mem = Arc::new(PhysMemory::new(&[16 * 1024 * 1024]));
-        let range = mem.alloc_backed(ZoneId(0), CmdQueue::required_bytes(), PAGE_SIZE_4K).unwrap();
+        let range = mem
+            .alloc_backed(ZoneId(0), CmdQueue::required_bytes(), PAGE_SIZE_4K)
+            .unwrap();
         let q = CmdQueue::create(&mem, range).unwrap();
         (mem, q)
     }
@@ -234,6 +407,10 @@ mod tests {
         let cmds = [
             Command::TlbFlushAll,
             Command::TlbFlushPage { gva: 0x20_0000 },
+            Command::TlbFlushRange {
+                gva: 0x40_0000,
+                len: 2 * 1024 * 1024,
+            },
             Command::ReloadVmcs,
             Command::Terminate,
             Command::Sync,
@@ -242,9 +419,9 @@ mod tests {
         for c in cmds {
             seqs.push(q.post(c).unwrap());
         }
-        assert_eq!(q.pending(), 5);
+        assert_eq!(q.pending(), 6);
         let drained = q.drain();
-        assert_eq!(drained.len(), 5);
+        assert_eq!(drained.len(), 6);
         for (i, d) in drained.iter().enumerate() {
             assert_eq!(d.seq, seqs[i]);
             assert_eq!(d.cmd, cmds[i]);
@@ -258,12 +435,69 @@ mod tests {
         let s1 = q.post(Command::Sync).unwrap();
         let s2 = q.post(Command::TlbFlushAll).unwrap();
         assert!(s2 > s1);
-        assert!(!q.wait(s1, 1));
+        assert!(q.wait(s1, 1).is_err());
         for c in q.drain() {
             q.complete(c.seq);
         }
-        assert!(q.wait(s2, 1));
+        assert!(q.wait(s2, 1).is_ok());
         assert_eq!(q.completed(), s2);
+    }
+
+    #[test]
+    fn timeout_error_names_core_and_progress() {
+        let (_m, q) = queue();
+        let q = q.with_core(7);
+        let s = q.post(Command::Sync).unwrap();
+        let err = q.wait(s, 1).unwrap_err();
+        assert_eq!(err.core, 7);
+        assert_eq!(err.seq, s);
+        assert_eq!(err.completed, 0);
+        assert!(err.to_string().contains("core 7"));
+    }
+
+    #[test]
+    fn full_ring_of_flushes_coalesces_instead_of_failing() {
+        let (_m, q) = queue();
+        // Fill the ring to capacity with flush commands.
+        let mut seqs = Vec::new();
+        for i in 0..CMD_SLOTS {
+            seqs.push(q.post(Command::TlbFlushPage { gva: i * 4096 }).unwrap());
+        }
+        assert_eq!(q.pending(), CMD_SLOTS);
+        // The next post coalesces rather than erroring.
+        let merged = q
+            .post(Command::TlbFlushRange { gva: 0, len: 4096 })
+            .unwrap();
+        assert!(merged > *seqs.last().unwrap());
+        let drained = q.drain();
+        assert_eq!(drained.len(), 1, "flushes must merge into a single command");
+        assert_eq!(drained[0].cmd, Command::TlbFlushAll);
+        assert_eq!(drained[0].seq, merged);
+        // Completing the merged command releases every earlier waiter.
+        q.complete(merged);
+        for s in seqs {
+            assert!(q.wait(s, 1).is_ok());
+        }
+    }
+
+    #[test]
+    fn coalescing_preserves_non_flush_commands() {
+        let (_m, q) = queue();
+        let reload = q.post(Command::ReloadVmcs).unwrap();
+        for i in 0..CMD_SLOTS - 1 {
+            q.post(Command::TlbFlushPage { gva: i * 4096 }).unwrap();
+        }
+        assert_eq!(q.pending(), CMD_SLOTS);
+        let sync = q.post(Command::Sync).unwrap();
+        let drained = q.drain();
+        // ReloadVmcs survives with its original seq; the flushes merged;
+        // the new Sync landed last.
+        assert_eq!(drained.len(), 3);
+        assert_eq!(drained[0].cmd, Command::ReloadVmcs);
+        assert_eq!(drained[0].seq, reload);
+        assert_eq!(drained[1].cmd, Command::TlbFlushAll);
+        assert_eq!(drained[2].cmd, Command::Sync);
+        assert_eq!(drained[2].seq, sync);
     }
 
     #[test]
@@ -282,7 +516,7 @@ mod tests {
         let drained = other.drain();
         assert_eq!(drained.len(), 1);
         other.complete(drained[0].seq);
-        assert!(q.wait(drained[0].seq, 1));
+        assert!(q.wait(drained[0].seq, 1).is_ok());
     }
 
     #[test]

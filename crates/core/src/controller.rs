@@ -30,7 +30,7 @@ use covirt_simhw::paging::FramePool;
 use covirt_simhw::topology::ZoneId;
 use hobbes::events::HobbesHooks;
 use hobbes::MasterControl;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use pisces::boot::{BootPlan, BootTarget};
 use pisces::enclave::Enclave;
 use pisces::hooks::EnclaveHooks;
@@ -41,6 +41,17 @@ use std::sync::{Arc, Weak};
 
 /// Bytes of host memory reserved per enclave for EPT table frames.
 const EPT_POOL_BYTES: u64 = 16 * 1024 * 1024;
+
+/// Reclaims at or below this size are shot down with `TlbFlushRange`
+/// commands; larger ones fall back to a full flush (invalidating the whole
+/// TLB is cheaper than sweeping it per-range once the range dwarfs the TLB
+/// reach).
+const DEFAULT_RANGE_FLUSH_THRESHOLD: u64 = 16 * 1024 * 1024;
+
+/// At most this many coalesced ranges ride in one shootdown before the
+/// controller merges them into a single full flush (the command ring holds
+/// 32 slots; leave headroom for unrelated commands).
+const MAX_RANGE_FLUSH_CMDS: usize = 8;
 
 /// The controller module. One instance manages every Covirt-protected
 /// enclave on the node.
@@ -53,6 +64,13 @@ pub struct CovirtController {
     pub faults: FaultLog,
     /// Spin budget when waiting for per-core flush completions.
     flush_spins: RwLock<u64>,
+    /// Size threshold selecting range-flush vs full-flush shootdowns.
+    range_flush_threshold: RwLock<u64>,
+    /// Ranges unmapped inside an open reclaim epoch, awaiting the single
+    /// coalesced shootdown at epoch close (keyed by enclave).
+    pending_reclaims: Mutex<HashMap<u64, Vec<PhysRange>>>,
+    /// Broadcast shootdowns issued (instrumentation).
+    shootdowns: RwLock<u64>,
 }
 
 impl CovirtController {
@@ -65,6 +83,9 @@ impl CovirtController {
             master: RwLock::new(None),
             faults: FaultLog::new(),
             flush_spins: RwLock::new(1_000_000),
+            range_flush_threshold: RwLock::new(DEFAULT_RANGE_FLUSH_THRESHOLD),
+            pending_reclaims: Mutex::new(HashMap::new()),
+            shootdowns: RwLock::new(0),
         })
     }
 
@@ -88,12 +109,28 @@ impl CovirtController {
 
     /// The virtualization context for an enclave.
     pub fn context(&self, enclave: u64) -> CovirtResult<Arc<VirtContext>> {
-        self.contexts.read().get(&enclave).cloned().ok_or(CovirtError::NoContext(enclave))
+        self.contexts
+            .read()
+            .get(&enclave)
+            .cloned()
+            .ok_or(CovirtError::NoContext(enclave))
     }
 
     /// Bound the flush-completion wait (tests use small values).
     pub fn set_flush_spins(&self, spins: u64) {
         *self.flush_spins.write() = spins;
+    }
+
+    /// Reclaims at or below `bytes` use `TlbFlushRange` shootdowns; larger
+    /// ones fall back to `TlbFlushAll`. `0` disables range flushes entirely
+    /// (ablation knob).
+    pub fn set_range_flush_threshold(&self, bytes: u64) {
+        *self.range_flush_threshold.write() = bytes;
+    }
+
+    /// How many broadcast shootdowns this controller has issued.
+    pub fn shootdown_count(&self) -> u64 {
+        *self.shootdowns.read()
     }
 
     /// Build the full virtualization context for an enclave about to boot.
@@ -109,21 +146,24 @@ impl CovirtController {
                 .mem
                 .alloc_backed(ZoneId(0), EPT_POOL_BYTES, PAGE_SIZE_4K)
                 .map_err(PiscesError::Hw)?;
-            let ept = Ept::new(Arc::new(FramePool::new(Arc::clone(&self.node.mem), pool_region)))
-                .map_err(PiscesError::Hw)?;
+            let ept = Ept::new(Arc::new(FramePool::new(
+                Arc::clone(&self.node.mem),
+                pool_region,
+            )))
+            .map_err(PiscesError::Hw)?;
             for r in &res.mem {
                 ept.map_identity(*r, 3).map_err(PiscesError::Hw)?;
             }
             // The management region (boot structures, control channel,
             // command queues) must be guest-reachable too.
-            ept.map_identity(enclave.mgmt_region, 1).map_err(PiscesError::Hw)?;
+            ept.map_identity(enclave.mgmt_region, 1)
+                .map_err(PiscesError::Hw)?;
             Some(Arc::new(ept))
         } else {
             None
         };
 
-        let mut vctx =
-            VirtContext::new(enclave.id.0, self.config, &cores, &res.ipi_vectors, ept);
+        let mut vctx = VirtContext::new(enclave.id.0, self.config, &cores, &res.ipi_vectors, ept);
 
         // Pre-boot VMCS guest state: every core launches "at the kernel
         // entry" with RDI = the unmodified Pisces boot parameters.
@@ -141,7 +181,8 @@ impl CovirtController {
             let base = cmdq_addr(enclave.mgmt_region.start, i);
             let range = PhysRange::new(base, crate::boot::CMDQ_STRIDE);
             let q = CmdQueue::create(&self.node.mem, range)
-                .map_err(|_| PiscesError::Invalid("command queue creation failed"))?;
+                .map_err(|_| PiscesError::Invalid("command queue creation failed"))?
+                .with_core(core as u64);
             queues.push((core as u64, base.raw()));
             vctx.set_cmdq(core, q);
         }
@@ -156,16 +197,27 @@ impl CovirtController {
             cmd_queues: queues,
             pisces_params_addr: plan.pisces_params_addr.raw(),
         };
-        cbp.write_to(&self.node.mem, enclave.mgmt_region.start.add(COVIRT_PARAMS_OFFSET))
-            .map_err(PiscesError::Hw)?;
+        cbp.write_to(
+            &self.node.mem,
+            enclave.mgmt_region.start.add(COVIRT_PARAMS_OFFSET),
+        )
+        .map_err(PiscesError::Hw)?;
 
         let vctx = Arc::new(vctx);
-        self.contexts.write().insert(enclave.id.0, Arc::clone(&vctx));
+        self.contexts
+            .write()
+            .insert(enclave.id.0, Arc::clone(&vctx));
         Ok(vctx)
     }
 
-    /// Unmap a range and synchronize every live core's TLB through the
-    /// command queue + NMI protocol. Blocks until each core acknowledges.
+    /// Unmap a range and synchronize every live core's TLB.
+    ///
+    /// The EPT edit is always immediate — a stale *mapping* must never
+    /// outlive the reclaim decision. Synchronization is either immediate
+    /// (one broadcast shootdown covering just this range) or, when a
+    /// reclaim epoch is open for the enclave, deferred: the range joins
+    /// the epoch's pending set and a single coalesced shootdown covers
+    /// every range when the epoch closes.
     fn unmap_and_flush(&self, enclave: u64, range: PhysRange) -> Result<(), String> {
         let Some(vctx) = self.contexts.read().get(&enclave).cloned() else {
             return Ok(()); // not a Covirt-managed enclave
@@ -175,24 +227,129 @@ impl CovirtController {
         };
         ept.unmap(range).map_err(|e| e.to_string())?;
 
-        // Only cores actually executing in guest mode can hold stale TLB
-        // entries; post a flush to each and wait for completion.
+        {
+            let mut pending = self.pending_reclaims.lock();
+            if let Some(ranges) = pending.get_mut(&enclave) {
+                ranges.push(range);
+                return Ok(()); // epoch open — shootdown deferred to close
+            }
+        }
+        self.broadcast_shootdown(&vctx, &[range])
+    }
+
+    /// Two-phase broadcast TLB shootdown.
+    ///
+    /// Phase 1 posts flush commands to *every* live core and fires all the
+    /// NMIs before waiting on anything, so the per-core flushes execute
+    /// concurrently; phase 2 collects the completions in a single pass.
+    /// Total latency is therefore max(per-core flush) + one NMI delivery,
+    /// not the sum over cores the old post-wait-per-core loop paid.
+    ///
+    /// Command selection: if every range fits under the range-flush
+    /// threshold (and there are few enough to leave ring headroom), each
+    /// core gets per-range `TlbFlushRange` commands and keeps its
+    /// unrelated TLB entries; otherwise a single `TlbFlushAll`.
+    fn broadcast_shootdown(&self, vctx: &VirtContext, ranges: &[PhysRange]) -> Result<(), String> {
+        if ranges.is_empty() {
+            return Ok(());
+        }
         let spins = *self.flush_spins.read();
+        let threshold = *self.range_flush_threshold.read();
+        let use_ranges = threshold > 0
+            && ranges.len() <= MAX_RANGE_FLUSH_CMDS
+            && ranges.iter().all(|r| r.len <= threshold);
+
+        // Phase 1: post commands + fire NMIs to all live cores.
         let mut waits = Vec::new();
         for core in vctx.live_cores() {
             if let Some(q) = vctx.cmdq(core) {
-                let seq = q.post(Command::TlbFlushAll).map_err(|e| e.to_string())?;
+                let seq = if use_ranges {
+                    let mut last = 0;
+                    for r in ranges {
+                        // The LWK identity-maps its assignment, so the
+                        // guest-virtual address of a reclaimed frame is its
+                        // guest-physical address.
+                        last = q
+                            .post(Command::TlbFlushRange {
+                                gva: r.start.raw(),
+                                len: r.len,
+                            })
+                            .map_err(|e| e.to_string())?;
+                    }
+                    last
+                } else {
+                    q.post(Command::TlbFlushAll).map_err(|e| e.to_string())?
+                };
                 self.node
                     .interconnect
                     .send(0, IpiDest::Core(core), DeliveryMode::Nmi)
                     .map_err(|e| e.to_string())?;
-                waits.push((core, q.clone(), seq));
+                waits.push((q.clone(), seq));
             }
         }
-        for (core, q, seq) in waits {
-            if !q.wait(seq, spins) {
-                return Err(format!("core {core} did not acknowledge TLB flush"));
+
+        // Phase 2: wait on all completions in one pass.
+        for (q, seq) in waits {
+            q.wait(seq, spins)
+                .map_err(|e| format!("TLB shootdown failed: {e}"))?;
+        }
+        *self.shootdowns.write() += 1;
+        Ok(())
+    }
+
+    /// Open a reclaim epoch for an enclave: until [`end_reclaim_epoch`]
+    /// runs, every reclaim unmaps its range immediately but defers TLB
+    /// synchronization, and the close issues one coalesced shootdown for
+    /// all of them.
+    ///
+    /// Safety contract: while the epoch is open, reclaimed ranges are
+    /// unmapped but may still sit in live TLBs — the caller must not
+    /// recycle the underlying frames until `end_reclaim_epoch` returns
+    /// `Ok`.
+    ///
+    /// [`end_reclaim_epoch`]: Self::end_reclaim_epoch
+    pub fn begin_reclaim_epoch(&self, enclave: u64) {
+        self.pending_reclaims.lock().entry(enclave).or_default();
+    }
+
+    /// Close a reclaim epoch: one broadcast shootdown covering every range
+    /// reclaimed since [`begin_reclaim_epoch`]. Blocks until all live
+    /// cores acknowledge; only then may the frames be reused.
+    ///
+    /// [`begin_reclaim_epoch`]: Self::begin_reclaim_epoch
+    pub fn end_reclaim_epoch(&self, enclave: u64) -> Result<(), String> {
+        let Some(ranges) = self.pending_reclaims.lock().remove(&enclave) else {
+            return Ok(()); // no epoch was open
+        };
+        let Some(vctx) = self.contexts.read().get(&enclave).cloned() else {
+            return Ok(());
+        };
+        self.broadcast_shootdown(&vctx, &ranges)
+    }
+
+    /// Run one broadcast round-trip (post a `Sync` to every live core,
+    /// NMI, wait for all acks) without touching any state. This is the
+    /// pure synchronization cost of a shootdown — benchmarks use it to
+    /// measure how latency scales with core count.
+    pub fn shootdown_barrier(&self, enclave: u64) -> Result<(), String> {
+        let Some(vctx) = self.contexts.read().get(&enclave).cloned() else {
+            return Ok(());
+        };
+        let spins = *self.flush_spins.read();
+        let mut waits = Vec::new();
+        for core in vctx.live_cores() {
+            if let Some(q) = vctx.cmdq(core) {
+                let seq = q.post(Command::Sync).map_err(|e| e.to_string())?;
+                self.node
+                    .interconnect
+                    .send(0, IpiDest::Core(core), DeliveryMode::Nmi)
+                    .map_err(|e| e.to_string())?;
+                waits.push((q.clone(), seq));
             }
+        }
+        for (q, seq) in waits {
+            q.wait(seq, spins)
+                .map_err(|e| format!("shootdown barrier failed: {e}"))?;
         }
         Ok(())
     }
@@ -293,7 +450,10 @@ mod tests {
     }
 
     fn req() -> ResourceRequest {
-        ResourceRequest::new(vec![CoreId(1), CoreId(2)], vec![(ZoneId(0), 64 * 1024 * 1024)])
+        ResourceRequest::new(
+            vec![CoreId(1), CoreId(2)],
+            vec![(ZoneId(0), 64 * 1024 * 1024)],
+        )
     }
 
     #[test]
@@ -344,7 +504,10 @@ mod tests {
         let (master, ctl) = setup(CovirtConfig::MEM);
         let (enclave, kernel) = master.bring_up_enclave("e0", &req()).unwrap();
         let vctx = ctl.context(enclave.id.0).unwrap();
-        let range = master.pisces().add_memory(&enclave, ZoneId(0), 4 * 1024 * 1024).unwrap();
+        let range = master
+            .pisces()
+            .add_memory(&enclave, ZoneId(0), 4 * 1024 * 1024)
+            .unwrap();
         // EPT mapping exists even though the kernel has not polled yet.
         assert!(vctx
             .ept
@@ -356,7 +519,10 @@ mod tests {
                 &DirectLoad(&master.pisces().node().mem)
             )
             .is_ok());
-        assert!(!kernel.memmap().contains(range.start, 8), "guest map updates only on poll");
+        assert!(
+            !kernel.memmap().contains(range.start, 8),
+            "guest map updates only on poll"
+        );
         kernel.poll_ctrl().unwrap();
         assert!(kernel.memmap().contains(range.start, 8));
     }
@@ -366,13 +532,19 @@ mod tests {
         let (master, ctl) = setup(CovirtConfig::MEM);
         let (enclave, kernel) = master.bring_up_enclave("e0", &req()).unwrap();
         let vctx = ctl.context(enclave.id.0).unwrap();
-        let range = master.pisces().add_memory(&enclave, ZoneId(0), 2 * 1024 * 1024).unwrap();
+        let range = master
+            .pisces()
+            .add_memory(&enclave, ZoneId(0), 2 * 1024 * 1024)
+            .unwrap();
         kernel.poll_ctrl().unwrap();
         master.pisces().process_acks(&enclave).unwrap();
 
-        master.pisces().request_remove_memory(&enclave, range).unwrap();
+        master
+            .pisces()
+            .request_remove_memory(&enclave, range)
+            .unwrap();
         kernel.poll_ctrl().unwrap(); // guest acks
-        // No live guest cores → flush completes immediately.
+                                     // No live guest cores → flush completes immediately.
         master.pisces().process_acks(&enclave).unwrap();
         assert!(vctx
             .ept
@@ -384,6 +556,76 @@ mod tests {
                 &DirectLoad(&master.pisces().node().mem)
             )
             .is_err());
+    }
+
+    #[test]
+    fn epoch_coalesces_reclaims_into_one_shootdown() {
+        let (master, ctl) = setup(CovirtConfig::MEM);
+        let (enclave, kernel) = master.bring_up_enclave("e0", &req()).unwrap();
+        let vctx = ctl.context(enclave.id.0).unwrap();
+        let r1 = master
+            .pisces()
+            .add_memory(&enclave, ZoneId(0), 2 * 1024 * 1024)
+            .unwrap();
+        let r2 = master
+            .pisces()
+            .add_memory(&enclave, ZoneId(0), 2 * 1024 * 1024)
+            .unwrap();
+        kernel.poll_ctrl().unwrap();
+        master.pisces().process_acks(&enclave).unwrap();
+        let before = ctl.shootdown_count();
+
+        ctl.begin_reclaim_epoch(enclave.id.0);
+        for r in [r1, r2] {
+            master.pisces().request_remove_memory(&enclave, r).unwrap();
+            kernel.poll_ctrl().unwrap();
+            master.pisces().process_acks(&enclave).unwrap();
+            // The unmap is immediate even though the shootdown is deferred.
+            assert!(vctx
+                .ept
+                .as_ref()
+                .unwrap()
+                .translate(
+                    covirt_simhw::addr::GuestPhysAddr::new(r.start.raw()),
+                    Access::Read,
+                    &DirectLoad(&master.pisces().node().mem)
+                )
+                .is_err());
+        }
+        assert_eq!(
+            ctl.shootdown_count(),
+            before,
+            "shootdown deferred while epoch open"
+        );
+        ctl.end_reclaim_epoch(enclave.id.0).unwrap();
+        assert_eq!(
+            ctl.shootdown_count(),
+            before + 1,
+            "both reclaims rode one shootdown"
+        );
+    }
+
+    #[test]
+    fn reclaims_outside_epoch_each_shoot_down() {
+        let (master, ctl) = setup(CovirtConfig::MEM);
+        let (enclave, kernel) = master.bring_up_enclave("e0", &req()).unwrap();
+        let r1 = master
+            .pisces()
+            .add_memory(&enclave, ZoneId(0), 2 * 1024 * 1024)
+            .unwrap();
+        let r2 = master
+            .pisces()
+            .add_memory(&enclave, ZoneId(0), 2 * 1024 * 1024)
+            .unwrap();
+        kernel.poll_ctrl().unwrap();
+        master.pisces().process_acks(&enclave).unwrap();
+        let before = ctl.shootdown_count();
+        for r in [r1, r2] {
+            master.pisces().request_remove_memory(&enclave, r).unwrap();
+            kernel.poll_ctrl().unwrap();
+            master.pisces().process_acks(&enclave).unwrap();
+        }
+        assert_eq!(ctl.shootdown_count(), before + 2);
     }
 
     #[test]
@@ -452,7 +694,10 @@ mod tests {
         let (enclave, _kernel) = master.bring_up_enclave("e0", &req()).unwrap();
         assert!(ctl.context(enclave.id.0).is_ok());
         master.pisces().teardown(&enclave).unwrap();
-        assert!(matches!(ctl.context(enclave.id.0), Err(CovirtError::NoContext(_))));
+        assert!(matches!(
+            ctl.context(enclave.id.0),
+            Err(CovirtError::NoContext(_))
+        ));
     }
 
     #[test]
@@ -462,11 +707,17 @@ mod tests {
         let vctx = ctl.context(enclave.id.0).unwrap();
         assert!(vctx.ept.is_none());
         // Reclaim with no EPT is a no-op and must not fail.
-        let range = master.pisces().add_memory(&enclave, ZoneId(0), 2 * 1024 * 1024).unwrap();
+        let range = master
+            .pisces()
+            .add_memory(&enclave, ZoneId(0), 2 * 1024 * 1024)
+            .unwrap();
         let k = master.kernel(enclave.id.0).unwrap();
         k.poll_ctrl().unwrap();
         master.pisces().process_acks(&enclave).unwrap();
-        master.pisces().request_remove_memory(&enclave, range).unwrap();
+        master
+            .pisces()
+            .request_remove_memory(&enclave, range)
+            .unwrap();
         k.poll_ctrl().unwrap();
         master.pisces().process_acks(&enclave).unwrap();
     }

@@ -24,7 +24,7 @@ use crate::{CovirtError, CovirtResult};
 use covirt_simhw::addr::{GuestPhysAddr, HostPhysAddr};
 use covirt_simhw::apic::{IcrCommand, ICR_MODE_FIXED, ICR_SH_NONE};
 use covirt_simhw::cpu::Cpu;
-use covirt_simhw::ept::Ept;
+use covirt_simhw::ept::{Ept, WalkCache};
 use covirt_simhw::error::HwError;
 use covirt_simhw::exit::ExitReason;
 use covirt_simhw::memory::PhysMemory;
@@ -61,6 +61,11 @@ pub struct CoreCounters {
     pub posted_harvested: u64,
     /// Safe-point polls executed.
     pub polls: u64,
+    /// EPT walk-cache hits (guest PT-entry loads answered without an EPT
+    /// walk).
+    pub walk_cache_hits: u64,
+    /// EPT walk-cache misses (PT-entry loads that paid the full EPT walk).
+    pub walk_cache_misses: u64,
 }
 
 /// Outcome of executing an injected fault (see [`GuestCore::execute_fault`]).
@@ -92,16 +97,36 @@ pub enum FaultOutcome {
 /// Nested table-entry loader: every guest page-table entry load itself
 /// goes through an EPT walk, which is how nested paging multiplies walk
 /// cost on hardware (up to 24 loads for a 4-level guest walk).
+///
+/// When a [`WalkCache`] is attached it models the hardware paging-structure
+/// cache: PT-entry pages whose EPT translation is cached (and whose fill
+/// generation still matches) resolve in zero extra loads. The generation is
+/// sampled once per guest walk — a concurrent controller unmap invalidates
+/// every cached line for subsequent walks, never mid-line.
 struct NestedLoad<'a> {
     ept: &'a Ept,
     mem: &'a PhysMemory,
     loads: Cell<u32>,
+    cache: Option<&'a WalkCache>,
+    generation: u64,
 }
 
 impl TableLoad for NestedLoad<'_> {
     fn translate_entry_addr(&self, pa: HostPhysAddr) -> Result<(HostPhysAddr, u32), HwError> {
-        let t = self.ept.translate(GuestPhysAddr::new(pa.raw()), Access::Read, &DirectLoad(self.mem))?;
+        if let Some(cache) = self.cache {
+            if let Some(host) = cache.lookup(pa.raw(), self.generation) {
+                return Ok((HostPhysAddr::new(host), 0));
+            }
+        }
+        let t = self.ept.translate(
+            GuestPhysAddr::new(pa.raw()),
+            Access::Read,
+            &DirectLoad(self.mem),
+        )?;
         self.loads.set(self.loads.get() + t.loads);
+        if let Some(cache) = self.cache {
+            cache.insert(pa.raw(), t.pa.raw(), self.generation);
+        }
         Ok((t.pa, t.loads))
     }
 }
@@ -117,6 +142,9 @@ pub struct GuestCore {
     hv: Option<Hypervisor>,
     controller: Option<Arc<CovirtController>>,
     tlb: Tlb,
+    /// Paging-structure cache for nested walks (per-core, like the TLB).
+    walk_cache: WalkCache,
+    walk_cache_enabled: bool,
     /// Instrumentation.
     pub counters: CoreCounters,
     terminated: Option<String>,
@@ -140,6 +168,8 @@ impl GuestCore {
             hv: None,
             controller: None,
             tlb: Tlb::new(tlb),
+            walk_cache: WalkCache::new(WalkCache::DEFAULT_ENTRIES),
+            walk_cache_enabled: true,
             counters: CoreCounters::default(),
             terminated: None,
         };
@@ -169,6 +199,8 @@ impl GuestCore {
             hv: Some(hv),
             controller: Some(controller),
             tlb: Tlb::new(tlb),
+            walk_cache: WalkCache::new(WalkCache::DEFAULT_ENTRIES),
+            walk_cache_enabled: true,
             counters: CoreCounters::default(),
             terminated: None,
         };
@@ -209,6 +241,11 @@ impl GuestCore {
     /// TLB statistics snapshot.
     pub fn tlb_stats(&self) -> covirt_simhw::tlb::TlbStats {
         self.tlb.stats()
+    }
+
+    /// Enable or disable the EPT walk cache (ablation knob; on by default).
+    pub fn set_walk_cache_enabled(&mut self, enabled: bool) {
+        self.walk_cache_enabled = enabled;
     }
 
     /// If the enclave was terminated on this core, why.
@@ -254,12 +291,24 @@ impl GuestCore {
 
         let (t, writable) = if let Some(ept) = ept.as_deref() {
             // Nested translation: guest walk with EPT-translated entry
-            // loads, then the EPT translation of the final address.
-            let loader = NestedLoad { ept, mem, loads: Cell::new(0) };
+            // loads, then the EPT translation of the final address. The
+            // walk cache short-circuits PT-entry EPT walks; the *data*
+            // page's EPT translation always runs (it carries the access
+            // permission check).
+            let loader = NestedLoad {
+                ept,
+                mem,
+                loads: Cell::new(0),
+                cache: self.walk_cache_enabled.then_some(&self.walk_cache),
+                generation: ept.generation(),
+            };
             let gt = match self.kernel.page_tables.walk(gva, &loader) {
                 Ok(t) => t,
                 Err(HwError::EptViolation { gpa, .. }) => {
                     self.counters.walk_loads += loader.loads.get() as u64;
+                    let (h, m) = self.walk_cache.stats();
+                    self.counters.walk_cache_hits = h;
+                    self.counters.walk_cache_misses = m;
                     return self.ept_violation(gpa, Access::Read);
                 }
                 Err(HwError::PageNotPresent { .. }) => {
@@ -268,6 +317,9 @@ impl GuestCore {
                 Err(e) => return Err(e.into()),
             };
             self.counters.walk_loads += loader.loads.get() as u64;
+            let (h, m) = self.walk_cache.stats();
+            self.counters.walk_cache_hits = h;
+            self.counters.walk_cache_misses = m;
             let et = match ept.translate(GuestPhysAddr::new(gt.pa.raw()), access, &DirectLoad(mem))
             {
                 Ok(t) => t,
@@ -300,13 +352,18 @@ impl GuestCore {
         let page_gva = gva - gva % t.page_size;
         let (backing, off) = mem.resolve(t.page_base, t.page_size)?;
         let base_ptr = backing.ptr_at(off);
-        self.tlb.insert(page_gva, t.page_size, base_ptr, backing, writable);
+        self.tlb
+            .insert(page_gva, t.page_size, base_ptr, backing, writable);
         let in_page = gva - page_gva;
         // SAFETY: in_page < page_size, and the resolve covered the page.
         Ok(unsafe { (base_ptr.add(in_page as usize), t.page_size - in_page) })
     }
 
-    fn ept_violation(&mut self, gpa: GuestPhysAddr, access: Access) -> CovirtResult<(*mut u8, u64)> {
+    fn ept_violation(
+        &mut self,
+        gpa: GuestPhysAddr,
+        access: Access,
+    ) -> CovirtResult<(*mut u8, u64)> {
         let reason = ExitReason::EptViolation(covirt_simhw::ept::EptViolationInfo { gpa, access });
         let hv = self.hv.as_mut().expect("EPT violation without hypervisor");
         match hv.handle_exit(reason, &mut self.tlb) {
@@ -332,7 +389,9 @@ impl GuestCore {
         // SAFETY: p points at 8 aligned mapped bytes inside a live Backing.
         // Relaxed atomic access models coherent DRAM and keeps racing
         // guest accesses (which real co-kernels do perform) defined.
-        Ok(unsafe { (*(p as *const std::sync::atomic::AtomicU64)).load(std::sync::atomic::Ordering::Relaxed) })
+        Ok(unsafe {
+            (*(p as *const std::sync::atomic::AtomicU64)).load(std::sync::atomic::Ordering::Relaxed)
+        })
     }
 
     /// Write a 64-bit word at `gva`.
@@ -521,7 +580,9 @@ impl GuestCore {
         };
         loop {
             let mailbox = self.node.interconnect.mailbox(self.core)?;
-            let Some(vector) = mailbox.irr.pop_highest() else { break };
+            let Some(vector) = mailbox.irr.pop_highest() else {
+                break;
+            };
             if let Some(desc) = piv.as_ref() {
                 if vector == PIV_NOTIFICATION_VECTOR {
                     // Exit-less delivery: harvest the PIR directly.
@@ -566,9 +627,7 @@ impl GuestCore {
                 };
                 match r {
                     Ok(()) => FaultOutcome::CorruptedMemory { addr },
-                    Err(CovirtError::EnclaveTerminated(reason)) => {
-                        FaultOutcome::Contained(reason)
-                    }
+                    Err(CovirtError::EnclaveTerminated(reason)) => FaultOutcome::Contained(reason),
                     Err(e) => FaultOutcome::NodeCrash(e.to_string()),
                 }
             }
@@ -589,7 +648,10 @@ impl GuestCore {
                     .map(|m| m.received.load(std::sync::atomic::Ordering::Relaxed))
                     .unwrap_or(0);
                 if after > before {
-                    FaultOutcome::IpiDelivered { victim, vector: cmd.vector }
+                    FaultOutcome::IpiDelivered {
+                        victim,
+                        vector: cmd.vector,
+                    }
                 } else {
                     FaultOutcome::IpiBlocked
                 }
@@ -631,10 +693,17 @@ mod tests {
             c.attach_hobbes(&master);
             c
         });
-        let req =
-            ResourceRequest::new(vec![CoreId(1), CoreId(2)], vec![(ZoneId(0), 64 * 1024 * 1024)]);
+        let req = ResourceRequest::new(
+            vec![CoreId(1), CoreId(2)],
+            vec![(ZoneId(0), 64 * 1024 * 1024)],
+        );
         let (enclave, kernel) = master.bring_up_enclave("e0", &req).unwrap();
-        World { master, controller, enclave, kernel }
+        World {
+            master,
+            controller,
+            enclave,
+            kernel,
+        }
     }
 
     fn core(w: &World, id: usize) -> GuestCore {
@@ -648,16 +717,16 @@ mod tests {
                 TlbParams::default(),
             )
             .unwrap(),
-            None => {
-                GuestCore::launch_native(node, Arc::clone(&w.kernel), id, TlbParams::default())
-                    .unwrap()
-            }
+            None => GuestCore::launch_native(node, Arc::clone(&w.kernel), id, TlbParams::default())
+                .unwrap(),
         }
     }
 
     fn data_gva(w: &World) -> u64 {
         let mut cursor = 0;
-        w.kernel.alloc_contiguous(4 * 1024 * 1024, &mut cursor).unwrap()
+        w.kernel
+            .alloc_contiguous(4 * 1024 * 1024, &mut cursor)
+            .unwrap()
     }
 
     #[test]
@@ -689,9 +758,83 @@ mod tests {
         assert_eq!(n.read_u64(an).unwrap(), 7);
         assert_eq!(c.read_u64(ac).unwrap(), 7);
         // Same number of walks, many more loads per walk under EPT.
-        assert!(c.counters.walk_loads > 3 * n.counters.walk_loads,
+        assert!(
+            c.counters.walk_loads > 3 * n.counters.walk_loads,
             "nested walk loads ({}) should dwarf native ({})",
-            c.counters.walk_loads, n.counters.walk_loads);
+            c.counters.walk_loads,
+            n.counters.walk_loads
+        );
+    }
+
+    #[test]
+    fn walk_cache_cuts_nested_walk_loads() {
+        let touch = |gc: &mut GuestCore, base: u64| {
+            // Stride 2 MiB: every access is a fresh TLB miss → full walk.
+            for i in 0..2 {
+                gc.read_u64(base + i * 2 * 1024 * 1024).unwrap();
+            }
+            (gc.counters.walk_loads, gc.counters.walks)
+        };
+        let w_on = world(ExecMode::Covirt(CovirtConfig::MEM));
+        let mut on = core(&w_on, 1);
+        let a_on = data_gva(&w_on);
+        on.write_u64(a_on, 1).unwrap(); // warm the cache with one walk
+        let before = on.counters.walk_loads;
+        let (after, _) = touch(&mut on, a_on + 8);
+        let on_loads = after - before;
+
+        let w_off = world(ExecMode::Covirt(CovirtConfig::MEM));
+        let mut off = core(&w_off, 1);
+        off.set_walk_cache_enabled(false);
+        let a_off = data_gva(&w_off);
+        off.write_u64(a_off, 1).unwrap();
+        let before = off.counters.walk_loads;
+        let (after, _) = touch(&mut off, a_off + 8);
+        let off_loads = after - before;
+
+        assert!(
+            on_loads < off_loads,
+            "walk cache must shed PT-entry EPT walks ({on_loads} vs {off_loads} loads)"
+        );
+        assert!(
+            on.counters.walk_cache_hits > 0,
+            "warm walks must hit the cache"
+        );
+        assert_eq!(off.counters.walk_cache_hits, 0, "disabled cache never hits");
+    }
+
+    #[test]
+    fn walk_cache_invalidated_by_reclaim_generation_bump() {
+        let w = world(ExecMode::Covirt(CovirtConfig::MEM));
+        let ctl = w.controller.as_ref().unwrap();
+        let mut gc = core(&w, 1);
+        let a = data_gva(&w);
+        gc.read_u64(a).unwrap();
+        gc.read_u64(a + 2 * 1024 * 1024).unwrap(); // same PT pages → cache hit
+        let hits_before = gc.counters.walk_cache_hits;
+        assert!(hits_before > 0);
+
+        // Unmapping an unrelated grant bumps the EPT generation, which
+        // must invalidate every cached line (conservative model of the
+        // paging-structure cache being flushed with the TLB).
+        let range = w
+            .master
+            .pisces()
+            .add_memory(&w.enclave, ZoneId(0), 2 * 1024 * 1024)
+            .unwrap();
+        w.kernel.poll_ctrl().unwrap();
+        w.master.pisces().process_acks(&w.enclave).unwrap();
+        let ept = ctl.context(w.enclave.id.0).unwrap().ept.clone().unwrap();
+        let gen_before = ept.generation();
+        ept.unmap(range).unwrap();
+        assert!(ept.generation() > gen_before);
+
+        let misses_before = gc.counters.walk_cache_misses;
+        gc.read_u64(a + 4 * 1024 * 1024).unwrap(); // fresh page, same PT path
+        assert!(
+            gc.counters.walk_cache_misses > misses_before,
+            "generation bump must force a cold re-walk"
+        );
     }
 
     #[test]
@@ -733,7 +876,10 @@ mod tests {
         assert!(matches!(w.enclave.state(), pisces::EnclaveState::Failed(_)));
         // Further guest work on this core fails fast.
         let a = data_gva(&w);
-        assert!(matches!(gc.write_u64(a, 1), Err(CovirtError::EnclaveTerminated(_)) | Ok(())));
+        assert!(matches!(
+            gc.write_u64(a, 1),
+            Err(CovirtError::EnclaveTerminated(_)) | Ok(())
+        ));
     }
 
     #[test]
@@ -765,7 +911,14 @@ mod tests {
         let mut gc = core(&w, 1);
         let fault = kitten::faults::errant_ipi(0, 0x2f);
         assert_eq!(gc.execute_fault(fault), FaultOutcome::IpiBlocked);
-        let (_, dropped) = w.controller.as_ref().unwrap().context(w.enclave.id.0).unwrap().whitelist.counts();
+        let (_, dropped) = w
+            .controller
+            .as_ref()
+            .unwrap()
+            .context(w.enclave.id.0)
+            .unwrap()
+            .whitelist
+            .counts();
         assert_eq!(dropped, 1);
     }
 
@@ -774,7 +927,13 @@ mod tests {
         let w = world(ExecMode::Native);
         let mut gc = core(&w, 1);
         let fault = kitten::faults::errant_ipi(0, 0x2f);
-        assert_eq!(gc.execute_fault(fault), FaultOutcome::IpiDelivered { victim: 0, vector: 0x2f });
+        assert_eq!(
+            gc.execute_fault(fault),
+            FaultOutcome::IpiDelivered {
+                victim: 0,
+                vector: 0x2f
+            }
+        );
     }
 
     #[test]
@@ -801,7 +960,11 @@ mod tests {
         receiver.poll().unwrap();
         assert_eq!(receiver.counters.ipi_irqs, 1);
         assert_eq!(receiver.counters.posted_harvested, 1);
-        assert_eq!(receiver.exit_count(), rx_exits_before, "PIV receive must not exit");
+        assert_eq!(
+            receiver.exit_count(),
+            rx_exits_before,
+            "PIV receive must not exit"
+        );
     }
 
     #[test]
@@ -833,7 +996,11 @@ mod tests {
         let mut gc = core(&w, 1);
 
         // Grant a region, touch it (fills TLB), then reclaim it.
-        let range = w.master.pisces().add_memory(&w.enclave, ZoneId(0), 2 * 1024 * 1024).unwrap();
+        let range = w
+            .master
+            .pisces()
+            .add_memory(&w.enclave, ZoneId(0), 2 * 1024 * 1024)
+            .unwrap();
         w.kernel.poll_ctrl().unwrap();
         w.master.pisces().process_acks(&w.enclave).unwrap();
         gc.write_u64(range.start.raw(), 0x11).unwrap();

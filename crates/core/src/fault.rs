@@ -49,7 +49,12 @@ impl FaultLog {
 
     /// Reports for one enclave.
     pub fn for_enclave(&self, enclave: u64) -> Vec<FaultReport> {
-        self.reports.lock().iter().filter(|r| r.enclave == enclave).cloned().collect()
+        self.reports
+            .lock()
+            .iter()
+            .filter(|r| r.enclave == enclave)
+            .cloned()
+            .collect()
     }
 }
 
@@ -61,8 +66,18 @@ mod tests {
     fn log_accumulates() {
         let log = FaultLog::new();
         assert_eq!(log.count(), 0);
-        log.record(FaultReport { enclave: 1, core: 2, reason: "ept".into(), tsc: 10 });
-        log.record(FaultReport { enclave: 2, core: 3, reason: "df".into(), tsc: 20 });
+        log.record(FaultReport {
+            enclave: 1,
+            core: 2,
+            reason: "ept".into(),
+            tsc: 10,
+        });
+        log.record(FaultReport {
+            enclave: 2,
+            core: 3,
+            reason: "df".into(),
+            tsc: 20,
+        });
         assert_eq!(log.count(), 2);
         assert_eq!(log.for_enclave(1).len(), 1);
         assert_eq!(log.for_enclave(3).len(), 0);

@@ -79,7 +79,9 @@ impl Hypervisor {
     /// controller.
     pub fn launch(node: Arc<SimNode>, vctx: Arc<VirtContext>, core: usize) -> CovirtResult<Self> {
         let cpu = Arc::clone(node.cpu(covirt_simhw::topology::CoreId(core))?);
-        let vmcs = vctx.vmcs(core).ok_or(CovirtError::Invalid("core has no VMCS"))?;
+        let vmcs = vctx
+            .vmcs(core)
+            .ok_or(CovirtError::Invalid("core has no VMCS"))?;
         cpu.vmxon()?;
         cpu.vmptrld(Arc::clone(&vmcs))?;
         {
@@ -118,7 +120,10 @@ impl Hypervisor {
         self.cpu.set_mode(CpuMode::HypervisorRoot);
         model_delay_ns(VM_TRANSITION_NS);
         self.exits += 1;
-        self.vmcs.write().record_exit(ExitInfo { reason, tsc: self.node.clock.rdtsc() });
+        self.vmcs.write().record_exit(ExitInfo {
+            reason,
+            tsc: self.node.clock.rdtsc(),
+        });
 
         let action = match reason {
             // Always-exiting instructions, executed directly by the VMM
@@ -232,6 +237,7 @@ impl Hypervisor {
             match sc.cmd {
                 Command::TlbFlushAll => tlb.flush_all(),
                 Command::TlbFlushPage { gva } => tlb.flush_page(gva),
+                Command::TlbFlushRange { gva, len } => tlb.flush_range(gva, len),
                 Command::ReloadVmcs => {
                     // Re-serialize the (controller-edited) VMCS onto the
                     // CPU: in the model, re-issue VMPTRLD.
@@ -332,7 +338,10 @@ mod tests {
     #[test]
     fn cpuid_and_xsetbv_emulated() {
         let (_n, vctx, mut hv, mut tlb) = setup(CovirtConfig::NONE);
-        assert_eq!(hv.handle_exit(ExitReason::Cpuid { leaf: 1 }, &mut tlb), ExitAction::Resume);
+        assert_eq!(
+            hv.handle_exit(ExitReason::Cpuid { leaf: 1 }, &mut tlb),
+            ExitAction::Resume
+        );
         assert_eq!(
             hv.handle_exit(ExitReason::Xsetbv { xcr0: 7 }, &mut tlb),
             ExitAction::Resume
@@ -376,16 +385,35 @@ mod tests {
     fn icr_whitelist_enforced() {
         let (node, vctx, mut hv, mut tlb) = setup(CovirtConfig::MEM_IPI);
         // Allowed: own core 2 with allocated vector 0x40.
-        let ok = IcrCommand { vector: 0x40, mode: ICR_MODE_FIXED, dest: 2, shorthand: ICR_SH_NONE };
+        let ok = IcrCommand {
+            vector: 0x40,
+            mode: ICR_MODE_FIXED,
+            dest: 2,
+            shorthand: ICR_SH_NONE,
+        };
         hv.handle_exit(ExitReason::IcrWrite { value: ok.encode() }, &mut tlb);
         assert!(node.interconnect.mailbox(2).unwrap().irr.test(0x40));
         // Errant: host core 0.
-        let bad = IcrCommand { vector: 0x40, mode: ICR_MODE_FIXED, dest: 0, shorthand: ICR_SH_NONE };
-        hv.handle_exit(ExitReason::IcrWrite { value: bad.encode() }, &mut tlb);
+        let bad = IcrCommand {
+            vector: 0x40,
+            mode: ICR_MODE_FIXED,
+            dest: 0,
+            shorthand: ICR_SH_NONE,
+        };
+        hv.handle_exit(
+            ExitReason::IcrWrite {
+                value: bad.encode(),
+            },
+            &mut tlb,
+        );
         assert!(!node.interconnect.mailbox(0).unwrap().irr.test(0x40));
         // Broadcast shorthand is always dropped.
-        let bc =
-            IcrCommand { vector: 0x40, mode: ICR_MODE_FIXED, dest: 0, shorthand: ICR_SH_ALL_EXC };
+        let bc = IcrCommand {
+            vector: 0x40,
+            mode: ICR_MODE_FIXED,
+            dest: 0,
+            shorthand: ICR_SH_ALL_EXC,
+        };
         hv.handle_exit(ExitReason::IcrWrite { value: bc.encode() }, &mut tlb);
         assert!(!node.interconnect.mailbox(3).unwrap().irr.test(0x40));
         let (permitted, dropped) = vctx.whitelist.counts();
@@ -397,12 +425,25 @@ mod tests {
     fn msr_protection_blocks_writes() {
         let (node, _vctx, mut hv, mut tlb) = setup(CovirtConfig::FULL);
         let mc0 = covirt_simhw::msr::IA32_MC0_CTL;
-        hv.handle_exit(ExitReason::MsrWrite { index: mc0, value: 0xbad }, &mut tlb);
+        hv.handle_exit(
+            ExitReason::MsrWrite {
+                index: mc0,
+                value: 0xbad,
+            },
+            &mut tlb,
+        );
         let cpu = node.cpu(covirt_simhw::topology::CoreId(1)).unwrap();
-        assert_eq!(cpu.msrs.read(mc0), 0, "blocked write must not reach the MSR");
+        assert_eq!(
+            cpu.msrs.read(mc0),
+            0,
+            "blocked write must not reach the MSR"
+        );
         // A benign MSR write passes through.
         hv.handle_exit(
-            ExitReason::MsrWrite { index: covirt_simhw::msr::IA32_FS_BASE, value: 0x1000 },
+            ExitReason::MsrWrite {
+                index: covirt_simhw::msr::IA32_FS_BASE,
+                value: 0x1000,
+            },
             &mut tlb,
         );
         assert_eq!(cpu.msrs.read(covirt_simhw::msr::IA32_FS_BASE), 0x1000);
@@ -412,12 +453,22 @@ mod tests {
     fn io_protection_blocks_sensitive_ports() {
         let (node, _vctx, mut hv, mut tlb) = setup(CovirtConfig::FULL);
         hv.handle_exit(
-            ExitReason::IoWrite { port: covirt_simhw::ioport::PORT_KBD_RESET, value: 0xfe },
+            ExitReason::IoWrite {
+                port: covirt_simhw::ioport::PORT_KBD_RESET,
+                value: 0xfe,
+            },
             &mut tlb,
         );
-        assert_eq!(node.ioports.write_count(covirt_simhw::ioport::PORT_KBD_RESET), 0);
+        assert_eq!(
+            node.ioports
+                .write_count(covirt_simhw::ioport::PORT_KBD_RESET),
+            0
+        );
         hv.handle_exit(
-            ExitReason::IoWrite { port: covirt_simhw::ioport::PORT_COM1, value: b'x' as u32 },
+            ExitReason::IoWrite {
+                port: covirt_simhw::ioport::PORT_COM1,
+                value: b'x' as u32,
+            },
             &mut tlb,
         );
         assert_eq!(node.ioports.write_count(covirt_simhw::ioport::PORT_COM1), 1);
@@ -428,14 +479,62 @@ mod tests {
         let (_n, vctx, mut hv, mut tlb) = setup(CovirtConfig::MEM);
         // Seed a TLB entry, then ask for a flush through the queue.
         let backing = Arc::new(covirt_simhw::backing::Backing::new(4096));
-        tlb.insert(0x1000, PAGE_SIZE_4K, backing.ptr_at(0), Arc::clone(&backing), true);
+        tlb.insert(
+            0x1000,
+            PAGE_SIZE_4K,
+            backing.ptr_at(0),
+            Arc::clone(&backing),
+            true,
+        );
         assert!(tlb.lookup(0x1000).is_some());
         let q = vctx.cmdq(1).unwrap().clone();
         let seq = q.post(Command::TlbFlushAll).unwrap();
-        assert_eq!(hv.handle_exit(ExitReason::Nmi, &mut tlb), ExitAction::Resume);
-        assert!(tlb.lookup(0x1000).is_none(), "TLB must be flushed by the command");
-        assert!(q.wait(seq, 1), "completion must be signalled");
+        assert_eq!(
+            hv.handle_exit(ExitReason::Nmi, &mut tlb),
+            ExitAction::Resume
+        );
+        assert!(
+            tlb.lookup(0x1000).is_none(),
+            "TLB must be flushed by the command"
+        );
+        assert!(q.wait(seq, 1).is_ok(), "completion must be signalled");
         assert_eq!(hv.commands, 1);
+    }
+
+    #[test]
+    fn nmi_executes_range_flush_selectively() {
+        let (_n, vctx, mut hv, mut tlb) = setup(CovirtConfig::MEM);
+        let backing = Arc::new(covirt_simhw::backing::Backing::new(2 * 4096));
+        tlb.insert(
+            0x1000,
+            PAGE_SIZE_4K,
+            backing.ptr_at(0),
+            Arc::clone(&backing),
+            true,
+        );
+        tlb.insert(
+            0x8000,
+            PAGE_SIZE_4K,
+            backing.ptr_at(4096),
+            Arc::clone(&backing),
+            true,
+        );
+        let q = vctx.cmdq(1).unwrap().clone();
+        let seq = q
+            .post(Command::TlbFlushRange {
+                gva: 0x1000,
+                len: 0x1000,
+            })
+            .unwrap();
+        assert_eq!(
+            hv.handle_exit(ExitReason::Nmi, &mut tlb),
+            ExitAction::Resume
+        );
+        assert!(tlb.lookup(0x1000).is_none(), "range must be invalidated");
+        assert!(tlb.lookup(0x8000).is_some(), "unrelated entry must survive");
+        assert!(q.wait(seq, 1).is_ok());
+        assert_eq!(tlb.stats().range_flushes, 1);
+        assert_eq!(tlb.stats().full_flushes, 0);
     }
 
     #[test]

@@ -89,7 +89,10 @@ impl CovirtIoctl {
         let mut w = WireWriter::new();
         w.put_u64(reports.len() as u64);
         for rep in reports {
-            w.put_u64(rep.enclave).put_u64(rep.core as u64).put_u64(rep.tsc).put_str(&rep.reason);
+            w.put_u64(rep.enclave)
+                .put_u64(rep.core as u64)
+                .put_u64(rep.tsc)
+                .put_str(&rep.reason);
         }
         w.finish()
     }
@@ -135,7 +138,9 @@ impl CovirtIoctl {
 impl IoctlExtension for CovirtIoctl {
     fn handle(&self, _nr: u32, payload: &[u8]) -> PiscesResult<Vec<u8>> {
         let mut r = WireReader::new(payload);
-        let sub = r.get_u64().map_err(|_| PiscesError::Invalid("missing sub-command"))?;
+        let sub = r
+            .get_u64()
+            .map_err(|_| PiscesError::Invalid("missing sub-command"))?;
         match sub {
             x if x == CovirtCtl::ConfigQuery as u64 => self.config_query(&mut r),
             x if x == CovirtCtl::ExitStats as u64 => self.exit_stats(&mut r),
@@ -160,11 +165,13 @@ pub mod client {
     }
 
     /// Parse a ConfigQuery reply into (config, eptp, live core count).
-    pub fn parse_config_reply(
-        buf: &[u8],
-    ) -> Option<(crate::config::CovirtConfig, u64, u64)> {
+    pub fn parse_config_reply(buf: &[u8]) -> Option<(crate::config::CovirtConfig, u64, u64)> {
         let mut r = WireReader::new(buf);
-        Some((decode_config(r.get_u64().ok()?), r.get_u64().ok()?, r.get_u64().ok()?))
+        Some((
+            decode_config(r.get_u64().ok()?),
+            r.get_u64().ok()?,
+            r.get_u64().ok()?,
+        ))
     }
 
     /// Build an ExitStats payload.
@@ -198,7 +205,12 @@ pub mod client {
         let n = r.get_u64().ok()? as usize;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
-            out.push((r.get_u64().ok()?, r.get_u64().ok()?, r.get_u64().ok()?, r.get_str().ok()?));
+            out.push((
+                r.get_u64().ok()?,
+                r.get_u64().ok()?,
+                r.get_u64().ok()?,
+                r.get_str().ok()?,
+            ));
         }
         Some(out)
     }
@@ -234,7 +246,12 @@ mod tests {
     use hobbes::MasterControl;
     use pisces::resources::ResourceRequest;
 
-    fn setup() -> (Arc<MasterControl>, Arc<CovirtController>, IoctlDispatcher, u64) {
+    fn setup() -> (
+        Arc<MasterControl>,
+        Arc<CovirtController>,
+        IoctlDispatcher,
+        u64,
+    ) {
         let node = SimNode::new(NodeConfig::small());
         let master = MasterControl::new(Arc::clone(&node));
         let ctl = CovirtController::new(Arc::clone(&node), CovirtConfig::MEM_IPI);
@@ -250,7 +267,9 @@ mod tests {
     #[test]
     fn config_query_roundtrip() {
         let (_m, _c, d, id) = setup();
-        let reply = d.ioctl_raw(COVIRT_IOCTL, &client::config_query(id)).unwrap();
+        let reply = d
+            .ioctl_raw(COVIRT_IOCTL, &client::config_query(id))
+            .unwrap();
         let (cfg, eptp, live) = client::parse_config_reply(&reply).unwrap();
         assert_eq!(cfg, CovirtConfig::MEM_IPI);
         assert_ne!(eptp, 0);
@@ -262,10 +281,13 @@ mod tests {
         let (_m, c, d, id) = setup();
         // Record a synthetic exit so the table is non-empty.
         let vctx = c.context(id).unwrap();
-        vctx.vmcs(1).unwrap().write().record_exit(covirt_simhw::exit::ExitInfo {
-            reason: covirt_simhw::exit::ExitReason::Hlt,
-            tsc: 1,
-        });
+        vctx.vmcs(1)
+            .unwrap()
+            .write()
+            .record_exit(covirt_simhw::exit::ExitInfo {
+                reason: covirt_simhw::exit::ExitReason::Hlt,
+                tsc: 1,
+            });
         let reply = d.ioctl_raw(COVIRT_IOCTL, &client::exit_stats(id)).unwrap();
         let rows = client::parse_exit_stats(&reply).unwrap();
         assert_eq!(rows, vec![("hlt".to_owned(), 1)]);
@@ -287,9 +309,11 @@ mod tests {
         let (_m, c, d, id) = setup();
         let vctx = c.context(id).unwrap();
         assert!(!vctx.whitelist.would_allow(9, 0x55));
-        d.ioctl_raw(COVIRT_IOCTL, &client::whitelist(id, 9, 0x55, true)).unwrap();
+        d.ioctl_raw(COVIRT_IOCTL, &client::whitelist(id, 9, 0x55, true))
+            .unwrap();
         assert!(vctx.whitelist.would_allow(9, 0x55));
-        d.ioctl_raw(COVIRT_IOCTL, &client::whitelist(id, 9, 0x55, false)).unwrap();
+        d.ioctl_raw(COVIRT_IOCTL, &client::whitelist(id, 9, 0x55, false))
+            .unwrap();
         assert!(!vctx.whitelist.would_allow(9, 0x55));
     }
 

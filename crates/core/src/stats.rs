@@ -30,6 +30,16 @@ pub fn overhead_pct(baseline: f64, measured: f64) -> f64 {
     (measured - baseline) / baseline * 100.0
 }
 
+/// `n / d` as f64, 0.0 when the denominator is zero. Used for per-event
+/// rates (walk loads per miss, cache hit rates) in reports.
+pub fn ratio(n: u64, d: u64) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n as f64 / d as f64
+    }
+}
+
 /// Mean of a sample.
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -73,9 +83,15 @@ mod tests {
         let vctx = VirtContext::new(1, CovirtConfig::NONE, &[1], &[], None);
         let h = vctx.vmcs(1).unwrap();
         for _ in 0..3 {
-            h.write().record_exit(ExitInfo { reason: ExitReason::Hlt, tsc: 0 });
+            h.write().record_exit(ExitInfo {
+                reason: ExitReason::Hlt,
+                tsc: 0,
+            });
         }
-        h.write().record_exit(ExitInfo { reason: ExitReason::Cpuid { leaf: 0 }, tsc: 0 });
+        h.write().record_exit(ExitInfo {
+            reason: ExitReason::Cpuid { leaf: 0 },
+            tsc: 0,
+        });
         let t = exit_table(&vctx);
         assert_eq!(t[0], ("hlt", 3));
         assert_eq!(t[1], ("cpuid", 1));
@@ -88,6 +104,13 @@ mod tests {
         assert_eq!(overhead_pct(100.0, 103.1), 3.0999999999999943);
         assert_eq!(overhead_pct(0.0, 5.0), 0.0);
         assert!(overhead_pct(100.0, 95.0) < 0.0);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(ratio(6, 4), 1.5);
+        assert_eq!(ratio(3, 0), 0.0);
+        assert_eq!(ratio(0, 9), 0.0);
     }
 
     #[test]

@@ -65,7 +65,11 @@ impl VirtContext {
         vectors: &[u8],
         ept: Option<Arc<Ept>>,
     ) -> Self {
-        assert_eq!(config.memory, ept.is_some(), "EPT presence must match the feature set");
+        assert_eq!(
+            config.memory,
+            ept.is_some(),
+            "EPT presence must match the feature set"
+        );
         let mut msr_bitmap = MsrBitmap::intercept_none();
         if config.msr {
             // Intercept the MSRs an enclave must never write: machine-check
@@ -226,7 +230,10 @@ mod tests {
         assert_eq!(v.cores(), vec![2, 3]);
         let a = v.vmcs(2).unwrap();
         let b = v.vmcs(3).unwrap();
-        assert!(!Arc::ptr_eq(&a, &b), "per-core VMCS must be replicas, not shared");
+        assert!(
+            !Arc::ptr_eq(&a, &b),
+            "per-core VMCS must be replicas, not shared"
+        );
         assert!(a.read().controls.eptp.is_some());
         assert_eq!(a.read().controls.apic_virt, ApicVirtMode::Passthrough);
     }
@@ -255,10 +262,16 @@ mod tests {
         let v = VirtContext::new(1, CovirtConfig::MEM_IPI_PIV, &[1, 2], &[0x40], Some(ept()));
         let h = v.vmcs(1).unwrap();
         assert_eq!(h.read().controls.apic_virt, ApicVirtMode::Posted);
-        assert!(h.read().controls.ext_int_exiting, "hardware interrupts still exit under PIV");
+        assert!(
+            h.read().controls.ext_int_exiting,
+            "hardware interrupts still exit under PIV"
+        );
         assert!(v.posted(1).is_some());
         assert!(v.posted(2).is_some());
-        assert_eq!(v.posted(1).unwrap().notification_vector(), PIV_NOTIFICATION_VECTOR);
+        assert_eq!(
+            v.posted(1).unwrap().notification_vector(),
+            PIV_NOTIFICATION_VECTOR
+        );
     }
 
     #[test]
@@ -274,7 +287,10 @@ mod tests {
         let v = VirtContext::new(1, CovirtConfig::FULL, &[1], &[], Some(ept()));
         assert!(v.msr_bitmap.read().write_exits(IA32_MC0_CTL));
         assert!(!v.msr_bitmap.read().read_exits(IA32_MC0_CTL));
-        assert!(v.io_bitmap.read().exits(covirt_simhw::ioport::PORT_KBD_RESET));
+        assert!(v
+            .io_bitmap
+            .read()
+            .exits(covirt_simhw::ioport::PORT_KBD_RESET));
         assert!(!v.io_bitmap.read().exits(covirt_simhw::ioport::PORT_COM1));
     }
 

@@ -32,7 +32,10 @@ pub struct IpiWhitelist {
 impl IpiWhitelist {
     /// Whitelist for an enclave owning `cores`, allowed to use `vectors`
     /// among themselves.
-    pub fn new(cores: impl IntoIterator<Item = usize>, vectors: impl IntoIterator<Item = u8>) -> Self {
+    pub fn new(
+        cores: impl IntoIterator<Item = usize>,
+        vectors: impl IntoIterator<Item = u8>,
+    ) -> Self {
         IpiWhitelist {
             cores: RwLock::new(cores.into_iter().collect()),
             vectors: RwLock::new(vectors.into_iter().collect()),
@@ -84,7 +87,10 @@ impl IpiWhitelist {
 
     /// (permitted, dropped) counts.
     pub fn counts(&self) -> (u64, u64) {
-        (self.permitted.load(Ordering::Relaxed), self.dropped.load(Ordering::Relaxed))
+        (
+            self.permitted.load(Ordering::Relaxed),
+            self.dropped.load(Ordering::Relaxed),
+        )
     }
 }
 

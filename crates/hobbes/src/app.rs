@@ -65,7 +65,11 @@ pub struct Composer {
 impl Composer {
     /// Build a composer over the master control.
     pub fn new(master: Arc<MasterControl>) -> Self {
-        Composer { master, apps: RwLock::new(HashMap::new()), next_id: AtomicU64::new(1) }
+        Composer {
+            master,
+            apps: RwLock::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+        }
     }
 
     /// Compose an application from `specs` (first component's enclave owns
@@ -78,7 +82,9 @@ impl Composer {
         exchange_bytes: u64,
     ) -> HobbesResult<App> {
         if specs.is_empty() {
-            return Err(HobbesError::Invalid("application needs at least one component"));
+            return Err(HobbesError::Invalid(
+                "application needs at least one component",
+            ));
         }
         let owner = specs[0].enclave;
         let owner_enclave = self.master.pisces().enclave(pisces::EnclaveId(owner))?;
@@ -90,14 +96,17 @@ impl Composer {
             .ok_or(HobbesError::Invalid("owner enclave has no memory"))?;
         let seg_len = exchange_bytes.div_ceil(PAGE_SIZE_2M) * PAGE_SIZE_2M;
         if seg_len >= first_region.len {
-            return Err(HobbesError::Invalid("exchange segment larger than owner region"));
+            return Err(HobbesError::Invalid(
+                "exchange segment larger than owner region",
+            ));
         }
         let exchange_range =
             PhysRange::new(first_region.start.add(first_region.len - seg_len), seg_len);
 
         let app_id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let seg_name = format!("app{app_id}.{name}.exchange");
-        self.master.export_segment(owner, &seg_name, exchange_range)?;
+        self.master
+            .export_segment(owner, &seg_name, exchange_range)?;
 
         let mut components = Vec::with_capacity(specs.len());
         for spec in specs {
@@ -127,7 +136,11 @@ impl Composer {
 
     /// Snapshot of an application.
     pub fn app(&self, id: u64) -> HobbesResult<App> {
-        self.apps.read().get(&id).cloned().ok_or(HobbesError::NoSuchApp(id))
+        self.apps
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(HobbesError::NoSuchApp(id))
     }
 
     /// Mark components in a failed enclave unhealthy; returns how many
@@ -185,16 +198,32 @@ mod tests {
             .compose(
                 "insitu",
                 &[
-                    ComponentSpec { name: "simulation".into(), enclave: e1, core: CoreId(1) },
-                    ComponentSpec { name: "analytics".into(), enclave: e2, core: CoreId(2) },
+                    ComponentSpec {
+                        name: "simulation".into(),
+                        enclave: e1,
+                        core: CoreId(1),
+                    },
+                    ComponentSpec {
+                        name: "analytics".into(),
+                        enclave: e2,
+                        core: CoreId(2),
+                    },
                 ],
                 4 * 1024 * 1024,
             )
             .unwrap();
         assert_eq!(app.components.len(), 2);
         // Both kernels can reach the exchange segment.
-        assert!(m.kernel(e1).unwrap().translate(app.exchange_range.start.raw()).is_ok());
-        assert!(m.kernel(e2).unwrap().translate(app.exchange_range.start.raw()).is_ok());
+        assert!(m
+            .kernel(e1)
+            .unwrap()
+            .translate(app.exchange_range.start.raw())
+            .is_ok());
+        assert!(m
+            .kernel(e2)
+            .unwrap()
+            .translate(app.exchange_range.start.raw())
+            .is_ok());
         assert_eq!(c.apps().len(), 1);
         assert_eq!(c.app(app.id).unwrap().name, "insitu");
     }
@@ -202,7 +231,10 @@ mod tests {
     #[test]
     fn empty_spec_rejected() {
         let (_m, c, _e1, _e2) = setup();
-        assert!(matches!(c.compose("x", &[], 1024), Err(HobbesError::Invalid(_))));
+        assert!(matches!(
+            c.compose("x", &[], 1024),
+            Err(HobbesError::Invalid(_))
+        ));
     }
 
     #[test]
@@ -212,8 +244,16 @@ mod tests {
             .compose(
                 "insitu",
                 &[
-                    ComponentSpec { name: "simulation".into(), enclave: e1, core: CoreId(1) },
-                    ComponentSpec { name: "analytics".into(), enclave: e2, core: CoreId(2) },
+                    ComponentSpec {
+                        name: "simulation".into(),
+                        enclave: e1,
+                        core: CoreId(1),
+                    },
+                    ComponentSpec {
+                        name: "analytics".into(),
+                        enclave: e2,
+                        core: CoreId(2),
+                    },
                 ],
                 2 * 1024 * 1024,
             )
@@ -230,7 +270,11 @@ mod tests {
         let (_m, c, e1, _e2) = setup();
         let r = c.compose(
             "big",
-            &[ComponentSpec { name: "solo".into(), enclave: e1, core: CoreId(1) }],
+            &[ComponentSpec {
+                name: "solo".into(),
+                enclave: e1,
+                core: CoreId(1),
+            }],
             1 << 40,
         );
         assert!(matches!(r, Err(HobbesError::Invalid(_))));

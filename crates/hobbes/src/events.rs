@@ -83,8 +83,16 @@ mod tests {
     fn notice_board_fifo() {
         let b = NoticeBoard::new();
         assert!(b.is_empty());
-        b.post(FailureNotice { dependent: 1, failed: 2, reason: "ept".into() });
-        b.post(FailureNotice { dependent: 3, failed: 2, reason: "ept".into() });
+        b.post(FailureNotice {
+            dependent: 1,
+            failed: 2,
+            reason: "ept".into(),
+        });
+        b.post(FailureNotice {
+            dependent: 3,
+            failed: 2,
+            reason: "ept".into(),
+        });
         assert_eq!(b.len(), 2);
         let drained = b.drain();
         assert_eq!(drained[0].dependent, 1);

@@ -67,9 +67,13 @@ impl MasterControl {
     ) -> HobbesResult<(Arc<pisces::Enclave>, Arc<KittenKernel>)> {
         let enclave = self.host.create_enclave(name, req)?;
         let plan = self.host.launch(&enclave)?;
-        let kernel =
-            Arc::new(KittenKernel::boot(&self.host.node().mem, plan.pisces_params_addr)?);
-        self.kernels.write().insert(enclave.id.0, Arc::clone(&kernel));
+        let kernel = Arc::new(KittenKernel::boot(
+            &self.host.node().mem,
+            plan.pisces_params_addr,
+        )?);
+        self.kernels
+            .write()
+            .insert(enclave.id.0, Arc::clone(&kernel));
         Ok((enclave, kernel))
     }
 
@@ -81,7 +85,11 @@ impl MasterControl {
 
     /// The kernel for an enclave.
     pub fn kernel(&self, enclave: u64) -> HobbesResult<Arc<KittenKernel>> {
-        self.kernels.read().get(&enclave).cloned().ok_or(HobbesError::NoKernel(enclave))
+        self.kernels
+            .read()
+            .get(&enclave)
+            .cloned()
+            .ok_or(HobbesError::NoKernel(enclave))
     }
 
     /// Export a segment from an enclave's memory under a well-known name.
@@ -95,11 +103,17 @@ impl MasterControl {
         if owner != 0 {
             let enclave = self.host.enclave(EnclaveId(owner))?;
             if !enclave.resources().covers(&range) {
-                return Err(HobbesError::Invalid("export range outside owner assignment"));
+                return Err(HobbesError::Invalid(
+                    "export range outside owner assignment",
+                ));
             }
         }
         let segid = self.xemem.export(name, owner, range)?;
-        self.dependencies.write().entry(segid).or_default().insert(owner);
+        self.dependencies
+            .write()
+            .entry(segid)
+            .or_default()
+            .insert(owner);
         Ok(segid)
     }
 
@@ -125,7 +139,11 @@ impl MasterControl {
         // why the EPT update is invisible next to this linear work.
         let pages = info.page_frame_list();
         kernel.map_shared_pagelist(info.range, &pages)?;
-        self.dependencies.write().entry(segid).or_default().insert(who);
+        self.dependencies
+            .write()
+            .entry(segid)
+            .or_default()
+            .insert(who);
         Ok(info.range)
     }
 
@@ -140,7 +158,8 @@ impl MasterControl {
         kernel.unmap_shared(info.range)?;
         self.xemem.detach(segid, who)?;
         for h in self.hooks.read().iter() {
-            h.on_xemem_detach_acked(who, info.range).map_err(HobbesError::Vetoed)?;
+            h.on_xemem_detach_acked(who, info.range)
+                .map_err(HobbesError::Vetoed)?;
         }
         if let Some(deps) = self.dependencies.write().get_mut(&segid) {
             deps.remove(&who);
@@ -238,7 +257,10 @@ mod tests {
     fn export_outside_assignment_rejected() {
         let m = master();
         let (e1, _k1) = m.bring_up_enclave("e0", &req(1)).unwrap();
-        let bogus = PhysRange::new(covirt_simhw::addr::HostPhysAddr::new(0x40_0000_0000), 0x1000);
+        let bogus = PhysRange::new(
+            covirt_simhw::addr::HostPhysAddr::new(0x40_0000_0000),
+            0x1000,
+        );
         assert!(matches!(
             m.export_segment(e1.id.0, "bogus", bogus),
             Err(HobbesError::Invalid(_))
@@ -258,7 +280,10 @@ mod tests {
         let (e2, _) = m.bring_up_enclave("c", &req(2)).unwrap();
         let segid = m.export_segment(e1.id.0, "x", carve(&e1)).unwrap();
         m.register_hooks(Arc::new(Veto));
-        assert!(matches!(m.attach_segment(e2.id.0, "x"), Err(HobbesError::Vetoed(_))));
+        assert!(matches!(
+            m.attach_segment(e2.id.0, "x"),
+            Err(HobbesError::Vetoed(_))
+        ));
         // Attachment rolled back in XEMEM.
         assert!(m.xemem().attachments(segid).unwrap().is_empty());
     }

@@ -21,7 +21,11 @@ impl AddressSpace {
     pub fn spanning(map: &MemMap) -> Self {
         AddressSpace {
             regions: map.regions().iter().map(|r| r.range).collect(),
-            attached: map.by_kind(RegionKind::Shared).iter().map(|r| r.range).collect(),
+            attached: map
+                .by_kind(RegionKind::Shared)
+                .iter()
+                .map(|r| r.range)
+                .collect(),
         }
     }
 
@@ -45,7 +49,9 @@ impl AddressSpace {
 
     /// True if the task may touch `[addr, addr+len)` according to its view.
     pub fn allows(&self, addr: HostPhysAddr, len: u64) -> bool {
-        self.regions.iter().any(|r| r.covers(&PhysRange::new(addr, len)))
+        self.regions
+            .iter()
+            .any(|r| r.covers(&PhysRange::new(addr, len)))
     }
 
     /// Attached shared segments.

@@ -52,7 +52,10 @@ pub fn stale_shared_mapping(kernel: &KittenKernel, reclaimed: PhysRange) -> Inje
             2,
         );
     }
-    InjectedFault::WildAccess { addr: reclaimed.start.add(reclaimed.len / 2), write: true }
+    InjectedFault::WildAccess {
+        addr: reclaimed.start.add(reclaimed.len / 2),
+        write: true,
+    }
 }
 
 /// A trivial-but-catastrophic memory-map misconfiguration: an off-by-one
@@ -74,7 +77,10 @@ pub fn off_by_one_region(kernel: &KittenKernel) -> InjectedFault {
         covirt_simhw::paging::Perms::RWX,
         1,
     );
-    InjectedFault::WildAccess { addr: rogue.start, write: true }
+    InjectedFault::WildAccess {
+        addr: rogue.start,
+        write: true,
+    }
 }
 
 /// An errant IPI: buggy signalling code targets a core outside the enclave
@@ -98,7 +104,11 @@ mod tests {
     use pisces::host::PiscesHost;
     use pisces::resources::ResourceRequest;
 
-    fn booted() -> (std::sync::Arc<PiscesHost>, std::sync::Arc<pisces::Enclave>, KittenKernel) {
+    fn booted() -> (
+        std::sync::Arc<PiscesHost>,
+        std::sync::Arc<pisces::Enclave>,
+        KittenKernel,
+    ) {
         let node = SimNode::new(NodeConfig::small());
         let host = PiscesHost::new(node);
         let req = ResourceRequest::new(vec![CoreId(1)], vec![(ZoneId(0), 32 * 1024 * 1024)]);
@@ -111,7 +121,11 @@ mod tests {
     #[test]
     fn stale_mapping_survives_in_kernel_view() {
         let (h, _e, k) = booted();
-        let seg = h.node().mem.alloc_backed(ZoneId(0), 2 * 1024 * 1024, PAGE_SIZE_4K).unwrap();
+        let seg = h
+            .node()
+            .mem
+            .alloc_backed(ZoneId(0), 2 * 1024 * 1024, PAGE_SIZE_4K)
+            .unwrap();
         k.map_shared(seg).unwrap();
         // Host reclaims the segment; the buggy kernel never unmaps.
         let fault = stale_shared_mapping(&k, seg);

@@ -41,8 +41,7 @@ impl KittenKernel {
             BootParams::read_from(mem, params_addr).map_err(|_| KittenError::BadBootParams)?;
 
         // Page-table pool lives at the head of the first assigned region.
-        let pt_pool_range =
-            PhysRange::new(HostPhysAddr::new(params.pt_pool.0), params.pt_pool.1);
+        let pt_pool_range = PhysRange::new(HostPhysAddr::new(params.pt_pool.0), params.pt_pool.1);
         let pool = Arc::new(FramePool::new(Arc::clone(mem), pt_pool_range));
         let page_tables = GuestPageTables::new(Arc::clone(&pool))?;
 
@@ -52,7 +51,9 @@ impl KittenKernel {
         for &(start, len) in &params.mem_regions {
             let range = PhysRange::new(HostPhysAddr::new(start), len);
             page_tables.map(start, range.start, len, Perms::RWX, 2)?;
-            memmap.add(range, RegionKind::Boot).map_err(KittenError::Invalid)?;
+            memmap
+                .add(range, RegionKind::Boot)
+                .map_err(KittenError::Invalid)?;
         }
         // The management region (boot params + control channel) is also
         // visible to the kernel.
@@ -105,7 +106,11 @@ impl KittenKernel {
 
     /// Cores this kernel runs on.
     pub fn cores(&self) -> Vec<CoreId> {
-        self.params.cores.iter().map(|&c| CoreId(c as usize)).collect()
+        self.params
+            .cores
+            .iter()
+            .map(|&c| CoreId(c as usize))
+            .collect()
     }
 
     /// Translate a kernel-virtual address via the kernel's own page tables
@@ -124,27 +129,39 @@ impl KittenKernel {
     /// a live enclave it runs from the exec loop's safe points.
     pub fn poll_ctrl(&self) -> KittenResult<Vec<CtrlMsg>> {
         let mut handled = Vec::new();
-        while let Some(msg) =
-            self.ctrl.try_recv().map_err(|_| KittenError::Ctrl("recv failed"))?
+        while let Some(msg) = self
+            .ctrl
+            .try_recv()
+            .map_err(|_| KittenError::Ctrl("recv failed"))?
         {
             match &msg {
                 CtrlMsg::AddMem { start, len } => {
                     let range = PhysRange::new(HostPhysAddr::new(*start), *len);
-                    self.page_tables.map(*start, range.start, *len, Perms::RWX, 2)?;
+                    self.page_tables
+                        .map(*start, range.start, *len, Perms::RWX, 2)?;
                     self.memmap
                         .write()
                         .add(range, RegionKind::Granted)
                         .map_err(KittenError::Invalid)?;
                     self.ctrl
-                        .send(&CtrlMsg::AddMemAck { start: *start, len: *len })
+                        .send(&CtrlMsg::AddMemAck {
+                            start: *start,
+                            len: *len,
+                        })
                         .map_err(|_| KittenError::Ctrl("send failed"))?;
                 }
                 CtrlMsg::RemoveMem { start, len } => {
                     let range = PhysRange::new(HostPhysAddr::new(*start), *len);
                     self.page_tables.unmap(*start, *len)?;
-                    self.memmap.write().remove(range).map_err(KittenError::Invalid)?;
+                    self.memmap
+                        .write()
+                        .remove(range)
+                        .map_err(KittenError::Invalid)?;
                     self.ctrl
-                        .send(&CtrlMsg::RemoveMemAck { start: *start, len: *len })
+                        .send(&CtrlMsg::RemoveMemAck {
+                            start: *start,
+                            len: *len,
+                        })
                         .map_err(|_| KittenError::Ctrl("send failed"))?;
                 }
                 CtrlMsg::Ping { token } => {
@@ -170,7 +187,8 @@ impl KittenKernel {
     /// Map an attached shared segment (XEMEM page list) into the kernel.
     /// The Hobbes layer calls this after the host-side mapping is ready.
     pub fn map_shared(&self, range: PhysRange) -> KittenResult<()> {
-        self.page_tables.map(range.start.raw(), range.start, range.len, Perms::RWX, 2)?;
+        self.page_tables
+            .map(range.start.raw(), range.start, range.len, Perms::RWX, 2)?;
         self.memmap
             .write()
             .add(range, RegionKind::Shared)
@@ -201,7 +219,10 @@ impl KittenKernel {
     /// Unmap a shared segment on detach.
     pub fn unmap_shared(&self, range: PhysRange) -> KittenResult<()> {
         self.page_tables.unmap(range.start.raw(), range.len)?;
-        self.memmap.write().remove(range).map_err(KittenError::Invalid)?;
+        self.memmap
+            .write()
+            .remove(range)
+            .map_err(KittenError::Invalid)?;
         Ok(())
     }
 
@@ -227,7 +248,9 @@ impl KittenKernel {
         let id = TaskId(*next);
         *next += 1;
         let aspace = AddressSpace::spanning(&self.memmap.read());
-        self.tasks.write().push(Task::new(id, name.to_owned(), core, aspace));
+        self.tasks
+            .write()
+            .push(Task::new(id, name.to_owned(), core, aspace));
         Ok(id)
     }
 
@@ -249,8 +272,8 @@ impl KittenKernel {
             .copied()
             .ok_or(KittenError::Invalid("no boot region"))?;
         // Skip the page-table pool at the head of the region.
-        let base = (boot.range.start.raw() + self.params.pt_pool.1).div_ceil(PAGE_SIZE_2M)
-            * PAGE_SIZE_2M;
+        let base =
+            (boot.range.start.raw() + self.params.pt_pool.1).div_ceil(PAGE_SIZE_2M) * PAGE_SIZE_2M;
         let aligned = (base + *cursor).div_ceil(PAGE_SIZE_2M) * PAGE_SIZE_2M;
         let len = bytes.div_ceil(PAGE_SIZE_2M) * PAGE_SIZE_2M;
         if aligned + len > boot.range.end().raw() {
@@ -272,8 +295,10 @@ mod tests {
     fn booted() -> (Arc<PiscesHost>, Arc<pisces::Enclave>, KittenKernel) {
         let node = SimNode::new(NodeConfig::small());
         let host = PiscesHost::new(node);
-        let req =
-            ResourceRequest::new(vec![CoreId(1), CoreId(2)], vec![(ZoneId(0), 64 * 1024 * 1024)]);
+        let req = ResourceRequest::new(
+            vec![CoreId(1), CoreId(2)],
+            vec![(ZoneId(0), 64 * 1024 * 1024)],
+        );
         let enclave = host.create_enclave("e0", &req).unwrap();
         let plan = host.launch(&enclave).unwrap();
         let kernel = KittenKernel::boot(&host.node().mem, plan.pisces_params_addr).unwrap();
@@ -347,7 +372,11 @@ mod tests {
         let (h, _e, k) = booted();
         // A segment somewhere else in host memory (another enclave's
         // export).
-        let seg = h.node().mem.alloc_backed(ZoneId(0), 2 * 1024 * 1024, PAGE_SIZE_2M).unwrap();
+        let seg = h
+            .node()
+            .mem
+            .alloc_backed(ZoneId(0), 2 * 1024 * 1024, PAGE_SIZE_2M)
+            .unwrap();
         k.map_shared(seg).unwrap();
         assert_eq!(k.translate(seg.start.raw()).unwrap(), seg.start);
         assert_eq!(k.memmap().by_kind(RegionKind::Shared).len(), 1);

@@ -74,7 +74,9 @@ impl MemMap {
 
     /// True if `[addr, addr+len)` is fully inside one mapped region.
     pub fn contains(&self, addr: HostPhysAddr, len: u64) -> bool {
-        self.regions.iter().any(|r| r.range.covers(&PhysRange::new(addr, len)))
+        self.regions
+            .iter()
+            .any(|r| r.range.covers(&PhysRange::new(addr, len)))
     }
 
     /// All regions, ordered by start.
@@ -94,13 +96,20 @@ impl MemMap {
         // Bypass overlap checking deliberately only against corrupt
         // entries; a corrupt region overlapping a real one would be
         // indistinguishable from a real mapping.
-        self.regions.push(MappedRegion { range, kind: RegionKind::Corrupt });
+        self.regions.push(MappedRegion {
+            range,
+            kind: RegionKind::Corrupt,
+        });
         self.regions.sort_by_key(|r| r.range.start.raw());
     }
 
     /// Regions of a given kind.
     pub fn by_kind(&self, kind: RegionKind) -> Vec<MappedRegion> {
-        self.regions.iter().filter(|r| r.kind == kind).copied().collect()
+        self.regions
+            .iter()
+            .filter(|r| r.kind == kind)
+            .copied()
+            .collect()
     }
 }
 
@@ -117,7 +126,10 @@ mod tests {
         let mut m = MemMap::new();
         m.add(r(0x1000, 0x1000), RegionKind::Boot).unwrap();
         m.add(r(0x4000, 0x1000), RegionKind::Granted).unwrap();
-        assert_eq!(m.find(HostPhysAddr::new(0x1800)).unwrap().kind, RegionKind::Boot);
+        assert_eq!(
+            m.find(HostPhysAddr::new(0x1800)).unwrap().kind,
+            RegionKind::Boot
+        );
         assert!(m.find(HostPhysAddr::new(0x3000)).is_none());
         assert_eq!(m.total_bytes(), 0x2000);
         let removed = m.remove(r(0x1000, 0x1000)).unwrap();

@@ -45,7 +45,13 @@ pub struct Task {
 impl Task {
     /// New ready task.
     pub fn new(id: TaskId, name: String, core: CoreId, aspace: AddressSpace) -> Self {
-        Task { id, name, core, aspace, state: TaskState::Ready }
+        Task {
+            id,
+            name,
+            core,
+            aspace,
+            state: TaskState::Ready,
+        }
     }
 }
 
@@ -56,7 +62,12 @@ mod tests {
 
     #[test]
     fn task_construction() {
-        let t = Task::new(TaskId(7), "mini".into(), CoreId(2), AddressSpace::spanning(&MemMap::new()));
+        let t = Task::new(
+            TaskId(7),
+            "mini".into(),
+            CoreId(2),
+            AddressSpace::spanning(&MemMap::new()),
+        );
         assert_eq!(t.id, TaskId(7));
         assert_eq!(t.state, TaskState::Ready);
         assert_eq!(format!("{}", t.id), "task7");

@@ -57,12 +57,18 @@ impl BootParams {
         for &(s, l) in &self.mem_regions {
             w.put_u64(s).put_u64(l);
         }
-        w.put_u64_list(&self.ipi_vectors.iter().map(|&v| v as u64).collect::<Vec<_>>())
-            .put_u64(self.ctrlchan_base)
-            .put_u64(self.ctrlchan_len)
-            .put_u64(self.pt_pool.0)
-            .put_u64(self.pt_pool.1)
-            .put_u64(self.tsc_hz);
+        w.put_u64_list(
+            &self
+                .ipi_vectors
+                .iter()
+                .map(|&v| v as u64)
+                .collect::<Vec<_>>(),
+        )
+        .put_u64(self.ctrlchan_base)
+        .put_u64(self.ctrlchan_len)
+        .put_u64(self.pt_pool.0)
+        .put_u64(self.pt_pool.1)
+        .put_u64(self.tsc_hz);
         w.finish()
     }
 
@@ -105,7 +111,11 @@ impl BootParams {
 
     /// Write the structure into physical memory at `addr` (length-prefixed
     /// so it can be read back without out-of-band size knowledge).
-    pub fn write_to(&self, mem: &PhysMemory, addr: HostPhysAddr) -> Result<(), covirt_simhw::HwError> {
+    pub fn write_to(
+        &self,
+        mem: &PhysMemory,
+        addr: HostPhysAddr,
+    ) -> Result<(), covirt_simhw::HwError> {
         let bytes = self.encode();
         mem.write_u64(addr, bytes.len() as u64)?;
         mem.write_bytes(addr.add(8), &bytes)
@@ -118,7 +128,8 @@ impl BootParams {
             return Err(WireError);
         }
         let mut buf = vec![0u8; len as usize];
-        mem.read_bytes(addr.add(8), &mut buf).map_err(|_| WireError)?;
+        mem.read_bytes(addr.add(8), &mut buf)
+            .map_err(|_| WireError)?;
         Self::decode(&buf)
     }
 

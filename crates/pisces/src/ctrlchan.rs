@@ -109,7 +109,10 @@ impl CtrlMsg {
                 w.put_u64(TAG_REMOVE_MEM_ACK).put_u64(*start).put_u64(*len);
             }
             CtrlMsg::Syscall { nr, arg0, arg1 } => {
-                w.put_u64(TAG_SYSCALL).put_u64(*nr).put_u64(*arg0).put_u64(*arg1);
+                w.put_u64(TAG_SYSCALL)
+                    .put_u64(*nr)
+                    .put_u64(*arg0)
+                    .put_u64(*arg1);
             }
             CtrlMsg::SyscallRet { nr, ret } => {
                 w.put_u64(TAG_SYSCALL_RET).put_u64(*nr).put_u64(*ret);
@@ -135,22 +138,39 @@ impl CtrlMsg {
         let mut r = WireReader::new(buf);
         let tag = r.get_u64()?;
         Ok(match tag {
-            TAG_ADD_MEM => CtrlMsg::AddMem { start: r.get_u64()?, len: r.get_u64()? },
-            TAG_ADD_MEM_ACK => CtrlMsg::AddMemAck { start: r.get_u64()?, len: r.get_u64()? },
-            TAG_REMOVE_MEM => CtrlMsg::RemoveMem { start: r.get_u64()?, len: r.get_u64()? },
-            TAG_REMOVE_MEM_ACK => {
-                CtrlMsg::RemoveMemAck { start: r.get_u64()?, len: r.get_u64()? }
-            }
+            TAG_ADD_MEM => CtrlMsg::AddMem {
+                start: r.get_u64()?,
+                len: r.get_u64()?,
+            },
+            TAG_ADD_MEM_ACK => CtrlMsg::AddMemAck {
+                start: r.get_u64()?,
+                len: r.get_u64()?,
+            },
+            TAG_REMOVE_MEM => CtrlMsg::RemoveMem {
+                start: r.get_u64()?,
+                len: r.get_u64()?,
+            },
+            TAG_REMOVE_MEM_ACK => CtrlMsg::RemoveMemAck {
+                start: r.get_u64()?,
+                len: r.get_u64()?,
+            },
             TAG_SYSCALL => CtrlMsg::Syscall {
                 nr: r.get_u64()?,
                 arg0: r.get_u64()?,
                 arg1: r.get_u64()?,
             },
-            TAG_SYSCALL_RET => CtrlMsg::SyscallRet { nr: r.get_u64()?, ret: r.get_u64()? },
+            TAG_SYSCALL_RET => CtrlMsg::SyscallRet {
+                nr: r.get_u64()?,
+                ret: r.get_u64()?,
+            },
             TAG_SHUTDOWN => CtrlMsg::Shutdown,
             TAG_SHUTDOWN_ACK => CtrlMsg::ShutdownAck,
-            TAG_PING => CtrlMsg::Ping { token: r.get_u64()? },
-            TAG_PING_ACK => CtrlMsg::PingAck { token: r.get_u64()? },
+            TAG_PING => CtrlMsg::Ping {
+                token: r.get_u64()?,
+            },
+            TAG_PING_ACK => CtrlMsg::PingAck {
+                token: r.get_u64()?,
+            },
             _ => return Err(WireError),
         })
     }
@@ -269,8 +289,9 @@ mod tests {
 
     fn channel() -> (Arc<PhysMemory>, PhysRange, CtrlChannel) {
         let mem = Arc::new(PhysMemory::new(&[16 * 1024 * 1024]));
-        let range =
-            mem.alloc_backed(ZoneId(0), CtrlChannel::required_bytes(), PAGE_SIZE_4K).unwrap();
+        let range = mem
+            .alloc_backed(ZoneId(0), CtrlChannel::required_bytes(), PAGE_SIZE_4K)
+            .unwrap();
         let ch = CtrlChannel::create(&mem, range).unwrap();
         (mem, range, ch)
     }
@@ -282,7 +303,11 @@ mod tests {
             CtrlMsg::AddMemAck { start: 1, len: 2 },
             CtrlMsg::RemoveMem { start: 3, len: 4 },
             CtrlMsg::RemoveMemAck { start: 3, len: 4 },
-            CtrlMsg::Syscall { nr: 60, arg0: 1, arg1: 2 },
+            CtrlMsg::Syscall {
+                nr: 60,
+                arg0: 1,
+                arg1: 2,
+            },
             CtrlMsg::SyscallRet { nr: 60, ret: 0 },
             CtrlMsg::Shutdown,
             CtrlMsg::ShutdownAck,
@@ -306,13 +331,34 @@ mod tests {
     fn host_to_enclave_roundtrip() {
         let (mem, range, host) = channel();
         let enclave = CtrlChannel::attach_enclave(&mem, range.start, range.len).unwrap();
-        host.send(&CtrlMsg::AddMem { start: 0x100000, len: 0x2000 }).unwrap();
+        host.send(&CtrlMsg::AddMem {
+            start: 0x100000,
+            len: 0x2000,
+        })
+        .unwrap();
         assert_eq!(enclave.pending(), 1);
         let got = enclave.try_recv().unwrap().unwrap();
-        assert_eq!(got, CtrlMsg::AddMem { start: 0x100000, len: 0x2000 });
-        enclave.send(&CtrlMsg::AddMemAck { start: 0x100000, len: 0x2000 }).unwrap();
+        assert_eq!(
+            got,
+            CtrlMsg::AddMem {
+                start: 0x100000,
+                len: 0x2000
+            }
+        );
+        enclave
+            .send(&CtrlMsg::AddMemAck {
+                start: 0x100000,
+                len: 0x2000,
+            })
+            .unwrap();
         let ack = host.try_recv().unwrap().unwrap();
-        assert_eq!(ack, CtrlMsg::AddMemAck { start: 0x100000, len: 0x2000 });
+        assert_eq!(
+            ack,
+            CtrlMsg::AddMemAck {
+                start: 0x100000,
+                len: 0x2000
+            }
+        );
     }
 
     #[test]

@@ -57,7 +57,12 @@ pub struct Enclave {
 
 impl Enclave {
     /// Build a new enclave record in `Created` state.
-    pub fn new(id: EnclaveId, name: String, resources: ResourceSpec, mgmt_region: PhysRange) -> Self {
+    pub fn new(
+        id: EnclaveId,
+        name: String,
+        resources: ResourceSpec,
+        mgmt_region: PhysRange,
+    ) -> Self {
         Enclave {
             id,
             name,
@@ -102,7 +107,13 @@ impl Enclave {
 
 impl std::fmt::Debug for Enclave {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Enclave({} \"{}\" {:?})", self.id, self.name, self.state())
+        write!(
+            f,
+            "Enclave({} \"{}\" {:?})",
+            self.id,
+            self.name,
+            self.state()
+        )
     }
 }
 

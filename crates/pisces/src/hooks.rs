@@ -79,8 +79,12 @@ mod tests {
             PhysRange::new(HostPhysAddr::new(0), 0x1000),
         );
         let h = NullHooks;
-        assert!(h.on_mem_add_prepared(&e, PhysRange::new(HostPhysAddr::new(0), 1)).is_ok());
-        assert!(h.on_mem_remove_acked(&e, PhysRange::new(HostPhysAddr::new(0), 1)).is_ok());
+        assert!(h
+            .on_mem_add_prepared(&e, PhysRange::new(HostPhysAddr::new(0), 1))
+            .is_ok());
+        assert!(h
+            .on_mem_remove_acked(&e, PhysRange::new(HostPhysAddr::new(0), 1))
+            .is_ok());
         assert!(h.on_vector_alloc(&e, 0x40).is_ok());
         assert!(h.on_vector_free(&e, 0x40).is_ok());
         h.on_teardown(&e);

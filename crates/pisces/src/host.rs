@@ -73,7 +73,11 @@ impl PiscesHost {
 
     /// Look up an enclave.
     pub fn enclave(&self, id: EnclaveId) -> PiscesResult<Arc<Enclave>> {
-        self.enclaves.read().get(&id.0).cloned().ok_or(PiscesError::NoSuchEnclave(id.0))
+        self.enclaves
+            .read()
+            .get(&id.0)
+            .cloned()
+            .ok_or(PiscesError::NoSuchEnclave(id.0))
     }
 
     /// All enclaves, by id.
@@ -112,8 +116,16 @@ impl PiscesHost {
         // after the enclave's last region is never framework-owned — a
         // wild off-by-one access from the co-kernel lands in genuinely
         // foreign memory.
-        let mgmt_zone = req.mem_per_zone.first().map(|&(z, _)| z).unwrap_or(ZoneId(0));
-        let mgmt = match self.node.mem.alloc_backed(mgmt_zone, MGMT_REGION_LEN, PAGE_SIZE_4K) {
+        let mgmt_zone = req
+            .mem_per_zone
+            .first()
+            .map(|&(z, _)| z)
+            .unwrap_or(ZoneId(0));
+        let mgmt = match self
+            .node
+            .mem
+            .alloc_backed(mgmt_zone, MGMT_REGION_LEN, PAGE_SIZE_4K)
+        {
             Ok(r) => r,
             Err(e) => {
                 release_cores(self);
@@ -122,7 +134,10 @@ impl PiscesHost {
         };
 
         // Allocate memory, 2 MiB-aligned so identity maps coalesce.
-        let mut spec = ResourceSpec { cores: req.cores.clone(), ..Default::default() };
+        let mut spec = ResourceSpec {
+            cores: req.cores.clone(),
+            ..Default::default()
+        };
         let mut allocated: Vec<PhysRange> = Vec::new();
         for &(zone, bytes) in &req.mem_per_zone {
             match self.node.mem.alloc_backed(zone, bytes, PAGE_SIZE_2M) {
@@ -143,7 +158,9 @@ impl PiscesHost {
         if spec.mem.is_empty() {
             let _ = self.node.mem.free(mgmt);
             release_cores(self);
-            return Err(PiscesError::Invalid("enclave needs at least one memory region"));
+            return Err(PiscesError::Invalid(
+                "enclave needs at least one memory region",
+            ));
         }
 
         // Allocate IPI vectors.
@@ -158,7 +175,8 @@ impl PiscesHost {
                 return Err(PiscesError::ResourceBusy("IPI vector pool exhausted"));
             }
             for _ in 0..req.num_ipi_vectors {
-                spec.ipi_vectors.push(pool.pop_front().expect("checked length"));
+                spec.ipi_vectors
+                    .push(pool.pop_front().expect("checked length"));
             }
         }
 
@@ -204,7 +222,9 @@ impl PiscesHost {
             enclave_id: enclave.id.0,
             boot_core,
             secondary_cores: res.cores[1..].to_vec(),
-            target: BootTarget::Kernel { params_addr: enclave.mgmt_region.start },
+            target: BootTarget::Kernel {
+                params_addr: enclave.mgmt_region.start,
+            },
             pisces_params_addr: enclave.mgmt_region.start,
             boot_region: enclave.mgmt_region,
         })
@@ -215,7 +235,10 @@ impl PiscesHost {
     /// returned plan on the enclave's cores.
     pub fn launch(&self, enclave: &Enclave) -> PiscesResult<BootPlan> {
         if enclave.state() != EnclaveState::Loaded {
-            return Err(PiscesError::BadState { enclave: enclave.id.0, op: "launch" });
+            return Err(PiscesError::BadState {
+                enclave: enclave.id.0,
+                op: "launch",
+            });
         }
         let mut plan = self.boot_plan(enclave)?;
         for h in self.hooks.read().iter() {
@@ -229,9 +252,17 @@ impl PiscesHost {
     ///
     /// Ordering (the Covirt contract): allocate → **hook** (EPT map) →
     /// record in the partition → transmit the page list to the co-kernel.
-    pub fn add_memory(&self, enclave: &Enclave, zone: ZoneId, bytes: u64) -> PiscesResult<PhysRange> {
+    pub fn add_memory(
+        &self,
+        enclave: &Enclave,
+        zone: ZoneId,
+        bytes: u64,
+    ) -> PiscesResult<PhysRange> {
         if !enclave.state().is_live() {
-            return Err(PiscesError::BadState { enclave: enclave.id.0, op: "add_memory" });
+            return Err(PiscesError::BadState {
+                enclave: enclave.id.0,
+                op: "add_memory",
+            });
         }
         let range = self.node.mem.alloc_backed(zone, bytes, PAGE_SIZE_2M)?;
         if let Err(e) = self.run_hooks(|h| h.on_mem_add_prepared(enclave, range)) {
@@ -241,9 +272,14 @@ impl PiscesHost {
         enclave
             .with_resources_mut(|r| r.add_mem(range))
             .map_err(PiscesError::Invalid)?;
-        let ctrl = enclave.ctrl().ok_or(PiscesError::Invalid("no control channel"))?;
-        ctrl.send(&CtrlMsg::AddMem { start: range.start.raw(), len: range.len })
-            .map_err(|_| PiscesError::ResourceBusy("control channel full"))?;
+        let ctrl = enclave
+            .ctrl()
+            .ok_or(PiscesError::Invalid("no control channel"))?;
+        ctrl.send(&CtrlMsg::AddMem {
+            start: range.start.raw(),
+            len: range.len,
+        })
+        .map_err(|_| PiscesError::ResourceBusy("control channel full"))?;
         Ok(range)
     }
 
@@ -251,14 +287,24 @@ impl PiscesHost {
     /// co-kernel acks and [`PiscesHost::process_acks`] handles it.
     pub fn request_remove_memory(&self, enclave: &Enclave, range: PhysRange) -> PiscesResult<()> {
         if !enclave.state().is_live() {
-            return Err(PiscesError::BadState { enclave: enclave.id.0, op: "remove_memory" });
+            return Err(PiscesError::BadState {
+                enclave: enclave.id.0,
+                op: "remove_memory",
+            });
         }
         if !enclave.resources().mem.contains(&range) {
-            return Err(PiscesError::Invalid("region is not assigned to the enclave"));
+            return Err(PiscesError::Invalid(
+                "region is not assigned to the enclave",
+            ));
         }
-        let ctrl = enclave.ctrl().ok_or(PiscesError::Invalid("no control channel"))?;
-        ctrl.send(&CtrlMsg::RemoveMem { start: range.start.raw(), len: range.len })
-            .map_err(|_| PiscesError::ResourceBusy("control channel full"))?;
+        let ctrl = enclave
+            .ctrl()
+            .ok_or(PiscesError::Invalid("no control channel"))?;
+        ctrl.send(&CtrlMsg::RemoveMem {
+            start: range.start.raw(),
+            len: range.len,
+        })
+        .map_err(|_| PiscesError::ResourceBusy("control channel full"))?;
         Ok(())
     }
 
@@ -269,9 +315,14 @@ impl PiscesHost {
     /// **hook** (EPT unmap + TLB flush, blocking) → partition shrinks →
     /// memory returns to the host allocator.
     pub fn process_acks(&self, enclave: &Enclave) -> PiscesResult<Vec<CtrlMsg>> {
-        let ctrl = enclave.ctrl().ok_or(PiscesError::Invalid("no control channel"))?;
+        let ctrl = enclave
+            .ctrl()
+            .ok_or(PiscesError::Invalid("no control channel"))?;
         let mut handled = Vec::new();
-        while let Some(msg) = ctrl.try_recv().map_err(|_| PiscesError::Invalid("ctrl channel"))? {
+        while let Some(msg) = ctrl
+            .try_recv()
+            .map_err(|_| PiscesError::Invalid("ctrl channel"))?
+        {
             match &msg {
                 CtrlMsg::RemoveMemAck { start, len } => {
                     let range = PhysRange::new(covirt_simhw::addr::HostPhysAddr::new(*start), *len);
@@ -320,7 +371,9 @@ impl PiscesHost {
             }
             std::thread::yield_now();
         }
-        Err(PiscesError::ResourceBusy("timed out waiting for remove ack"))
+        Err(PiscesError::ResourceBusy(
+            "timed out waiting for remove ack",
+        ))
     }
 
     /// Allocate an IPI vector for the enclave from the global pool.
@@ -375,7 +428,10 @@ impl PiscesHost {
     pub fn teardown(&self, enclave: &Enclave) -> PiscesResult<()> {
         match enclave.state() {
             EnclaveState::Terminated | EnclaveState::Failed(_) => {
-                return Err(PiscesError::BadState { enclave: enclave.id.0, op: "teardown" })
+                return Err(PiscesError::BadState {
+                    enclave: enclave.id.0,
+                    op: "teardown",
+                })
             }
             _ => {}
         }
@@ -391,7 +447,10 @@ impl PiscesHost {
     /// Resources are reclaimed, the state records the reason, and the rest
     /// of the node keeps running — the isolation property Covirt provides.
     pub fn report_fault(&self, enclave: &Enclave, reason: &str) -> PiscesResult<()> {
-        if matches!(enclave.state(), EnclaveState::Terminated | EnclaveState::Failed(_)) {
+        if matches!(
+            enclave.state(),
+            EnclaveState::Terminated | EnclaveState::Failed(_)
+        ) {
             return Ok(()); // already dead; double reports are harmless
         }
         for h in self.hooks.read().iter() {
@@ -408,10 +467,15 @@ impl PiscesHost {
     /// [`PiscesHost::teardown`].
     pub fn request_shutdown(&self, enclave: &Enclave) -> PiscesResult<()> {
         if !enclave.state().is_live() {
-            return Err(PiscesError::BadState { enclave: enclave.id.0, op: "shutdown" });
+            return Err(PiscesError::BadState {
+                enclave: enclave.id.0,
+                op: "shutdown",
+            });
         }
         enclave.set_state(EnclaveState::ShuttingDown);
-        let ctrl = enclave.ctrl().ok_or(PiscesError::Invalid("no control channel"))?;
+        let ctrl = enclave
+            .ctrl()
+            .ok_or(PiscesError::Invalid("no control channel"))?;
         ctrl.send(&CtrlMsg::Shutdown)
             .map_err(|_| PiscesError::ResourceBusy("control channel full"))
     }
@@ -421,7 +485,9 @@ impl PiscesHost {
     /// caller alternating), then tear down. Spins up to `spins` polls.
     pub fn shutdown_enclave_sync(&self, enclave: &Enclave, spins: u64) -> PiscesResult<()> {
         self.request_shutdown(enclave)?;
-        let ctrl = enclave.ctrl().ok_or(PiscesError::Invalid("no control channel"))?;
+        let ctrl = enclave
+            .ctrl()
+            .ok_or(PiscesError::Invalid("no control channel"))?;
         for _ in 0..spins {
             // Drain directly: process_acks treats ShutdownAck as benign.
             for msg in self.process_acks(enclave)? {
@@ -432,12 +498,19 @@ impl PiscesHost {
             let _ = ctrl; // keep the handle alive for clarity
             std::thread::yield_now();
         }
-        Err(PiscesError::ResourceBusy("co-kernel did not acknowledge shutdown"))
+        Err(PiscesError::ResourceBusy(
+            "co-kernel did not acknowledge shutdown",
+        ))
     }
 
     /// Cores currently assigned (including core 0 = host).
     pub fn assigned_cores(&self) -> Vec<CoreId> {
-        let mut v: Vec<CoreId> = self.assigned_cores.lock().iter().map(|&c| CoreId(c)).collect();
+        let mut v: Vec<CoreId> = self
+            .assigned_cores
+            .lock()
+            .iter()
+            .map(|&c| CoreId(c))
+            .collect();
         v.sort();
         v
     }
@@ -458,7 +531,10 @@ mod tests {
     }
 
     fn small_req() -> ResourceRequest {
-        ResourceRequest::new(vec![CoreId(1), CoreId(2)], vec![(ZoneId(0), 32 * 1024 * 1024)])
+        ResourceRequest::new(
+            vec![CoreId(1), CoreId(2)],
+            vec![(ZoneId(0), 32 * 1024 * 1024)],
+        )
     }
 
     #[test]
@@ -520,7 +596,13 @@ mod tests {
         )
         .unwrap();
         let msg = chan.try_recv().unwrap().unwrap();
-        assert_eq!(msg, CtrlMsg::AddMem { start: range.start.raw(), len: range.len });
+        assert_eq!(
+            msg,
+            CtrlMsg::AddMem {
+                start: range.start.raw(),
+                len: range.len
+            }
+        );
     }
 
     #[test]
@@ -540,7 +622,11 @@ mod tests {
         .unwrap();
         // Drain the AddMem + RemoveMem notifications, then ack removal.
         while chan.try_recv().unwrap().is_some() {}
-        chan.send(&CtrlMsg::RemoveMemAck { start: range.start.raw(), len: range.len }).unwrap();
+        chan.send(&CtrlMsg::RemoveMemAck {
+            start: range.start.raw(),
+            len: range.len,
+        })
+        .unwrap();
         let handled = h.process_acks(&e).unwrap();
         assert_eq!(handled.len(), 1);
         assert!(!e.resources().mem.contains(&range));
@@ -610,7 +696,11 @@ mod tests {
             h.add_memory(&e, ZoneId(0), 1024 * 1024),
             Err(PiscesError::Vetoed(_))
         ));
-        assert_eq!(e.resources().mem_bytes(), before, "vetoed grant must not stick");
+        assert_eq!(
+            e.resources().mem_bytes(),
+            before,
+            "vetoed grant must not stick"
+        );
     }
 
     #[test]

@@ -99,18 +99,25 @@ pub struct IoctlDispatcher {
 impl IoctlDispatcher {
     /// Build a dispatcher over `host`.
     pub fn new(host: Arc<PiscesHost>) -> Self {
-        IoctlDispatcher { host, extensions: RwLock::new(HashMap::new()) }
+        IoctlDispatcher {
+            host,
+            extensions: RwLock::new(HashMap::new()),
+        }
     }
 
     /// Register an extension for command number `nr` (must be in the
     /// extension space).
     pub fn register_extension(&self, nr: u32, ext: Arc<dyn IoctlExtension>) -> PiscesResult<()> {
         if nr < EXTENSION_BASE {
-            return Err(PiscesError::Invalid("extension number below EXTENSION_BASE"));
+            return Err(PiscesError::Invalid(
+                "extension number below EXTENSION_BASE",
+            ));
         }
         let mut map = self.extensions.write();
         if map.contains_key(&nr) {
-            return Err(PiscesError::ResourceBusy("extension number already registered"));
+            return Err(PiscesError::ResourceBusy(
+                "extension number already registered",
+            ));
         }
         map.insert(nr, ext);
         Ok(())
@@ -133,12 +140,23 @@ impl IoctlDispatcher {
                 self.host.launch(&e)?;
                 Ok(CtlReply::EnclaveId(enclave))
             }
-            PiscesCtl::AddMem { enclave, zone, bytes } => {
+            PiscesCtl::AddMem {
+                enclave,
+                zone,
+                bytes,
+            } => {
                 let e = self.host.enclave(EnclaveId(enclave))?;
                 let r = self.host.add_memory(&e, ZoneId(zone), bytes)?;
-                Ok(CtlReply::Region { start: r.start.raw(), len: r.len })
+                Ok(CtlReply::Region {
+                    start: r.start.raw(),
+                    len: r.len,
+                })
             }
-            PiscesCtl::RemoveMem { enclave, start, len } => {
+            PiscesCtl::RemoveMem {
+                enclave,
+                start,
+                len,
+            } => {
                 let e = self.host.enclave(EnclaveId(enclave))?;
                 self.host
                     .request_remove_memory(&e, PhysRange::new(HostPhysAddr::new(start), len))?;
@@ -149,9 +167,9 @@ impl IoctlDispatcher {
                 self.host.teardown(&e)?;
                 Ok(CtlReply::Ok)
             }
-            PiscesCtl::List => {
-                Ok(CtlReply::List(self.host.enclaves().iter().map(|e| e.id.0).collect()))
-            }
+            PiscesCtl::List => Ok(CtlReply::List(
+                self.host.enclaves().iter().map(|e| e.id.0).collect(),
+            )),
         }
     }
 
@@ -166,7 +184,9 @@ impl IoctlDispatcher {
                 .ok_or(PiscesError::Invalid("unknown extension command"))?;
             return ext.handle(nr, payload);
         }
-        Err(PiscesError::Invalid("raw dispatch of built-in commands is not supported"))
+        Err(PiscesError::Invalid(
+            "raw dispatch of built-in commands is not supported",
+        ))
     }
 
     /// The host behind this dispatcher.
@@ -205,7 +225,13 @@ mod tests {
             r => panic!("unexpected reply {r:?}"),
         };
         d.ioctl(PiscesCtl::Launch { enclave: id }).unwrap();
-        let r = d.ioctl(PiscesCtl::AddMem { enclave: id, zone: 0, bytes: 1024 * 1024 }).unwrap();
+        let r = d
+            .ioctl(PiscesCtl::AddMem {
+                enclave: id,
+                zone: 0,
+                bytes: 1024 * 1024,
+            })
+            .unwrap();
         assert!(matches!(r, CtlReply::Region { .. }));
         assert_eq!(d.ioctl(PiscesCtl::List).unwrap(), CtlReply::List(vec![id]));
         d.ioctl(PiscesCtl::Teardown { enclave: id }).unwrap();
@@ -229,10 +255,15 @@ mod tests {
             }
         }
         let d = dispatcher();
-        assert!(d.register_extension(5, Arc::new(Echo)).is_err(), "below extension base");
-        d.register_extension(EXTENSION_BASE + 1, Arc::new(Echo)).unwrap();
         assert!(
-            d.register_extension(EXTENSION_BASE + 1, Arc::new(Echo)).is_err(),
+            d.register_extension(5, Arc::new(Echo)).is_err(),
+            "below extension base"
+        );
+        d.register_extension(EXTENSION_BASE + 1, Arc::new(Echo))
+            .unwrap();
+        assert!(
+            d.register_extension(EXTENSION_BASE + 1, Arc::new(Echo))
+                .is_err(),
             "duplicate registration"
         );
         let out = d.ioctl_raw(EXTENSION_BASE + 1, b"covirt-cfg").unwrap();

@@ -83,7 +83,11 @@ impl ResourceRequest {
     /// Request `cores` plus `bytes_per_zone` in each of `zones`, and a
     /// default of 4 IPI vectors.
     pub fn new(cores: Vec<CoreId>, mem_per_zone: Vec<(ZoneId, u64)>) -> Self {
-        ResourceRequest { cores, mem_per_zone, num_ipi_vectors: 4 }
+        ResourceRequest {
+            cores,
+            mem_per_zone,
+            num_ipi_vectors: 4,
+        }
     }
 
     /// The paper's enclave shape: `layout` cores and `total_mem` split
@@ -117,7 +121,10 @@ mod tests {
         s.add_mem(r(0x1000, 0x1000)).unwrap();
         s.add_mem(r(0x4000, 0x2000)).unwrap();
         assert_eq!(s.mem_bytes(), 0x3000);
-        assert!(s.add_mem(r(0x4800, 0x100)).is_err(), "overlap must be rejected");
+        assert!(
+            s.add_mem(r(0x4800, 0x100)).is_err(),
+            "overlap must be rejected"
+        );
         s.remove_mem(r(0x1000, 0x1000)).unwrap();
         assert!(s.remove_mem(r(0x1000, 0x1000)).is_err());
         assert_eq!(s.mem_bytes(), 0x2000);
@@ -128,7 +135,10 @@ mod tests {
         let mut s = ResourceSpec::new();
         s.add_mem(r(0x1000, 0x1000)).unwrap();
         assert!(s.covers(&r(0x1800, 0x100)));
-        assert!(!s.covers(&r(0x1800, 0x1000)), "straddling the end is not covered");
+        assert!(
+            !s.covers(&r(0x1800, 0x1000)),
+            "straddling the end is not covered"
+        );
     }
 
     #[test]

@@ -86,19 +86,27 @@ impl SharedRing {
         if Self::required_bytes(slot_count, slot_size) > range.len {
             return Err(RingError::Corrupt);
         }
-        let (backing, base) = mem.resolve(range.start, range.len).map_err(|_| RingError::Corrupt)?;
+        let (backing, base) = mem
+            .resolve(range.start, range.len)
+            .map_err(|_| RingError::Corrupt)?;
         backing.write_u64(base + OFF_COUNT, slot_count);
         backing.write_u64(base + OFF_SLOT_SIZE, slot_size);
         backing.write_u64(base + OFF_HEAD, 0);
         backing.write_u64(base + OFF_TAIL, 0);
         backing.write_u64_release(base + OFF_MAGIC, MAGIC);
-        Ok(SharedRing { backing, base, slot_count, slot_size })
+        Ok(SharedRing {
+            backing,
+            base,
+            slot_count,
+            slot_size,
+        })
     }
 
     /// Attach to a ring previously formatted at `range.start`.
     pub fn attach(mem: &PhysMemory, addr: HostPhysAddr) -> Result<Self, RingError> {
-        let (backing, base) =
-            mem.resolve(addr, DATA_OFF as u64).map_err(|_| RingError::Corrupt)?;
+        let (backing, base) = mem
+            .resolve(addr, DATA_OFF as u64)
+            .map_err(|_| RingError::Corrupt)?;
         if backing.read_u64_acquire(base + OFF_MAGIC) != MAGIC {
             return Err(RingError::Corrupt);
         }
@@ -111,7 +119,12 @@ impl SharedRing {
         let (backing, base) = mem
             .resolve(addr, Self::required_bytes(slot_count, slot_size))
             .map_err(|_| RingError::Corrupt)?;
-        Ok(SharedRing { backing, base, slot_count, slot_size })
+        Ok(SharedRing {
+            backing,
+            base,
+            slot_count,
+            slot_size,
+        })
     }
 
     /// Slot payload size in bytes.
@@ -160,7 +173,8 @@ impl SharedRing {
         let off = self.slot_offset(tail);
         self.backing.zero(off, self.slot_size as usize);
         self.backing.write_bytes(off, payload);
-        self.backing.write_u64_release(self.base + OFF_TAIL, tail.wrapping_add(1));
+        self.backing
+            .write_u64_release(self.base + OFF_TAIL, tail.wrapping_add(1));
         Ok(())
     }
 
@@ -174,7 +188,8 @@ impl SharedRing {
         let off = self.slot_offset(head);
         let mut buf = vec![0u8; self.slot_size as usize];
         self.backing.read_bytes(off, &mut buf);
-        self.backing.write_u64_release(self.base + OFF_HEAD, head.wrapping_add(1));
+        self.backing
+            .write_u64_release(self.base + OFF_HEAD, head.wrapping_add(1));
         Ok(buf)
     }
 }
@@ -187,7 +202,9 @@ mod tests {
 
     fn setup(slots: u64, size: u64) -> (Arc<PhysMemory>, PhysRange, SharedRing) {
         let mem = Arc::new(PhysMemory::new(&[16 * 1024 * 1024]));
-        let range = mem.alloc_backed(ZoneId(0), 64 * 1024, PAGE_SIZE_4K).unwrap();
+        let range = mem
+            .alloc_backed(ZoneId(0), 64 * 1024, PAGE_SIZE_4K)
+            .unwrap();
         let ring = SharedRing::create(&mem, range, slots, size).unwrap();
         (mem, range, ring)
     }
@@ -236,7 +253,10 @@ mod tests {
     fn attach_rejects_unformatted() {
         let mem = Arc::new(PhysMemory::new(&[4 * 1024 * 1024]));
         let range = mem.alloc_backed(ZoneId(0), 4096, PAGE_SIZE_4K).unwrap();
-        assert_eq!(SharedRing::attach(&mem, range.start).err(), Some(RingError::Corrupt));
+        assert_eq!(
+            SharedRing::attach(&mem, range.start).err(),
+            Some(RingError::Corrupt)
+        );
     }
 
     #[test]

@@ -128,7 +128,9 @@ impl<'a> WireReader<'a> {
         let n = self.get_u64()? as usize;
         let end = self.pos.checked_add(n).ok_or(WireError)?;
         let bytes = self.buf.get(self.pos..end).ok_or(WireError)?;
-        let s = std::str::from_utf8(bytes).map_err(|_| WireError)?.to_owned();
+        let s = std::str::from_utf8(bytes)
+            .map_err(|_| WireError)?
+            .to_owned();
         self.pos = end.div_ceil(8) * 8;
         if self.pos > self.buf.len() {
             return Err(WireError);

@@ -130,7 +130,8 @@ impl LocalApic {
     pub fn icr_write(&self, raw: u64) -> HwResult<()> {
         self.icr_writes.fetch_add(1, Ordering::Relaxed);
         let cmd = IcrCommand::decode(raw);
-        self.interconnect.send(self.id, cmd.resolve_dest(self.id), cmd.delivery())
+        self.interconnect
+            .send(self.id, cmd.resolve_dest(self.id), cmd.delivery())
     }
 
     /// Number of ICR writes performed by this core.
@@ -148,8 +149,10 @@ impl LocalApic {
             return;
         }
         let cycles = self.clock.ns_to_cycles(period_ns);
-        self.timer_period.store(if periodic { cycles } else { 0 }, Ordering::Relaxed);
-        self.timer_deadline.store(self.clock.rdtsc() + cycles, Ordering::Release);
+        self.timer_period
+            .store(if periodic { cycles } else { 0 }, Ordering::Relaxed);
+        self.timer_deadline
+            .store(self.clock.rdtsc() + cycles, Ordering::Release);
     }
 
     /// Current timer mode.
@@ -188,7 +191,11 @@ impl LocalApic {
             .is_ok()
         {
             let vector = self.timer_vector.load(Ordering::Relaxed) as u8;
-            let _ = self.interconnect.send(self.id, IpiDest::Core(self.id), DeliveryMode::Fixed(vector));
+            let _ = self.interconnect.send(
+                self.id,
+                IpiDest::Core(self.id),
+                DeliveryMode::Fixed(vector),
+            );
             true
         } else {
             false
@@ -208,23 +215,39 @@ mod tests {
     fn setup(cores: usize) -> (Arc<Interconnect>, Arc<TscClock>, Vec<LocalApic>) {
         let ic = Arc::new(Interconnect::new(cores));
         let clock = Arc::new(TscClock::new(1_000_000_000));
-        let apics =
-            (0..cores).map(|i| LocalApic::new(i, Arc::clone(&ic), Arc::clone(&clock))).collect();
+        let apics = (0..cores)
+            .map(|i| LocalApic::new(i, Arc::clone(&ic), Arc::clone(&clock)))
+            .collect();
         (ic, clock, apics)
     }
 
     #[test]
     fn icr_encode_decode_roundtrip() {
-        let cmd = IcrCommand { vector: 0x42, mode: ICR_MODE_FIXED, dest: 3, shorthand: ICR_SH_NONE };
+        let cmd = IcrCommand {
+            vector: 0x42,
+            mode: ICR_MODE_FIXED,
+            dest: 3,
+            shorthand: ICR_SH_NONE,
+        };
         assert_eq!(IcrCommand::decode(cmd.encode()), cmd);
-        let nmi = IcrCommand { vector: 0, mode: ICR_MODE_NMI, dest: 7, shorthand: ICR_SH_ALL_EXC };
+        let nmi = IcrCommand {
+            vector: 0,
+            mode: ICR_MODE_NMI,
+            dest: 7,
+            shorthand: ICR_SH_ALL_EXC,
+        };
         assert_eq!(IcrCommand::decode(nmi.encode()), nmi);
     }
 
     #[test]
     fn icr_write_delivers_fixed() {
         let (ic, _, apics) = setup(4);
-        let cmd = IcrCommand { vector: 0x90, mode: ICR_MODE_FIXED, dest: 2, shorthand: ICR_SH_NONE };
+        let cmd = IcrCommand {
+            vector: 0x90,
+            mode: ICR_MODE_FIXED,
+            dest: 2,
+            shorthand: ICR_SH_NONE,
+        };
         apics[0].icr_write(cmd.encode()).unwrap();
         assert!(ic.mailbox(2).unwrap().irr.test(0x90));
         assert_eq!(apics[0].icr_write_count(), 1);
@@ -233,7 +256,12 @@ mod tests {
     #[test]
     fn icr_write_delivers_nmi() {
         let (ic, _, apics) = setup(2);
-        let cmd = IcrCommand { vector: 0, mode: ICR_MODE_NMI, dest: 1, shorthand: ICR_SH_NONE };
+        let cmd = IcrCommand {
+            vector: 0,
+            mode: ICR_MODE_NMI,
+            dest: 1,
+            shorthand: ICR_SH_NONE,
+        };
         apics[0].icr_write(cmd.encode()).unwrap();
         assert!(ic.mailbox(1).unwrap().nmi_pending());
     }
@@ -241,7 +269,12 @@ mod tests {
     #[test]
     fn shorthand_self() {
         let (ic, _, apics) = setup(2);
-        let cmd = IcrCommand { vector: 0x31, mode: ICR_MODE_FIXED, dest: 99, shorthand: ICR_SH_SELF };
+        let cmd = IcrCommand {
+            vector: 0x31,
+            mode: ICR_MODE_FIXED,
+            dest: 99,
+            shorthand: ICR_SH_SELF,
+        };
         apics[1].icr_write(cmd.encode()).unwrap();
         assert!(ic.mailbox(1).unwrap().irr.test(0x31));
         assert!(!ic.mailbox(0).unwrap().irr.test(0x31));

@@ -65,7 +65,11 @@ impl Backing {
     /// must perform bounds checking before dereferencing past `offset`.
     #[inline]
     pub fn ptr_at(&self, offset: usize) -> *mut u8 {
-        debug_assert!(offset < self.len, "offset {offset} out of backing of len {}", self.len);
+        debug_assert!(
+            offset < self.len,
+            "offset {offset} out of backing of len {}",
+            self.len
+        );
         // SAFETY: offset is within the allocation (debug-asserted; release
         // callers bounds-check via `PhysMemory::resolve`).
         unsafe { self.ptr.add(offset) }
@@ -73,8 +77,15 @@ impl Backing {
 
     #[inline]
     fn word(&self, offset: usize) -> &AtomicU64 {
-        assert!(offset + 8 <= self.len, "word access at {offset} out of bounds ({})", self.len);
-        assert!(offset.is_multiple_of(8), "unaligned word access at {offset}");
+        assert!(
+            offset + 8 <= self.len,
+            "word access at {offset} out of bounds ({})",
+            self.len
+        );
+        assert!(
+            offset.is_multiple_of(8),
+            "unaligned word access at {offset}"
+        );
         // SAFETY: in-bounds, aligned; AtomicU64 has no validity invariants
         // beyond alignment and the memory is always initialized (zeroed).
         unsafe { &*(self.ptr.add(offset) as *const AtomicU64) }
@@ -112,7 +123,8 @@ impl Backing {
     /// indices).
     #[inline]
     pub fn cas_u64(&self, offset: usize, current: u64, new: u64) -> Result<u64, u64> {
-        self.word(offset).compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
+        self.word(offset)
+            .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
     }
 
     /// Copy bytes out of the backing into `buf`.

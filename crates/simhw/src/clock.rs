@@ -20,7 +20,11 @@ pub struct TscClock {
 impl TscClock {
     /// Create a clock ticking at `hz` cycles per second.
     pub fn new(hz: u64) -> Self {
-        TscClock { start: Instant::now(), hz, offset: AtomicU64::new(0) }
+        TscClock {
+            start: Instant::now(),
+            hz,
+            offset: AtomicU64::new(0),
+        }
     }
 
     /// RDTSC: cycles since the clock was created (plus any offset).
@@ -93,6 +97,10 @@ mod tests {
         let a = c.rdtsc();
         std::thread::sleep(std::time::Duration::from_millis(2));
         let b = c.rdtsc();
-        assert!(b - a >= 1_000_000, "expected at least 1ms of cycles, got {}", b - a);
+        assert!(
+            b - a >= 1_000_000,
+            "expected at least 1ms of cycles, got {}",
+            b - a
+        );
     }
 }

@@ -135,13 +135,19 @@ mod tests {
         assert!(c.vmxon().is_err(), "double VMXON must fault");
         c.vmxoff().unwrap();
         assert!(!c.vmx_enabled());
-        assert!(c.vmxoff().is_err(), "VMXOFF outside VMX operation must fault");
+        assert!(
+            c.vmxoff().is_err(),
+            "VMXOFF outside VMX operation must fault"
+        );
     }
 
     #[test]
     fn vmptrld_requires_vmxon() {
         let c = cpu();
-        assert!(matches!(c.vmptrld(new_vmcs()), Err(HwError::VmxNotEnabled(0))));
+        assert!(matches!(
+            c.vmptrld(new_vmcs()),
+            Err(HwError::VmxNotEnabled(0))
+        ));
         c.vmxon().unwrap();
         c.vmptrld(new_vmcs()).unwrap();
         assert!(c.current_vmcs().is_some());

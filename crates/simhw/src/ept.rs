@@ -17,6 +17,7 @@
 use crate::addr::{GuestPhysAddr, HostPhysAddr, PhysRange};
 use crate::error::{HwError, HwResult};
 use crate::paging::{Access, EntryFormat, FramePool, Perms, RadixTable, TableLoad, Translation};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -134,8 +135,14 @@ impl Ept {
 
     /// Identity-map with explicit permissions (used by tests and by the
     /// read-only grant extension).
-    pub fn map_identity_perms(&self, range: PhysRange, perms: Perms, max_level: u8) -> HwResult<()> {
-        self.table.map(range.start.raw(), range.start, range.len, perms, max_level)?;
+    pub fn map_identity_perms(
+        &self,
+        range: PhysRange,
+        perms: Perms,
+        max_level: u8,
+    ) -> HwResult<()> {
+        self.table
+            .map(range.start.raw(), range.start, range.len, perms, max_level)?;
         self.map_ops.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -178,7 +185,118 @@ impl Ept {
 
     /// (map ops, unmap ops) performed so far.
     pub fn op_counts(&self) -> (u64, u64) {
-        (self.map_ops.load(Ordering::Relaxed), self.unmap_ops.load(Ordering::Relaxed))
+        (
+            self.map_ops.load(Ordering::Relaxed),
+            self.unmap_ops.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A paging-structure cache for nested walks.
+///
+/// Under nested paging every *guest page-table entry* load must itself be
+/// translated through the EPT, multiplying the miss-path cost (up to ~24
+/// loads for a 4-level guest walk). Real hardware hides most of this with
+/// paging-structure caches; this models one: it maps the 4 KiB
+/// guest-physical page holding a PT entry to its host-physical page, so a
+/// hit skips the EPT walk entirely.
+///
+/// Coherence contract: every entry is tagged with the EPT [`generation`]
+/// current when it was filled, and a lookup only hits when the tag equals
+/// the *current* generation. Because the generation is bumped exactly when
+/// the mapping shrinks ([`Ept::unmap`]) — growth cannot change an existing
+/// translation, since the radix engine rejects double-maps — a stale entry
+/// can never outlive the mapping it was derived from. No explicit
+/// invalidation call exists or is needed.
+///
+/// The cache is core-private (interior mutability via [`Cell`], not
+/// thread-safe) exactly like the hardware structure it models.
+///
+/// [`generation`]: Ept::generation
+pub struct WalkCache {
+    entries: Vec<Cell<WalkCacheEntry>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+#[derive(Clone, Copy)]
+struct WalkCacheEntry {
+    /// Guest-physical 4 KiB page base; `u64::MAX` = invalid.
+    tag: u64,
+    /// Host-physical base of that page.
+    host_page: u64,
+    /// EPT generation when filled.
+    generation: u64,
+}
+
+impl WalkCacheEntry {
+    const INVALID: u64 = u64::MAX;
+}
+
+impl WalkCache {
+    /// Default number of entries; sized like a hardware PML4/PDPT/PDE cache
+    /// (a few dozen entries cover the paging structures of many gigabytes).
+    pub const DEFAULT_ENTRIES: usize = 64;
+
+    /// Build a direct-mapped cache with `entries` slots.
+    pub fn new(entries: usize) -> Self {
+        let n = entries.max(1);
+        WalkCache {
+            entries: (0..n)
+                .map(|_| {
+                    Cell::new(WalkCacheEntry {
+                        tag: WalkCacheEntry::INVALID,
+                        host_page: 0,
+                        generation: 0,
+                    })
+                })
+                .collect(),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, page: u64) -> &Cell<WalkCacheEntry> {
+        &self.entries[((page >> 12) as usize) % self.entries.len()]
+    }
+
+    /// Look up the host-physical address for `gpa` given the current EPT
+    /// generation. Hits return the translated address with zero loads.
+    #[inline]
+    pub fn lookup(&self, gpa: u64, generation: u64) -> Option<u64> {
+        let page = gpa & !0xfff;
+        let e = self.slot(page).get();
+        if e.tag == page && e.generation == generation {
+            self.hits.set(self.hits.get() + 1);
+            Some(e.host_page + (gpa & 0xfff))
+        } else {
+            self.misses.set(self.misses.get() + 1);
+            None
+        }
+    }
+
+    /// Install the translation `gpa → host_pa` (both arbitrary addresses in
+    /// the same page-offset) under `generation`.
+    #[inline]
+    pub fn insert(&self, gpa: u64, host_pa: u64, generation: u64) {
+        let page = gpa & !0xfff;
+        self.slot(page).set(WalkCacheEntry {
+            tag: page,
+            host_page: host_pa & !0xfff,
+            generation,
+        });
+    }
+
+    /// (hits, misses) since construction or the last reset.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.get(), self.misses.get())
+    }
+
+    /// Reset the counters (benchmark harness hygiene).
+    pub fn reset_stats(&self) {
+        self.hits.set(0);
+        self.misses.set(0);
     }
 }
 
@@ -201,7 +319,9 @@ mod tests {
 
     fn setup() -> (Arc<PhysMemory>, Ept) {
         let mem = Arc::new(PhysMemory::new(&[512 * 1024 * 1024]));
-        let pool_region = mem.alloc_backed(ZoneId(0), 8 * 1024 * 1024, PAGE_SIZE_4K).unwrap();
+        let pool_region = mem
+            .alloc_backed(ZoneId(0), 8 * 1024 * 1024, PAGE_SIZE_4K)
+            .unwrap();
         let pool = Arc::new(FramePool::new(Arc::clone(&mem), pool_region));
         let ept = Ept::new(pool).unwrap();
         (mem, ept)
@@ -210,10 +330,16 @@ mod tests {
     #[test]
     fn identity_translate() {
         let (mem, ept) = setup();
-        let r = mem.alloc(ZoneId(0), 8 * PAGE_SIZE_4K, PAGE_SIZE_4K).unwrap();
+        let r = mem
+            .alloc(ZoneId(0), 8 * PAGE_SIZE_4K, PAGE_SIZE_4K)
+            .unwrap();
         ept.map_identity(r, 2).unwrap();
         let t = ept
-            .translate(GuestPhysAddr::new(r.start.raw() + 100), Access::Read, &DirectLoad(&mem))
+            .translate(
+                GuestPhysAddr::new(r.start.raw() + 100),
+                Access::Read,
+                &DirectLoad(&mem),
+            )
             .unwrap();
         assert_eq!(t.pa.raw(), r.start.raw() + 100);
     }
@@ -224,7 +350,9 @@ mod tests {
         let r = mem.alloc(ZoneId(0), PAGE_SIZE_4K, PAGE_SIZE_4K).unwrap();
         ept.map_identity(r, 1).unwrap();
         let bad = GuestPhysAddr::new(r.end().raw() + PAGE_SIZE_4K);
-        let e = ept.translate(bad, Access::Write, &DirectLoad(&mem)).unwrap_err();
+        let e = ept
+            .translate(bad, Access::Write, &DirectLoad(&mem))
+            .unwrap_err();
         assert!(matches!(e, HwError::EptViolation { write: true, .. }));
     }
 
@@ -234,16 +362,28 @@ mod tests {
         let r = mem.alloc(ZoneId(0), PAGE_SIZE_2M, PAGE_SIZE_2M).unwrap();
         let g0 = ept.generation();
         ept.map_identity(r, 2).unwrap();
-        assert_eq!(ept.generation(), g0, "growing the map must not require INVEPT");
+        assert_eq!(
+            ept.generation(),
+            g0,
+            "growing the map must not require INVEPT"
+        );
         ept.unmap(r).unwrap();
         assert_eq!(ept.generation(), g0 + 1);
-        assert!(ept.translate(GuestPhysAddr::new(r.start.raw()), Access::Read, &DirectLoad(&mem)).is_err());
+        assert!(ept
+            .translate(
+                GuestPhysAddr::new(r.start.raw()),
+                Access::Read,
+                &DirectLoad(&mem)
+            )
+            .is_err());
     }
 
     #[test]
     fn coalescing_uses_large_pages() {
         let (mem, ept) = setup();
-        let r = mem.alloc(ZoneId(0), 4 * PAGE_SIZE_2M, PAGE_SIZE_2M).unwrap();
+        let r = mem
+            .alloc(ZoneId(0), 4 * PAGE_SIZE_2M, PAGE_SIZE_2M)
+            .unwrap();
         ept.map_identity(r, 3).unwrap();
         let (c4k, c2m, _c1g) = ept.leaf_counts().unwrap();
         assert_eq!(c4k, 0);
@@ -267,7 +407,47 @@ mod tests {
         ept.map_identity_perms(r, Perms::RO, 1).unwrap();
         let gpa = GuestPhysAddr::new(r.start.raw());
         assert!(ept.translate(gpa, Access::Read, &DirectLoad(&mem)).is_ok());
-        assert!(ept.translate(gpa, Access::Write, &DirectLoad(&mem)).is_err());
+        assert!(ept
+            .translate(gpa, Access::Write, &DirectLoad(&mem))
+            .is_err());
+    }
+
+    #[test]
+    fn walk_cache_hits_within_generation() {
+        let c = WalkCache::new(16);
+        c.insert(0x5000 + 8, 0x9000 + 8, 1);
+        assert_eq!(c.lookup(0x5010, 1), Some(0x9010));
+        assert_eq!(c.lookup(0x5ff8, 1), Some(0x9ff8));
+        let (h, m) = c.stats();
+        assert_eq!((h, m), (2, 0));
+    }
+
+    #[test]
+    fn walk_cache_invalidated_by_generation_bump() {
+        let c = WalkCache::new(16);
+        c.insert(0x5000, 0x9000, 1);
+        assert!(c.lookup(0x5000, 2).is_none(), "stale generation must miss");
+        // Refill under the new generation works.
+        c.insert(0x5000, 0xa000, 2);
+        assert_eq!(c.lookup(0x5000, 2), Some(0xa000));
+    }
+
+    #[test]
+    fn walk_cache_tracks_ept_generation_end_to_end() {
+        let (mem, ept) = setup();
+        let r = mem.alloc(ZoneId(0), PAGE_SIZE_2M, PAGE_SIZE_2M).unwrap();
+        ept.map_identity(r, 2).unwrap();
+        let c = WalkCache::new(16);
+        let gpa = r.start.raw() + 64;
+        let t = ept
+            .translate(GuestPhysAddr::new(gpa), Access::Read, &DirectLoad(&mem))
+            .unwrap();
+        c.insert(gpa, t.pa.raw(), ept.generation());
+        assert_eq!(c.lookup(gpa, ept.generation()), Some(t.pa.raw()));
+        // The reclaim's generation bump kills the cached translation
+        // without any explicit invalidation.
+        ept.unmap(r).unwrap();
+        assert!(c.lookup(gpa, ept.generation()).is_none());
     }
 
     #[test]

@@ -54,7 +54,10 @@ impl fmt::Display for HwError {
         match self {
             HwError::UnbackedPhys(a) => write!(f, "access to unbacked physical address {a}"),
             HwError::OutOfMemory { zone, requested } => {
-                write!(f, "out of memory in NUMA zone {zone} ({requested} bytes requested)")
+                write!(
+                    f,
+                    "out of memory in NUMA zone {zone} ({requested} bytes requested)"
+                )
             }
             HwError::NoSuchZone(z) => write!(f, "no such NUMA zone: {z}"),
             HwError::NoSuchCore(c) => write!(f, "no such core: {c}"),
@@ -62,7 +65,12 @@ impl fmt::Display for HwError {
             HwError::PageNotPresent { gva, level } => {
                 write!(f, "page not present for {gva} at level {level}")
             }
-            HwError::EptViolation { gpa, read, write, exec } => write!(
+            HwError::EptViolation {
+                gpa,
+                read,
+                write,
+                exec,
+            } => write!(
                 f,
                 "EPT violation at {gpa} (r={} w={} x={})",
                 u8::from(*read),

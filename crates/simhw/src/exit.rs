@@ -72,7 +72,10 @@ pub enum ExitReason {
 impl ExitReason {
     /// True for abort-class exits that must terminate the enclave.
     pub fn is_abort(&self) -> bool {
-        matches!(self, ExitReason::EptViolation(_) | ExitReason::DoubleFault | ExitReason::TripleFault)
+        matches!(
+            self,
+            ExitReason::EptViolation(_) | ExitReason::DoubleFault | ExitReason::TripleFault
+        )
     }
 
     /// Short stable name for stats tables.

@@ -226,7 +226,8 @@ mod tests {
     #[test]
     fn send_to_single_core() {
         let ic = Interconnect::new(4);
-        ic.send(0, IpiDest::Core(2), DeliveryMode::Fixed(0x40)).unwrap();
+        ic.send(0, IpiDest::Core(2), DeliveryMode::Fixed(0x40))
+            .unwrap();
         assert!(ic.mailbox(2).unwrap().irr.test(0x40));
         assert!(ic.mailbox(1).unwrap().irr.is_empty());
         assert_eq!(ic.send_count(), 1);
@@ -235,7 +236,8 @@ mod tests {
     #[test]
     fn broadcast_excluding_self() {
         let ic = Interconnect::new(3);
-        ic.send(1, IpiDest::AllExcludingSelf, DeliveryMode::Fixed(0x50)).unwrap();
+        ic.send(1, IpiDest::AllExcludingSelf, DeliveryMode::Fixed(0x50))
+            .unwrap();
         assert!(ic.mailbox(0).unwrap().irr.test(0x50));
         assert!(!ic.mailbox(1).unwrap().irr.test(0x50));
         assert!(ic.mailbox(2).unwrap().irr.test(0x50));
@@ -244,7 +246,8 @@ mod tests {
     #[test]
     fn broadcast_including_self() {
         let ic = Interconnect::new(2);
-        ic.send(0, IpiDest::AllIncludingSelf, DeliveryMode::Fixed(0x21)).unwrap();
+        ic.send(0, IpiDest::AllIncludingSelf, DeliveryMode::Fixed(0x21))
+            .unwrap();
         assert!(ic.mailbox(0).unwrap().irr.test(0x21));
         assert!(ic.mailbox(1).unwrap().irr.test(0x21));
     }
@@ -279,7 +282,8 @@ mod tests {
                 let ic = Arc::clone(&ic);
                 std::thread::spawn(move || {
                     for i in 0..64u8 {
-                        ic.send(0, IpiDest::Core(0), DeliveryMode::Fixed(t * 64 + i)).unwrap();
+                        ic.send(0, IpiDest::Core(0), DeliveryMode::Fixed(t * 64 + i))
+                            .unwrap();
                     }
                 })
             })

@@ -66,12 +66,16 @@ impl Default for IoBitmap {
 impl IoBitmap {
     /// Intercept no ports.
     pub fn intercept_none() -> Self {
-        IoBitmap { bits: Box::new([0; IO_WORDS]) }
+        IoBitmap {
+            bits: Box::new([0; IO_WORDS]),
+        }
     }
 
     /// Intercept every port.
     pub fn intercept_all() -> Self {
-        IoBitmap { bits: Box::new([u64::MAX; IO_WORDS]) }
+        IoBitmap {
+            bits: Box::new([u64::MAX; IO_WORDS]),
+        }
     }
 
     /// Set or clear the intercept for one port.

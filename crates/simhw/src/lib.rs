@@ -51,6 +51,8 @@ pub mod tlb;
 pub mod topology;
 pub mod vmcs;
 
-pub use addr::{GuestPhysAddr, GuestVirtAddr, HostPhysAddr, PAGE_SIZE_1G, PAGE_SIZE_2M, PAGE_SIZE_4K};
+pub use addr::{
+    GuestPhysAddr, GuestVirtAddr, HostPhysAddr, PAGE_SIZE_1G, PAGE_SIZE_2M, PAGE_SIZE_4K,
+};
 pub use error::HwError;
 pub use node::{NodeConfig, SimNode};

@@ -37,7 +37,11 @@ impl ZoneAllocator {
         let base = zone as u64 * ZONE_SPAN + ZONE_RAM_BASE;
         let mut free = BTreeMap::new();
         free.insert(base, bytes);
-        ZoneAllocator { free, total: bytes, in_use: 0 }
+        ZoneAllocator {
+            free,
+            total: bytes,
+            in_use: 0,
+        }
     }
 
     fn alloc(&mut self, len: u64, align: u64) -> Option<PhysRange> {
@@ -71,7 +75,10 @@ impl ZoneAllocator {
         let mut len = range.len;
         // Coalesce with the previous extent if adjacent.
         if let Some((&pstart, &plen)) = self.free.range(..start).next_back() {
-            assert!(pstart + plen <= start, "double free overlapping previous extent");
+            assert!(
+                pstart + plen <= start,
+                "double free overlapping previous extent"
+            );
             if pstart + plen == start {
                 self.free.remove(&pstart);
                 start = pstart;
@@ -114,7 +121,10 @@ impl PhysMemory {
             .enumerate()
             .map(|(i, &b)| Mutex::new(ZoneAllocator::new(i, b)))
             .collect();
-        PhysMemory { zones, populated: RwLock::new(BTreeMap::new()) }
+        PhysMemory {
+            zones,
+            populated: RwLock::new(BTreeMap::new()),
+        }
     }
 
     /// Number of NUMA zones.
@@ -129,7 +139,11 @@ impl PhysMemory {
 
     /// (total, in-use) bytes for a zone.
     pub fn zone_usage(&self, zone: ZoneId) -> HwResult<(u64, u64)> {
-        let z = self.zones.get(zone.0).ok_or(HwError::NoSuchZone(zone.0))?.lock();
+        let z = self
+            .zones
+            .get(zone.0)
+            .ok_or(HwError::NoSuchZone(zone.0))?
+            .lock();
         Ok((z.total, z.in_use))
     }
 
@@ -141,8 +155,15 @@ impl PhysMemory {
         }
         let len = len.div_ceil(PAGE_SIZE_4K) * PAGE_SIZE_4K;
         let align = align.max(PAGE_SIZE_4K);
-        let mut z = self.zones.get(zone.0).ok_or(HwError::NoSuchZone(zone.0))?.lock();
-        z.alloc(len, align).ok_or(HwError::OutOfMemory { zone: zone.0, requested: len })
+        let mut z = self
+            .zones
+            .get(zone.0)
+            .ok_or(HwError::NoSuchZone(zone.0))?
+            .lock();
+        z.alloc(len, align).ok_or(HwError::OutOfMemory {
+            zone: zone.0,
+            requested: len,
+        })
     }
 
     /// Allocate and immediately populate a range.
@@ -158,7 +179,9 @@ impl PhysMemory {
         // Reject overlap with an existing populated region.
         if let Some((_, p)) = pop.range(..range.end().raw()).next_back() {
             if p.range.overlaps(&range) {
-                return Err(HwError::Invalid("populate overlaps an existing populated region"));
+                return Err(HwError::Invalid(
+                    "populate overlaps an existing populated region",
+                ));
             }
         }
         let backing = Arc::new(Backing::new(range.len as usize));
@@ -189,7 +212,11 @@ impl PhysMemory {
             }
         }
         let zone = self.zone_of(range.start);
-        let mut z = self.zones.get(zone.0).ok_or(HwError::NoSuchZone(zone.0))?.lock();
+        let mut z = self
+            .zones
+            .get(zone.0)
+            .ok_or(HwError::NoSuchZone(zone.0))?
+            .lock();
         z.free(range);
         Ok(())
     }
@@ -199,11 +226,17 @@ impl PhysMemory {
     /// one populated region.
     pub fn resolve(&self, addr: HostPhysAddr, len: u64) -> HwResult<(Arc<Backing>, usize)> {
         let pop = self.populated.read();
-        let (_, p) = pop.range(..=addr.raw()).next_back().ok_or(HwError::UnbackedPhys(addr))?;
+        let (_, p) = pop
+            .range(..=addr.raw())
+            .next_back()
+            .ok_or(HwError::UnbackedPhys(addr))?;
         if !p.range.contains(addr) || addr.raw() + len > p.range.end().raw() {
             return Err(HwError::UnbackedPhys(addr));
         }
-        Ok((Arc::clone(&p.backing), (addr.raw() - p.range.start.raw()) as usize))
+        Ok((
+            Arc::clone(&p.backing),
+            (addr.raw() - p.range.start.raw()) as usize,
+        ))
     }
 
     /// Aligned 64-bit physical load.
@@ -246,7 +279,12 @@ impl PhysMemory {
 impl std::fmt::Debug for PhysMemory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let pop = self.populated.read();
-        write!(f, "PhysMemory({} zones, {} populated regions)", self.zones.len(), pop.len())
+        write!(
+            f,
+            "PhysMemory({} zones, {} populated regions)",
+            self.zones.len(),
+            pop.len()
+        )
     }
 }
 
@@ -285,7 +323,9 @@ mod tests {
     #[test]
     fn out_of_memory_reported() {
         let m = PhysMemory::new(&[1024 * 1024]);
-        let e = m.alloc(ZoneId(0), 2 * 1024 * 1024, PAGE_SIZE_4K).unwrap_err();
+        let e = m
+            .alloc(ZoneId(0), 2 * 1024 * 1024, PAGE_SIZE_4K)
+            .unwrap_err();
         assert!(matches!(e, HwError::OutOfMemory { zone: 0, .. }));
     }
 

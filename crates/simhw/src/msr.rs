@@ -108,7 +108,11 @@ impl MsrBitmap {
     /// Mark reads of `index` as intercepted.
     pub fn intercept_read(&mut self, index: u32, intercept: bool) {
         if let Some((low, w, m)) = Self::slot(index) {
-            let arr = if low { &mut self.read_low } else { &mut self.read_high };
+            let arr = if low {
+                &mut self.read_low
+            } else {
+                &mut self.read_high
+            };
             if intercept {
                 arr[w] |= m;
             } else {
@@ -120,7 +124,11 @@ impl MsrBitmap {
     /// Mark writes of `index` as intercepted.
     pub fn intercept_write(&mut self, index: u32, intercept: bool) {
         if let Some((low, w, m)) = Self::slot(index) {
-            let arr = if low { &mut self.write_low } else { &mut self.write_high };
+            let arr = if low {
+                &mut self.write_low
+            } else {
+                &mut self.write_high
+            };
             if intercept {
                 arr[w] |= m;
             } else {
@@ -144,7 +152,11 @@ impl MsrBitmap {
     pub fn write_exits(&self, index: u32) -> bool {
         match Self::slot(index) {
             Some((low, w, m)) => {
-                let arr = if low { &self.write_low } else { &self.write_high };
+                let arr = if low {
+                    &self.write_low
+                } else {
+                    &self.write_high
+                };
                 arr[w] & m != 0
             }
             None => true,

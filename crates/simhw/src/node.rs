@@ -21,12 +21,16 @@ pub struct NodeConfig {
 impl NodeConfig {
     /// The paper's testbed.
     pub fn paper_testbed() -> Self {
-        NodeConfig { topology: Topology::paper_testbed() }
+        NodeConfig {
+            topology: Topology::paper_testbed(),
+        }
     }
 
     /// Small node for unit tests.
     pub fn small() -> Self {
-        NodeConfig { topology: Topology::small() }
+        NodeConfig {
+            topology: Topology::small(),
+        }
     }
 
     /// Small node with a custom per-zone memory size.
@@ -64,7 +68,11 @@ impl SimNode {
         let interconnect = Arc::new(Interconnect::new(topo.total_cores()));
         let cpus = (0..topo.total_cores())
             .map(|i| {
-                let apic = Arc::new(LocalApic::new(i, Arc::clone(&interconnect), Arc::clone(&clock)));
+                let apic = Arc::new(LocalApic::new(
+                    i,
+                    Arc::clone(&interconnect),
+                    Arc::clone(&clock),
+                ));
                 Arc::new(Cpu::new(CoreId(i), apic))
             })
             .collect();
@@ -138,7 +146,9 @@ mod tests {
     #[test]
     fn interconnect_reaches_all_cores() {
         let node = SimNode::new(NodeConfig::small());
-        node.interconnect.send(0, IpiDest::AllExcludingSelf, DeliveryMode::Fixed(0x77)).unwrap();
+        node.interconnect
+            .send(0, IpiDest::AllExcludingSelf, DeliveryMode::Fixed(0x77))
+            .unwrap();
         for i in 1..4 {
             assert!(node.interconnect.mailbox(i).unwrap().irr.test(0x77));
         }

@@ -42,11 +42,23 @@ pub struct Perms {
 impl Perms {
     /// Read+write+execute — what Covirt installs for every owned region
     /// ("All EPT entries are mapped with full access permissions").
-    pub const RWX: Perms = Perms { r: true, w: true, x: true };
+    pub const RWX: Perms = Perms {
+        r: true,
+        w: true,
+        x: true,
+    };
     /// Read-only mapping.
-    pub const RO: Perms = Perms { r: true, w: false, x: false };
+    pub const RO: Perms = Perms {
+        r: true,
+        w: false,
+        x: false,
+    };
     /// Read+write, no execute.
-    pub const RW: Perms = Perms { r: true, w: true, x: false };
+    pub const RW: Perms = Perms {
+        r: true,
+        w: true,
+        x: false,
+    };
 
     /// Whether these permissions allow `access`.
     #[inline]
@@ -137,7 +149,11 @@ impl EntryFormat for X86Format {
     }
     #[inline]
     fn entry_perms(entry: u64) -> Perms {
-        Perms { r: true, w: entry & x86_bits::RW != 0, x: entry & x86_bits::NX == 0 }
+        Perms {
+            r: true,
+            w: entry & x86_bits::RW != 0,
+            x: entry & x86_bits::NX == 0,
+        }
     }
 }
 
@@ -212,9 +228,16 @@ pub struct FramePool {
 impl FramePool {
     /// Build a pool over `region`, which must already be populated.
     pub fn new(mem: Arc<PhysMemory>, region: PhysRange) -> Self {
-        let (backing, backing_off) =
-            mem.resolve(region.start, region.len).expect("frame pool region must be populated");
-        FramePool { mem, region, next: Mutex::new(0), backing, backing_off }
+        let (backing, backing_off) = mem
+            .resolve(region.start, region.len)
+            .expect("frame pool region must be populated");
+        FramePool {
+            mem,
+            region,
+            next: Mutex::new(0),
+            backing,
+            backing_off,
+        }
     }
 
     /// Fast word load from a pool-resident table frame.
@@ -233,7 +256,8 @@ impl FramePool {
     pub fn store(&self, pa: HostPhysAddr, value: u64) -> bool {
         let off = pa.raw().wrapping_sub(self.region.start.raw());
         if off + 8 <= self.region.len {
-            self.backing.write_u64(self.backing_off + off as usize, value);
+            self.backing
+                .write_u64(self.backing_off + off as usize, value);
             true
         } else {
             false
@@ -278,7 +302,12 @@ impl<F: EntryFormat> RadixTable<F> {
     /// Create an empty table, allocating the root frame from `pool`.
     pub fn new(pool: Arc<FramePool>) -> HwResult<Self> {
         let root = pool.alloc_frame()?;
-        Ok(RadixTable { mem: Arc::clone(pool.memory()), pool, root, _fmt: std::marker::PhantomData })
+        Ok(RadixTable {
+            mem: Arc::clone(pool.memory()),
+            pool,
+            root,
+            _fmt: std::marker::PhantomData,
+        })
     }
 
     /// Physical address of the root table (CR3 / EPTP analogue).
@@ -310,8 +339,18 @@ impl<F: EntryFormat> RadixTable<F> {
     /// Map `[va, va+len)` to `[pa, pa+len)` with `perms`, using the largest
     /// page size `<= max_level` that alignment and remaining length allow.
     /// `va`, `pa` and `len` must be 4 KiB aligned.
-    pub fn map(&self, va: u64, pa: HostPhysAddr, len: u64, perms: Perms, max_level: u8) -> HwResult<()> {
-        if !va.is_multiple_of(PAGE_SIZE_4K) || !pa.raw().is_multiple_of(PAGE_SIZE_4K) || !len.is_multiple_of(PAGE_SIZE_4K) {
+    pub fn map(
+        &self,
+        va: u64,
+        pa: HostPhysAddr,
+        len: u64,
+        perms: Perms,
+        max_level: u8,
+    ) -> HwResult<()> {
+        if !va.is_multiple_of(PAGE_SIZE_4K)
+            || !pa.raw().is_multiple_of(PAGE_SIZE_4K)
+            || !len.is_multiple_of(PAGE_SIZE_4K)
+        {
             return Err(HwError::Invalid("map arguments must be 4 KiB aligned"));
         }
         if len == 0 {
@@ -346,7 +385,9 @@ impl<F: EntryFormat> RadixTable<F> {
             let e = self.read_entry(eaddr)?;
             let child = if F::present(e) {
                 if F::leaf(e, cur) {
-                    return Err(HwError::Invalid("mapping collides with an existing larger page"));
+                    return Err(HwError::Invalid(
+                        "mapping collides with an existing larger page",
+                    ));
                 }
                 F::frame(e)
             } else {
@@ -390,7 +431,11 @@ impl<F: EntryFormat> RadixTable<F> {
             let e = self.read_entry(eaddr)?;
             if !F::present(e) {
                 // Hole: skip to the end of this entry's span.
-                let span = if level == 4 { 512 * level_page_size(3) } else { level_page_size(level) };
+                let span = if level == 4 {
+                    512 * level_page_size(3)
+                } else {
+                    level_page_size(level)
+                };
                 let skip = span - (va % span);
                 return Ok(Some(skip.min(range_va + range_len - va)));
             }
@@ -413,7 +458,11 @@ impl<F: EntryFormat> RadixTable<F> {
             let base_pa = F::frame(e).raw();
             let perms = F::entry_perms(e);
             for i in 0..512u64 {
-                let ce = F::leaf_entry(HostPhysAddr::new(base_pa + i * child_size), level - 1, perms);
+                let ce = F::leaf_entry(
+                    HostPhysAddr::new(base_pa + i * child_size),
+                    level - 1,
+                    perms,
+                );
                 self.write_entry(Self::entry_addr(child, i), ce)?;
             }
             self.write_entry(eaddr, F::table_entry(child))?;
@@ -464,7 +513,12 @@ impl<F: EntryFormat> RadixTable<F> {
         Ok(counts)
     }
 
-    fn count_rec(&self, table: HostPhysAddr, level: u8, counts: &mut (u64, u64, u64)) -> HwResult<()> {
+    fn count_rec(
+        &self,
+        table: HostPhysAddr,
+        level: u8,
+        counts: &mut (u64, u64, u64),
+    ) -> HwResult<()> {
         for i in 0..512u64 {
             let e = self.read_entry(Self::entry_addr(table, i))?;
             if !F::present(e) {
@@ -496,7 +550,9 @@ mod tests {
 
     fn setup() -> (Arc<PhysMemory>, Arc<FramePool>) {
         let mem = Arc::new(PhysMemory::new(&[256 * 1024 * 1024]));
-        let pool_region = mem.alloc_backed(ZoneId(0), 8 * 1024 * 1024, PAGE_SIZE_4K).unwrap();
+        let pool_region = mem
+            .alloc_backed(ZoneId(0), 8 * 1024 * 1024, PAGE_SIZE_4K)
+            .unwrap();
         let pool = Arc::new(FramePool::new(Arc::clone(&mem), pool_region));
         (mem, pool)
     }
@@ -505,8 +561,11 @@ mod tests {
     fn identity_map_walk_4k() {
         let (mem, pool) = setup();
         let pt = GuestPageTables::new(pool).unwrap();
-        let data = mem.alloc_backed(ZoneId(0), 16 * 4096, PAGE_SIZE_4K).unwrap();
-        pt.map(data.start.raw(), data.start, data.len, Perms::RWX, 1).unwrap();
+        let data = mem
+            .alloc_backed(ZoneId(0), 16 * 4096, PAGE_SIZE_4K)
+            .unwrap();
+        pt.map(data.start.raw(), data.start, data.len, Perms::RWX, 1)
+            .unwrap();
         let t = pt.walk(data.start.raw() + 5000, &DirectLoad(&mem)).unwrap();
         assert_eq!(t.page_size, PAGE_SIZE_4K);
         assert_eq!(t.pa.raw(), data.start.raw() + 5000);
@@ -517,11 +576,16 @@ mod tests {
     fn large_pages_chosen_when_aligned() {
         let (mem, pool) = setup();
         let pt = GuestPageTables::new(pool).unwrap();
-        let region = mem.alloc(ZoneId(0), 4 * PAGE_SIZE_2M, PAGE_SIZE_2M).unwrap();
-        pt.map(region.start.raw(), region.start, region.len, Perms::RWX, 3).unwrap();
+        let region = mem
+            .alloc(ZoneId(0), 4 * PAGE_SIZE_2M, PAGE_SIZE_2M)
+            .unwrap();
+        pt.map(region.start.raw(), region.start, region.len, Perms::RWX, 3)
+            .unwrap();
         let (c4k, c2m, c1g) = pt.leaf_counts().unwrap();
         assert_eq!((c4k, c2m, c1g), (0, 4, 0));
-        let t = pt.walk(region.start.raw() + PAGE_SIZE_2M + 123, &DirectLoad(&mem)).unwrap();
+        let t = pt
+            .walk(region.start.raw() + PAGE_SIZE_2M + 123, &DirectLoad(&mem))
+            .unwrap();
         assert_eq!(t.page_size, PAGE_SIZE_2M);
         assert_eq!(t.loads, 3);
     }
@@ -530,8 +594,11 @@ mod tests {
     fn unaligned_tail_uses_smaller_pages() {
         let (mem, pool) = setup();
         let pt = GuestPageTables::new(pool).unwrap();
-        let region = mem.alloc(ZoneId(0), PAGE_SIZE_2M + 3 * PAGE_SIZE_4K, PAGE_SIZE_2M).unwrap();
-        pt.map(region.start.raw(), region.start, region.len, Perms::RWX, 3).unwrap();
+        let region = mem
+            .alloc(ZoneId(0), PAGE_SIZE_2M + 3 * PAGE_SIZE_4K, PAGE_SIZE_2M)
+            .unwrap();
+        pt.map(region.start.raw(), region.start, region.len, Perms::RWX, 3)
+            .unwrap();
         let (c4k, c2m, _) = pt.leaf_counts().unwrap();
         assert_eq!(c2m, 1);
         assert_eq!(c4k, 3);
@@ -550,7 +617,8 @@ mod tests {
         let (mem, pool) = setup();
         let pt = GuestPageTables::new(pool).unwrap();
         let data = mem.alloc_backed(ZoneId(0), 4 * 4096, PAGE_SIZE_4K).unwrap();
-        pt.map(data.start.raw(), data.start, data.len, Perms::RWX, 1).unwrap();
+        pt.map(data.start.raw(), data.start, data.len, Perms::RWX, 1)
+            .unwrap();
         pt.unmap(data.start.raw(), data.len).unwrap();
         assert!(pt.walk(data.start.raw(), &DirectLoad(&mem)).is_err());
     }
@@ -560,7 +628,8 @@ mod tests {
         let (mem, pool) = setup();
         let pt = GuestPageTables::new(pool).unwrap();
         let region = mem.alloc(ZoneId(0), PAGE_SIZE_2M, PAGE_SIZE_2M).unwrap();
-        pt.map(region.start.raw(), region.start, region.len, Perms::RWX, 2).unwrap();
+        pt.map(region.start.raw(), region.start, region.len, Perms::RWX, 2)
+            .unwrap();
         // Unmap one 4 KiB page in the middle.
         let hole = region.start.raw() + 17 * PAGE_SIZE_4K;
         pt.unmap(hole, PAGE_SIZE_4K).unwrap();
@@ -580,7 +649,8 @@ mod tests {
         let (mem, pool) = setup();
         let pt = GuestPageTables::new(pool).unwrap();
         let data = mem.alloc(ZoneId(0), 4 * 4096, PAGE_SIZE_4K).unwrap();
-        pt.map(data.start.raw(), data.start, 4096, Perms::RWX, 1).unwrap();
+        pt.map(data.start.raw(), data.start, 4096, Perms::RWX, 1)
+            .unwrap();
         // Range covers pages that were never mapped.
         pt.unmap(data.start.raw(), data.len).unwrap();
         assert!(pt.walk(data.start.raw(), &DirectLoad(&mem)).is_err());
@@ -591,7 +661,8 @@ mod tests {
         let (mem, pool) = setup();
         let pt = GuestPageTables::new(pool).unwrap();
         let data = mem.alloc(ZoneId(0), 4096, PAGE_SIZE_4K).unwrap();
-        pt.map(data.start.raw(), data.start, 4096, Perms::RO, 1).unwrap();
+        pt.map(data.start.raw(), data.start, 4096, Perms::RO, 1)
+            .unwrap();
         let t = pt.walk(data.start.raw(), &DirectLoad(&mem)).unwrap();
         assert!(t.perms.r && !t.perms.w && !t.perms.x);
     }
@@ -599,14 +670,19 @@ mod tests {
     #[test]
     fn giant_page_mapping() {
         let mem = Arc::new(PhysMemory::new(&[4 * 1024 * 1024 * 1024]));
-        let pool_region = mem.alloc_backed(ZoneId(0), 4 * 1024 * 1024, PAGE_SIZE_4K).unwrap();
+        let pool_region = mem
+            .alloc_backed(ZoneId(0), 4 * 1024 * 1024, PAGE_SIZE_4K)
+            .unwrap();
         let pool = Arc::new(FramePool::new(Arc::clone(&mem), pool_region));
         let pt = GuestPageTables::new(pool).unwrap();
         let region = mem.alloc(ZoneId(0), PAGE_SIZE_1G, PAGE_SIZE_1G).unwrap();
-        pt.map(region.start.raw(), region.start, region.len, Perms::RWX, 3).unwrap();
+        pt.map(region.start.raw(), region.start, region.len, Perms::RWX, 3)
+            .unwrap();
         let (_, _, c1g) = pt.leaf_counts().unwrap();
         assert_eq!(c1g, 1);
-        let t = pt.walk(region.start.raw() + 12345, &DirectLoad(&mem)).unwrap();
+        let t = pt
+            .walk(region.start.raw() + 12345, &DirectLoad(&mem))
+            .unwrap();
         assert_eq!(t.page_size, PAGE_SIZE_1G);
         assert_eq!(t.loads, 2);
     }
@@ -616,9 +692,22 @@ mod tests {
         let (mem, pool) = setup();
         let pt = GuestPageTables::new(pool).unwrap();
         let region = mem.alloc(ZoneId(0), PAGE_SIZE_2M, PAGE_SIZE_2M).unwrap();
-        pt.map(region.start.raw(), region.start, PAGE_SIZE_2M, Perms::RWX, 2).unwrap();
+        pt.map(
+            region.start.raw(),
+            region.start,
+            PAGE_SIZE_2M,
+            Perms::RWX,
+            2,
+        )
+        .unwrap();
         let err = pt
-            .map(region.start.raw() + PAGE_SIZE_4K, region.start, PAGE_SIZE_4K, Perms::RWX, 1)
+            .map(
+                region.start.raw() + PAGE_SIZE_4K,
+                region.start,
+                PAGE_SIZE_4K,
+                Perms::RWX,
+                1,
+            )
             .unwrap_err();
         assert!(matches!(err, HwError::Invalid(_)));
         let _ = mem;

@@ -24,7 +24,11 @@ pub struct PostedIntDescriptor {
 impl PostedIntDescriptor {
     /// Create a descriptor using `notification_vector` for doorbells.
     pub fn new(notification_vector: u8) -> Self {
-        PostedIntDescriptor { pir: VectorBitmap::default(), on: AtomicBool::new(false), notification_vector }
+        PostedIntDescriptor {
+            pir: VectorBitmap::default(),
+            on: AtomicBool::new(false),
+            notification_vector,
+        }
     }
 
     /// The notification vector registered with the VMCS.

@@ -42,7 +42,11 @@ impl Default for TlbParams {
     /// rate that turns the nested-walk delta into the paper's few-percent
     /// GUPS degradation. See EXPERIMENTS.md.
     fn default() -> Self {
-        TlbParams { entries_4k: 1536, entries_2m: 127, entries_1g: 4 }
+        TlbParams {
+            entries_4k: 1536,
+            entries_2m: 127,
+            entries_1g: 4,
+        }
     }
 }
 
@@ -70,7 +74,13 @@ impl TlbEntry {
     const INVALID: u64 = u64::MAX;
 
     fn empty() -> Self {
-        TlbEntry { tag: Self::INVALID, shift: 0, host_base: std::ptr::null_mut(), _backing: None, writable: false }
+        TlbEntry {
+            tag: Self::INVALID,
+            shift: 0,
+            host_base: std::ptr::null_mut(),
+            _backing: None,
+            writable: false,
+        }
     }
 }
 
@@ -86,6 +96,8 @@ pub struct TlbStats {
     pub full_flushes: u64,
     /// Single-page invalidations performed.
     pub page_flushes: u64,
+    /// Ranged invalidations performed (Covirt's coalesced shootdowns).
+    pub range_flushes: u64,
 }
 
 /// A successful TLB lookup: the host pointer for the *requested address*
@@ -168,7 +180,11 @@ impl Tlb {
                 let writable = e.writable;
                 let remaining = (1u64 << e.shift) - off;
                 self.stats.hits += 1;
-                Some(TlbHit { host_ptr: ptr, writable, remaining })
+                Some(TlbHit {
+                    host_ptr: ptr,
+                    writable,
+                    remaining,
+                })
             }
             None => {
                 self.stats.misses += 1;
@@ -194,13 +210,24 @@ impl Tlb {
         };
         debug_assert_eq!(gva_page % page_size, 0, "insert of non-page-aligned base");
         let idx = ((gva_page >> shift) as usize) % set.len();
-        set[idx] = TlbEntry { tag: gva_page, shift, host_base, _backing: Some(backing), writable };
+        set[idx] = TlbEntry {
+            tag: gva_page,
+            shift,
+            host_base,
+            _backing: Some(backing),
+            writable,
+        };
     }
 
     /// Drop every cached translation (the hypervisor's response to a
     /// `TlbFlush` command, or a MOV-CR3 analogue).
     pub fn flush_all(&mut self) {
-        for e in self.e4k.iter_mut().chain(self.e2m.iter_mut()).chain(self.e1g.iter_mut()) {
+        for e in self
+            .e4k
+            .iter_mut()
+            .chain(self.e2m.iter_mut())
+            .chain(self.e1g.iter_mut())
+        {
             *e = TlbEntry::empty();
         }
         self.stats.full_flushes += 1;
@@ -220,6 +247,30 @@ impl Tlb {
             }
         }
         self.stats.page_flushes += 1;
+    }
+
+    /// Invalidate every entry whose page overlaps `[gva, gva + len)`.
+    ///
+    /// This is the hypervisor's response to a `TlbFlushRange` command: a
+    /// reclaim of a small region invalidates only the translations it could
+    /// have cached, so unrelated hot entries survive the shootdown. Cost is
+    /// bounded by the TLB geometry (one pass over the sets), never by the
+    /// range size.
+    pub fn flush_range(&mut self, gva: u64, len: u64) {
+        let end = gva.saturating_add(len);
+        for (set, shift) in [
+            (&mut self.e4k, SHIFT_4K),
+            (&mut self.e2m, SHIFT_2M),
+            (&mut self.e1g, SHIFT_1G),
+        ] {
+            let page_size = 1u64 << shift;
+            for e in set.iter_mut() {
+                if e.tag != TlbEntry::INVALID && e.tag < end && e.tag + page_size > gva {
+                    *e = TlbEntry::empty();
+                }
+            }
+        }
+        self.stats.range_flushes += 1;
     }
 
     /// Snapshot of the counters.
@@ -267,12 +318,25 @@ mod tests {
 
     #[test]
     fn conflict_eviction_direct_mapped() {
-        let mut tlb = Tlb::new(TlbParams { entries_4k: 2, entries_2m: 2, entries_1g: 1 });
+        let mut tlb = Tlb::new(TlbParams {
+            entries_4k: 2,
+            entries_2m: 2,
+            entries_1g: 1,
+        });
         let b = backing_page();
         // Two pages mapping to the same index (stride = entries * page).
         tlb.insert(0, PAGE_SIZE_4K, b.ptr_at(0), Arc::clone(&b), true);
-        tlb.insert(2 * PAGE_SIZE_4K, PAGE_SIZE_4K, b.ptr_at(0), Arc::clone(&b), true);
-        assert!(tlb.lookup(0).is_none(), "first entry should have been evicted");
+        tlb.insert(
+            2 * PAGE_SIZE_4K,
+            PAGE_SIZE_4K,
+            b.ptr_at(0),
+            Arc::clone(&b),
+            true,
+        );
+        assert!(
+            tlb.lookup(0).is_none(),
+            "first entry should have been evicted"
+        );
         assert!(tlb.lookup(2 * PAGE_SIZE_4K).is_some());
     }
 
@@ -292,10 +356,48 @@ mod tests {
         let mut tlb = Tlb::new(TlbParams::default());
         let b = backing_page();
         tlb.insert(0, PAGE_SIZE_4K, b.ptr_at(0), Arc::clone(&b), true);
-        tlb.insert(PAGE_SIZE_4K, PAGE_SIZE_4K, b.ptr_at(0), Arc::clone(&b), true);
+        tlb.insert(
+            PAGE_SIZE_4K,
+            PAGE_SIZE_4K,
+            b.ptr_at(0),
+            Arc::clone(&b),
+            true,
+        );
         tlb.flush_page(0);
         assert!(tlb.lookup(0).is_none());
         assert!(tlb.lookup(PAGE_SIZE_4K).is_some());
+    }
+
+    #[test]
+    fn flush_range_is_selective() {
+        let mut tlb = Tlb::new(TlbParams::default());
+        let b = backing_page();
+        // Three 2 MiB pages; flush the middle one by range.
+        for p in 0..3u64 {
+            tlb.insert(
+                p * PAGE_SIZE_2M,
+                PAGE_SIZE_2M,
+                b.ptr_at(0),
+                Arc::clone(&b),
+                true,
+            );
+        }
+        tlb.flush_range(PAGE_SIZE_2M, PAGE_SIZE_2M);
+        assert!(tlb.lookup(0).is_some());
+        assert!(tlb.lookup(PAGE_SIZE_2M).is_none());
+        assert!(tlb.lookup(2 * PAGE_SIZE_2M).is_some());
+        assert_eq!(tlb.stats().range_flushes, 1);
+        assert_eq!(tlb.stats().full_flushes, 0);
+    }
+
+    #[test]
+    fn flush_range_clears_partially_overlapped_pages() {
+        let mut tlb = Tlb::new(TlbParams::default());
+        let b = backing_page();
+        tlb.insert(0, PAGE_SIZE_2M, b.ptr_at(0), Arc::clone(&b), true);
+        // A sub-page range still kills the covering large-page entry.
+        tlb.flush_range(64 * 1024, 4096);
+        assert!(tlb.lookup(0).is_none());
     }
 
     #[test]
@@ -315,7 +417,11 @@ mod tests {
 
     #[test]
     fn exact_geometry_preserved() {
-        let tlb = Tlb::new(TlbParams { entries_4k: 3, entries_2m: 5, entries_1g: 0 });
+        let tlb = Tlb::new(TlbParams {
+            entries_4k: 3,
+            entries_2m: 5,
+            entries_1g: 0,
+        });
         assert_eq!(tlb.params().entries_4k, 3);
         assert_eq!(tlb.params().entries_2m, 5);
         assert_eq!(tlb.params().entries_1g, 1);
@@ -324,16 +430,35 @@ mod tests {
     #[test]
     fn non_pow2_geometry_wraps_correctly() {
         // 3-entry 4K set: pages 0 and 3 collide; pages 0,1,2 do not.
-        let mut tlb = Tlb::new(TlbParams { entries_4k: 3, entries_2m: 1, entries_1g: 1 });
+        let mut tlb = Tlb::new(TlbParams {
+            entries_4k: 3,
+            entries_2m: 1,
+            entries_1g: 1,
+        });
         let b = backing_page();
         for p in 0..3u64 {
-            tlb.insert(p * PAGE_SIZE_4K, PAGE_SIZE_4K, b.ptr_at(0), Arc::clone(&b), true);
+            tlb.insert(
+                p * PAGE_SIZE_4K,
+                PAGE_SIZE_4K,
+                b.ptr_at(0),
+                Arc::clone(&b),
+                true,
+            );
         }
         for p in 0..3u64 {
             assert!(tlb.lookup(p * PAGE_SIZE_4K).is_some());
         }
-        tlb.insert(3 * PAGE_SIZE_4K, PAGE_SIZE_4K, b.ptr_at(0), Arc::clone(&b), true);
-        assert!(tlb.lookup(0).is_none(), "page 3 must evict page 0 (same set mod 3)");
+        tlb.insert(
+            3 * PAGE_SIZE_4K,
+            PAGE_SIZE_4K,
+            b.ptr_at(0),
+            Arc::clone(&b),
+            true,
+        );
+        assert!(
+            tlb.lookup(0).is_none(),
+            "page 3 must evict page 0 (same set mod 3)"
+        );
         assert!(tlb.lookup(3 * PAGE_SIZE_4K).is_some());
     }
 }

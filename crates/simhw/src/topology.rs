@@ -117,7 +117,10 @@ impl HwLayout {
     /// Cores are taken from the *end* of each socket so that core 0 (which
     /// hosts the management OS in a Pisces deployment) stays with the host.
     pub fn pick_cores(&self, topo: &Topology) -> Vec<CoreId> {
-        assert!(self.zones >= 1 && self.zones <= topo.zones, "layout zones exceed node zones");
+        assert!(
+            self.zones >= 1 && self.zones <= topo.zones,
+            "layout zones exceed node zones"
+        );
         assert!(
             self.cores <= self.zones * topo.cores_per_socket,
             "layout cores exceed capacity of the selected zones"
@@ -169,7 +172,10 @@ mod tests {
     fn cores_of_socket() {
         let t = Topology::paper_testbed();
         assert_eq!(t.cores_of_socket(0), (0..6).map(CoreId).collect::<Vec<_>>());
-        assert_eq!(t.cores_of_socket(1), (6..12).map(CoreId).collect::<Vec<_>>());
+        assert_eq!(
+            t.cores_of_socket(1),
+            (6..12).map(CoreId).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -39,7 +39,14 @@ pub struct GuestState {
 
 impl Default for GuestState {
     fn default() -> Self {
-        GuestState { rip: 0, rsp: 0, cr3: 0, rdi: 0, efer: 0x500, xcr0: 1 }
+        GuestState {
+            rip: 0,
+            rsp: 0,
+            cr3: 0,
+            rdi: 0,
+            efer: 0x500,
+            xcr0: 1,
+        }
     }
 }
 
@@ -137,9 +144,18 @@ mod tests {
     #[test]
     fn record_and_count_exits() {
         let mut v = Vmcs::new();
-        v.record_exit(ExitInfo { reason: ExitReason::Cpuid { leaf: 0 }, tsc: 10 });
-        v.record_exit(ExitInfo { reason: ExitReason::Cpuid { leaf: 1 }, tsc: 20 });
-        v.record_exit(ExitInfo { reason: ExitReason::Hlt, tsc: 30 });
+        v.record_exit(ExitInfo {
+            reason: ExitReason::Cpuid { leaf: 0 },
+            tsc: 10,
+        });
+        v.record_exit(ExitInfo {
+            reason: ExitReason::Cpuid { leaf: 1 },
+            tsc: 20,
+        });
+        v.record_exit(ExitInfo {
+            reason: ExitReason::Hlt,
+            tsc: 30,
+        });
         assert_eq!(v.exit_counts["cpuid"], 2);
         assert_eq!(v.exit_counts["hlt"], 1);
         assert_eq!(v.total_exits(), 3);

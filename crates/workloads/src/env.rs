@@ -55,7 +55,9 @@ impl World {
 
     /// Build on an explicit topology.
     pub fn build_on(topo: Topology, mode: ExecMode, layout: HwLayout, enclave_mem: u64) -> World {
-        let node = SimNode::new(NodeConfig { topology: topo.clone() });
+        let node = SimNode::new(NodeConfig {
+            topology: topo.clone(),
+        });
         let master = MasterControl::new(Arc::clone(&node));
         let controller = mode.config().map(|cfg| {
             let c = CovirtController::new(Arc::clone(&node), cfg);
@@ -111,10 +113,7 @@ impl World {
     /// Run `f(rank, guest_core)` on every enclave core concurrently, one
     /// OS thread per core (the workload's "OpenMP threads"). Results are
     /// returned in rank order.
-    pub fn run_on_cores<R: Send>(
-        &self,
-        f: impl Fn(usize, &mut GuestCore) -> R + Sync,
-    ) -> Vec<R> {
+    pub fn run_on_cores<R: Send>(&self, f: impl Fn(usize, &mut GuestCore) -> R + Sync) -> Vec<R> {
         let n = self.cores.len();
         let mut guests: Vec<GuestCore> = self
             .cores
@@ -132,9 +131,7 @@ impl World {
         let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
         crossbeam::thread::scope(|s| {
             let mut handles = Vec::new();
-            for (rank, (mut g, slot)) in
-                guests.drain(..).zip(out.iter_mut()).enumerate()
-            {
+            for (rank, (mut g, slot)) in guests.drain(..).zip(out.iter_mut()).enumerate() {
                 handles.push(s.spawn(move |_| {
                     let r = f(rank, &mut g);
                     g.shutdown();
@@ -146,7 +143,9 @@ impl World {
             }
         })
         .expect("crossbeam scope failed");
-        out.into_iter().map(|r| r.expect("rank produced no result")).collect()
+        out.into_iter()
+            .map(|r| r.expect("rank produced no result"))
+            .collect()
     }
 
     /// The enclave's allocated IPI vectors (for cross-core signalling in

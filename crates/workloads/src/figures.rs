@@ -74,16 +74,19 @@ pub fn fig4(scale: Scale) -> Vec<Fig4Row> {
         Scale::Quick => 5,
         Scale::Paper => 10,
     };
-    [ExecMode::Native, ExecMode::Covirt(covirt::config::CovirtConfig::MEM)]
-        .iter()
-        .map(|&mode| Fig4Row {
-            mode: mode.label(),
-            samples: xemem_bench::run(mode, sizes, reps)
-                .into_iter()
-                .map(|s| (s.size_mib, s.mean_us, s.stddev_us))
-                .collect(),
-        })
-        .collect()
+    [
+        ExecMode::Native,
+        ExecMode::Covirt(covirt::config::CovirtConfig::MEM),
+    ]
+    .iter()
+    .map(|&mode| Fig4Row {
+        mode: mode.label(),
+        samples: xemem_bench::run(mode, sizes, reps)
+            .into_iter()
+            .map(|s| (s.size_mib, s.mean_us, s.stddev_us))
+            .collect(),
+    })
+    .collect()
 }
 
 /// Figure 5a — STREAM bandwidths per configuration.
@@ -112,7 +115,12 @@ pub fn fig5a(scale: Scale) -> Vec<Fig5aRow> {
     let mem = (n as u64 * 8 * 3 + 96 * 1024 * 1024).max(crate::env::DEFAULT_ENCLAVE_MEM);
     let mut setups: Vec<(ExecMode, World)> = ExecMode::paper_sweep()
         .iter()
-        .map(|&mode| (mode, World::build(mode, HwLayout { cores: 1, zones: 1 }, mem)))
+        .map(|&mode| {
+            (
+                mode,
+                World::build(mode, HwLayout { cores: 1, zones: 1 }, mem),
+            )
+        })
         .collect();
     let mut runs: Vec<(ExecMode, stream::Stream, covirt::GuestCore)> = setups
         .iter_mut()
@@ -124,7 +132,16 @@ pub fn fig5a(scale: Scale) -> Vec<Fig5aRow> {
             (*mode, s, g)
         })
         .collect();
-    let mut best = vec![Fig5aRow { mode: String::new(), copy: 0.0, scale: 0.0, add: 0.0, triad: 0.0 }; runs.len()];
+    let mut best = vec![
+        Fig5aRow {
+            mode: String::new(),
+            copy: 0.0,
+            scale: 0.0,
+            add: 0.0,
+            triad: 0.0
+        };
+        runs.len()
+    ];
     for _ in 0..trials {
         for (i, (mode, s, g)) in runs.iter_mut().enumerate() {
             let r = s.run_once(g).expect("stream");
@@ -147,6 +164,10 @@ pub struct Fig5bRow {
     pub gups: f64,
     /// Observed TLB miss rate.
     pub tlb_miss_rate: f64,
+    /// Table-entry loads per TLB miss (~4 native, up to ~24 nested).
+    pub walk_loads_per_miss: f64,
+    /// EPT walk-cache hit rate (0 natively).
+    pub walk_cache_hit_rate: f64,
 }
 
 /// Run Figure 5b. All four configurations are built up front, warmed, and
@@ -163,7 +184,12 @@ pub fn fig5b(scale: Scale) -> Vec<Fig5bRow> {
     // Build every world and warm every table first.
     let mut setups: Vec<(ExecMode, World)> = modes
         .iter()
-        .map(|&mode| (mode, World::build(mode, HwLayout { cores: 1, zones: 1 }, mem)))
+        .map(|&mode| {
+            (
+                mode,
+                World::build(mode, HwLayout { cores: 1, zones: 1 }, mem),
+            )
+        })
         .collect();
     let mut runs: Vec<(ExecMode, randomaccess::RandomAccess, covirt::GuestCore)> = setups
         .iter_mut()
@@ -178,11 +204,13 @@ pub fn fig5b(scale: Scale) -> Vec<Fig5bRow> {
     // Interleaved measurement.
     let mut samples: Vec<Vec<f64>> = vec![Vec::new(); runs.len()];
     let mut miss: Vec<f64> = vec![0.0; runs.len()];
+    let mut walk: Vec<(f64, f64)> = vec![(0.0, 0.0); runs.len()];
     for _ in 0..reps {
         for (i, (_, ra, g)) in runs.iter_mut().enumerate() {
             let r = ra.run(g, updates).expect("updates");
             samples[i].push(r.gups);
             miss[i] = r.tlb_miss_rate;
+            walk[i] = (r.walk_loads_per_miss(), r.walk_cache_hit_rate());
         }
     }
     runs.iter()
@@ -191,6 +219,8 @@ pub fn fig5b(scale: Scale) -> Vec<Fig5bRow> {
             mode: mode.label(),
             gups: covirt::stats::median(&samples[i]),
             tlb_miss_rate: miss[i],
+            walk_loads_per_miss: walk[i].0,
+            walk_cache_hit_rate: walk[i].1,
         })
         .collect()
 }
@@ -342,7 +372,12 @@ mod tests {
         assert_eq!(rows.len(), 4);
         for r in rows {
             assert!(r.min_loop_ns > 0);
-            assert!(r.noise_fraction < 0.5, "{}: noise {}", r.mode, r.noise_fraction);
+            assert!(
+                r.noise_fraction < 0.5,
+                "{}: noise {}",
+                r.mode,
+                r.noise_fraction
+            );
         }
     }
 }

@@ -88,10 +88,18 @@ fn pcg_rank(
     }
     vec_ops::copy(g, v.z, v.p, rows.clone())?;
 
-    let mut rz = reduce(bar, &shared.dots[0], vec_ops::dot_local(g, v.r, v.z, rows.clone())?);
-    let b_norm = reduce(bar, &shared.dots[1], vec_ops::dot_local(g, v.b, v.b, rows.clone())?)
-        .sqrt()
-        .max(f64::MIN_POSITIVE);
+    let mut rz = reduce(
+        bar,
+        &shared.dots[0],
+        vec_ops::dot_local(g, v.r, v.z, rows.clone())?,
+    );
+    let b_norm = reduce(
+        bar,
+        &shared.dots[1],
+        vec_ops::dot_local(g, v.b, v.b, rows.clone())?,
+    )
+    .sqrt()
+    .max(f64::MIN_POSITIVE);
 
     let mut iters = 0;
     let mut rel = f64::INFINITY;
@@ -99,8 +107,11 @@ fn pcg_rank(
         // Ap = A p (barrier first: p must be fully updated everywhere).
         bar.wait();
         m.spmv_rows(g, v.p, v.ap, rows.clone())?;
-        let pap =
-            reduce(bar, &shared.dots[1], vec_ops::dot_local(g, v.p, v.ap, rows.clone())?);
+        let pap = reduce(
+            bar,
+            &shared.dots[1],
+            vec_ops::dot_local(g, v.p, v.ap, rows.clone())?,
+        );
         let alpha = rz / pap;
         vec_ops::axpy(g, alpha, v.p, v.x, rows.clone())?;
         vec_ops::axpy(g, -alpha, v.ap, v.r, rows.clone())?;
@@ -111,9 +122,16 @@ fn pcg_rank(
         } else {
             vec_ops::copy(g, v.r, v.z, rows.clone())?;
         }
-        let rz_new =
-            reduce(bar, &shared.dots[0], vec_ops::dot_local(g, v.r, v.z, rows.clone())?);
-        let rr = reduce(bar, &shared.dots[1], vec_ops::dot_local(g, v.r, v.r, rows.clone())?);
+        let rz_new = reduce(
+            bar,
+            &shared.dots[0],
+            vec_ops::dot_local(g, v.r, v.z, rows.clone())?,
+        );
+        let rr = reduce(
+            bar,
+            &shared.dots[1],
+            vec_ops::dot_local(g, v.r, v.r, rows.clone())?,
+        );
         rel = rr.sqrt() / b_norm;
         iters += 1;
         if rel < tol {
@@ -147,8 +165,17 @@ pub fn run(world: &World, dim: usize, max_iters: usize) -> HpcgResult {
     let parts = row_parts(m.n, ranks);
     let t0 = std::time::Instant::now();
     let results = world.run_on_cores(|rank, g| {
-        pcg_rank(g, &m, &v, parts[rank].clone(), &shared, max_iters, 1e-9, true)
-            .expect("pcg rank")
+        pcg_rank(
+            g,
+            &m,
+            &v,
+            parts[rank].clone(),
+            &shared,
+            max_iters,
+            1e-9,
+            true,
+        )
+        .expect("pcg rank")
     });
     let seconds = t0.elapsed().as_secs_f64();
     let (iterations, final_residual) = results[0];

@@ -33,7 +33,12 @@ pub enum MdWorkload {
 
 impl MdWorkload {
     /// All four, in the figure's order.
-    pub const ALL: [MdWorkload; 4] = [MdWorkload::Lj, MdWorkload::Chain, MdWorkload::Eam, MdWorkload::Chute];
+    pub const ALL: [MdWorkload; 4] = [
+        MdWorkload::Lj,
+        MdWorkload::Chain,
+        MdWorkload::Eam,
+        MdWorkload::Chute,
+    ];
 
     /// Label used in the figure.
     pub fn label(&self) -> &'static str {
@@ -65,7 +70,13 @@ impl MdParams {
     /// Scaled-down defaults per workload (the paper uses the shipped run
     /// scripts; these keep their relative character at miniature scale).
     pub fn default_for(workload: MdWorkload) -> MdParams {
-        MdParams { n_atoms: 2048, steps: 30, dt: 0.005, rebuild: 10, workload }
+        MdParams {
+            n_atoms: 2048,
+            steps: 30,
+            dt: 0.005,
+            rebuild: 10,
+            workload,
+        }
     }
 }
 
@@ -195,11 +206,7 @@ fn init_atoms(g: &mut GuestCore, a: &Atoms, workload: MdWorkload) -> CovirtResul
 
 /// Build a Verlet neighbor list (half list: j > i) with cell binning.
 /// Reads positions through `g`; returns per-atom neighbor vectors.
-fn build_neighbors(
-    g: &mut GuestCore,
-    a: &Atoms,
-    cutoff: f64,
-) -> CovirtResult<Vec<Vec<u32>>> {
+fn build_neighbors(g: &mut GuestCore, a: &Atoms, cutoff: f64) -> CovirtResult<Vec<Vec<u32>>> {
     let skin = 0.3;
     let rc = cutoff + skin;
     let bins_per_side = ((a.box_l / rc).floor() as usize).max(1);
@@ -303,7 +310,7 @@ fn compute_forces(
         let mut f = [0.0, 0.0, 0.0];
         if workload == MdWorkload::Chute {
             f[2] = -1.0; // gravity
-            // Ground plane at z=0: Hookean support.
+                         // Ground plane at z=0: Hookean support.
             let z = g.read_f64(a.pos[2] + (i * 8) as u64)?;
             if z < 0.5 {
                 f[2] += 50.0 * (0.5 - z);
@@ -348,8 +355,16 @@ fn compute_forces(
                     // atom in the same 16-bead chain.
                     let inv2 = 1.0 / r2;
                     let s6 = inv2 * inv2 * inv2;
-                    let mut f = if r2 < 1.2599 { 24.0 * inv2 * s6 * (2.0 * s6 - 1.0) } else { 0.0 };
-                    let mut e = if r2 < 1.2599 { 4.0 * s6 * (s6 - 1.0) + 1.0 } else { 0.0 };
+                    let mut f = if r2 < 1.2599 {
+                        24.0 * inv2 * s6 * (2.0 * s6 - 1.0)
+                    } else {
+                        0.0
+                    };
+                    let mut e = if r2 < 1.2599 {
+                        4.0 * s6 * (s6 - 1.0) + 1.0
+                    } else {
+                        0.0
+                    };
                     let bonded = (i / 16 == j / 16) && (i.abs_diff(j) == 1);
                     if bonded {
                         let r = r2.sqrt();
@@ -366,7 +381,10 @@ fn compute_forces(
                     let pair_f = 8.0 * (1.0 - r) * (-2.0 * (1.0 - r) * (1.0 - r)).exp();
                     let demb = -0.5 / rho_i.max(1e-9).sqrt() - 0.5 / rho_j.max(1e-9).sqrt();
                     let drho = -(-r).exp();
-                    ((pair_f - 2.0 * demb * drho) / r, (-(rho_i.max(1e-9)).sqrt()) / 27.0)
+                    (
+                        (pair_f - 2.0 * demb * drho) / r,
+                        (-(rho_i.max(1e-9)).sqrt()) / 27.0,
+                    )
                 }
                 MdWorkload::Chute => {
                     // Hookean contact when overlapping (granular).
@@ -390,7 +408,11 @@ fn compute_forces(
                 g,
                 &a.frc,
                 j,
-                [fj[0] - fmag_over_r * dx, fj[1] - fmag_over_r * dy, fj[2] - fmag_over_r * dz],
+                [
+                    fj[0] - fmag_over_r * dx,
+                    fj[1] - fmag_over_r * dy,
+                    fj[2] - fmag_over_r * dz,
+                ],
             )?;
         }
         a.write3(g, &a.frc, i, fi)?;
@@ -450,7 +472,11 @@ pub fn run(world: &World, params: MdParams) -> MdResult {
     // Density ~0.8 atoms/σ³ (LJ melt-like).
     let box_l = (params.n_atoms as f64 / 0.8).cbrt();
     let a = Atoms::alloc(world, params.n_atoms, box_l);
-    let damping = if params.workload == MdWorkload::Chute { 0.002 } else { 0.0 };
+    let damping = if params.workload == MdWorkload::Chute {
+        0.002
+    } else {
+        0.0
+    };
 
     // Init + initial neighbor list + initial forces on core 0.
     let mut neigh = {
@@ -492,8 +518,7 @@ pub fn run(world: &World, params: MdParams) -> MdResult {
             barrier.wait();
             let pe = {
                 let n = neigh_lock.read();
-                compute_forces(g, &a, &n, mine.clone(), params.workload, cutoff)
-                    .expect("forces")
+                compute_forces(g, &a, &n, mine.clone(), params.workload, cutoff).expect("forces")
             };
             barrier.wait();
             // Second half-kick.
@@ -530,7 +555,13 @@ mod tests {
     use covirt_simhw::topology::HwLayout;
 
     fn tiny(workload: MdWorkload) -> MdParams {
-        MdParams { n_atoms: 256, steps: 6, dt: 0.002, rebuild: 3, workload }
+        MdParams {
+            n_atoms: 256,
+            steps: 6,
+            dt: 0.002,
+            rebuild: 3,
+            workload,
+        }
     }
 
     #[test]

@@ -46,7 +46,11 @@ fn cg_rank(
     vec_ops::fill(g, x, rows.clone(), 0.0)?;
     vec_ops::copy(g, b, r, rows.clone())?;
     vec_ops::copy(g, r, p, rows.clone())?;
-    let mut rr = reduce(bar, &shared.dots[0], vec_ops::dot_local(g, r, r, rows.clone())?);
+    let mut rr = reduce(
+        bar,
+        &shared.dots[0],
+        vec_ops::dot_local(g, r, r, rows.clone())?,
+    );
     let b_norm = rr.sqrt().max(f64::MIN_POSITIVE);
 
     let mut iters = 0;
@@ -54,11 +58,19 @@ fn cg_rank(
     for _ in 0..max_iters {
         bar.wait();
         m.spmv_rows(g, p, ap, rows.clone())?;
-        let pap = reduce(bar, &shared.dots[1], vec_ops::dot_local(g, p, ap, rows.clone())?);
+        let pap = reduce(
+            bar,
+            &shared.dots[1],
+            vec_ops::dot_local(g, p, ap, rows.clone())?,
+        );
         let alpha = rr / pap;
         vec_ops::axpy(g, alpha, p, x, rows.clone())?;
         vec_ops::axpy(g, -alpha, ap, r, rows.clone())?;
-        let rr_new = reduce(bar, &shared.dots[0], vec_ops::dot_local(g, r, r, rows.clone())?);
+        let rr_new = reduce(
+            bar,
+            &shared.dots[0],
+            vec_ops::dot_local(g, r, r, rows.clone())?,
+        );
         rel = rr_new.sqrt() / b_norm;
         iters += 1;
         if rel < tol {
@@ -98,8 +110,20 @@ pub fn run(world: &World, dim: usize, max_iters: usize) -> MinifeResult {
     let parts = row_parts(m.n, ranks);
     let t0 = std::time::Instant::now();
     let results = world.run_on_cores(|rank, g| {
-        cg_rank(g, &m, x, b, r, p, ap, parts[rank].clone(), &shared, max_iters, 1e-9)
-            .expect("cg rank")
+        cg_rank(
+            g,
+            &m,
+            x,
+            b,
+            r,
+            p,
+            ap,
+            parts[rank].clone(),
+            &shared,
+            max_iters,
+            1e-9,
+        )
+        .expect("cg rank")
     });
     let solve_seconds = t0.elapsed().as_secs_f64();
     let (iterations, final_residual) = results[0];

@@ -30,6 +30,32 @@ pub struct RaResult {
     pub updates: u64,
     /// TLB miss rate observed (instrumentation, drives the overhead).
     pub tlb_miss_rate: f64,
+    /// Page walks taken during the run (TLB misses).
+    pub walks: u64,
+    /// Table-entry loads across those walks — the quantity nested paging
+    /// multiplies and the walk cache claws back.
+    pub walk_loads: u64,
+    /// EPT walk-cache hits during the run (0 natively or with the cache
+    /// disabled).
+    pub walk_cache_hits: u64,
+    /// EPT walk-cache misses during the run.
+    pub walk_cache_misses: u64,
+}
+
+impl RaResult {
+    /// Average table-entry loads paid per TLB miss — ~4 natively, up to
+    /// ~24 nested, and between the two with the walk cache on.
+    pub fn walk_loads_per_miss(&self) -> f64 {
+        covirt::stats::ratio(self.walk_loads, self.walks)
+    }
+
+    /// Walk-cache hit rate over PT-entry EPT lookups.
+    pub fn walk_cache_hit_rate(&self) -> f64 {
+        covirt::stats::ratio(
+            self.walk_cache_hits,
+            self.walk_cache_hits + self.walk_cache_misses,
+        )
+    }
 }
 
 /// The RandomAccess table in guest memory.
@@ -42,7 +68,10 @@ impl RandomAccess {
     /// Allocate a `2^log2_n`-entry table.
     pub fn setup(world: &World, log2_n: u32) -> RandomAccess {
         let bytes = 8u64 << log2_n;
-        RandomAccess { table: world.alloc_array(bytes), log2_n }
+        RandomAccess {
+            table: world.alloc_array(bytes),
+            log2_n,
+        }
     }
 
     /// Table size in entries.
@@ -65,6 +94,7 @@ impl RandomAccess {
         let mask = self.entries() - 1;
         let mut ran: u64 = 0x1;
         let m0 = g.tlb_stats();
+        let c0 = g.counters;
         let t = std::time::Instant::now();
         for i in 0..updates {
             ran = hpcc_next(ran);
@@ -78,12 +108,21 @@ impl RandomAccess {
         }
         let secs = t.elapsed().as_secs_f64();
         let m1 = g.tlb_stats();
+        let c1 = g.counters;
         let lookups = (m1.hits + m1.misses) - (m0.hits + m0.misses);
         let misses = m1.misses - m0.misses;
         Ok(RaResult {
             gups: updates as f64 / secs / 1e9,
             updates,
-            tlb_miss_rate: if lookups == 0 { 0.0 } else { misses as f64 / lookups as f64 },
+            tlb_miss_rate: if lookups == 0 {
+                0.0
+            } else {
+                misses as f64 / lookups as f64
+            },
+            walks: c1.walks - c0.walks,
+            walk_loads: c1.walk_loads - c0.walk_loads,
+            walk_cache_hits: c1.walk_cache_hits - c0.walk_cache_hits,
+            walk_cache_misses: c1.walk_cache_misses - c0.walk_cache_misses,
         })
     }
 
@@ -172,7 +211,45 @@ mod tests {
             ra.run(&mut g, updates).unwrap();
             g.counters
         };
-        assert!(cov.walk_loads > ran.walk_loads, "nested walks must cost more loads");
+        assert!(
+            cov.walk_loads > ran.walk_loads,
+            "nested walks must cost more loads"
+        );
+    }
+
+    #[test]
+    fn walk_cache_ablation_cuts_loads_per_miss() {
+        let updates = 100_000;
+        let run_with_cache = |enabled: bool| {
+            let mut w = World::quick(ExecMode::Covirt(CovirtConfig::MEM));
+            // Shrink the TLB so the random stream misses steadily (an
+            // 8 MiB table over 2 large-page slots), exercising the walk
+            // path the cache accelerates.
+            w.tlb = covirt_simhw::tlb::TlbParams {
+                entries_4k: 16,
+                entries_2m: 2,
+                entries_1g: 1,
+            };
+            let ra = RandomAccess::setup(&w, 20);
+            let mut g = w.guest_core(w.cores[0]).unwrap();
+            g.set_walk_cache_enabled(enabled);
+            ra.init(&mut g).unwrap();
+            ra.run(&mut g, updates).unwrap()
+        };
+        let on = run_with_cache(true);
+        let off = run_with_cache(false);
+        assert!(
+            on.walks > 0 && off.walks > 0,
+            "test must generate TLB misses"
+        );
+        assert!(on.walk_cache_hits > 0);
+        assert_eq!(off.walk_cache_hits, 0);
+        assert!(
+            on.walk_loads_per_miss() < off.walk_loads_per_miss(),
+            "walk cache must cut per-miss loads ({:.2} vs {:.2})",
+            on.walk_loads_per_miss(),
+            off.walk_loads_per_miss()
+        );
     }
 
     #[test]

@@ -49,7 +49,11 @@ impl SelfishResult {
 
 /// Run the detour loop on `g` for `duration_ms`, flagging iterations that
 /// exceed `threshold ×` the observed minimum.
-pub fn detour_loop(g: &mut GuestCore, duration_ms: u64, threshold: u64) -> CovirtResult<SelfishResult> {
+pub fn detour_loop(
+    g: &mut GuestCore,
+    duration_ms: u64,
+    threshold: u64,
+) -> CovirtResult<SelfishResult> {
     let clock = g.clock().clone();
     let total_cycles = clock.ns_to_cycles(duration_ms * 1_000_000);
 
@@ -113,9 +117,17 @@ mod tests {
         // Tickless: disarm the timer before measuring.
         let mut g = w.guest_core(w.cores[0]).unwrap();
         g.clock(); // touch
-        w.node.cpu(covirt_simhw::topology::CoreId(w.cores[0])).unwrap().apic.arm_timer(0, false, 0xec);
+        w.node
+            .cpu(covirt_simhw::topology::CoreId(w.cores[0]))
+            .unwrap()
+            .apic
+            .arm_timer(0, false, 0xec);
         let r = detour_loop(&mut g, 20, 9).unwrap();
-        assert!(r.noise_fraction() < 0.5, "noise fraction {} too high", r.noise_fraction());
+        assert!(
+            r.noise_fraction() < 0.5,
+            "noise fraction {} too high",
+            r.noise_fraction()
+        );
         assert!(r.min_loop_ns < 10_000);
     }
 

@@ -52,7 +52,13 @@ impl GuestCsr {
 
     /// Build the stencil matrix in `world`'s enclave, writing it through
     /// `g`'s data path (this *is* MiniFE's assembly phase).
-    pub fn assemble(world: &World, g: &mut GuestCore, nx: usize, ny: usize, nz: usize) -> CovirtResult<GuestCsr> {
+    pub fn assemble(
+        world: &World,
+        g: &mut GuestCore,
+        nx: usize,
+        ny: usize,
+        nz: usize,
+    ) -> CovirtResult<GuestCsr> {
         let n = nx * ny * nz;
         // Upper bound then exact count.
         let mut row_counts = Vec::with_capacity(n);
@@ -142,25 +148,26 @@ impl GuestCsr {
         rows: std::ops::Range<usize>,
     ) -> CovirtResult<()> {
         let block = rows.clone();
-        let sweep = |g: &mut GuestCore, order: &mut dyn Iterator<Item = usize>| -> CovirtResult<()> {
-            for row in order {
-                let lo = g.read_u64(self.row_off + (row * 8) as u64)?;
-                let hi = g.read_u64(self.row_off + ((row + 1) * 8) as u64)?;
-                let mut sum = g.read_f64(r + (row * 8) as u64)?;
-                let mut diag = 1.0f64;
-                for k in lo..hi {
-                    let col = g.read_u64(self.cols + k * 8)? as usize;
-                    let val = g.read_f64(self.vals + k * 8)?;
-                    if col == row {
-                        diag = val;
-                    } else if col >= block.start && col < block.end {
-                        sum -= val * g.read_f64(z + (col * 8) as u64)?;
+        let sweep =
+            |g: &mut GuestCore, order: &mut dyn Iterator<Item = usize>| -> CovirtResult<()> {
+                for row in order {
+                    let lo = g.read_u64(self.row_off + (row * 8) as u64)?;
+                    let hi = g.read_u64(self.row_off + ((row + 1) * 8) as u64)?;
+                    let mut sum = g.read_f64(r + (row * 8) as u64)?;
+                    let mut diag = 1.0f64;
+                    for k in lo..hi {
+                        let col = g.read_u64(self.cols + k * 8)? as usize;
+                        let val = g.read_f64(self.vals + k * 8)?;
+                        if col == row {
+                            diag = val;
+                        } else if col >= block.start && col < block.end {
+                            sum -= val * g.read_f64(z + (col * 8) as u64)?;
+                        }
                     }
+                    g.write_f64(z + (row * 8) as u64, sum / diag)?;
                 }
-                g.write_f64(z + (row * 8) as u64, sum / diag)?;
-            }
-            Ok(())
-        };
+                Ok(())
+            };
         sweep(g, &mut rows.clone())?;
         g.poll()?;
         sweep(g, &mut rows.rev())?;
@@ -183,7 +190,9 @@ impl Default for ReduceCell {
 impl ReduceCell {
     /// Zeroed cell.
     pub fn new() -> Self {
-        ReduceCell { bits: AtomicU64::new(0f64.to_bits()) }
+        ReduceCell {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
     }
 
     /// Reset to zero (call between reductions, behind a barrier).
@@ -196,7 +205,10 @@ impl ReduceCell {
         let mut cur = self.bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + v).to_bits();
-            match self.bits.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed)
+            {
                 Ok(_) => return,
                 Err(c) => cur = c,
             }
@@ -220,7 +232,10 @@ pub struct CgShared {
 impl CgShared {
     /// For `ranks` participants.
     pub fn new(ranks: usize) -> Self {
-        CgShared { barrier: Barrier::new(ranks), dots: [ReduceCell::new(), ReduceCell::new()] }
+        CgShared {
+            barrier: Barrier::new(ranks),
+            dots: [ReduceCell::new(), ReduceCell::new()],
+        }
     }
 }
 
@@ -229,7 +244,12 @@ pub mod vec_ops {
     use super::*;
 
     /// `dst[rows] = value`.
-    pub fn fill(g: &mut GuestCore, dst: u64, rows: std::ops::Range<usize>, value: f64) -> CovirtResult<()> {
+    pub fn fill(
+        g: &mut GuestCore,
+        dst: u64,
+        rows: std::ops::Range<usize>,
+        value: f64,
+    ) -> CovirtResult<()> {
         for i in rows {
             g.write_f64(dst + (i * 8) as u64, value)?;
         }
@@ -237,7 +257,12 @@ pub mod vec_ops {
     }
 
     /// Local partial dot product of `a[rows]·b[rows]`.
-    pub fn dot_local(g: &mut GuestCore, a: u64, b: u64, rows: std::ops::Range<usize>) -> CovirtResult<f64> {
+    pub fn dot_local(
+        g: &mut GuestCore,
+        a: u64,
+        b: u64,
+        rows: std::ops::Range<usize>,
+    ) -> CovirtResult<f64> {
         let mut acc = 0.0;
         for i in rows {
             acc += g.read_f64(a + (i * 8) as u64)? * g.read_f64(b + (i * 8) as u64)?;
@@ -246,7 +271,13 @@ pub mod vec_ops {
     }
 
     /// `y[rows] += alpha * x[rows]`.
-    pub fn axpy(g: &mut GuestCore, alpha: f64, x: u64, y: u64, rows: std::ops::Range<usize>) -> CovirtResult<()> {
+    pub fn axpy(
+        g: &mut GuestCore,
+        alpha: f64,
+        x: u64,
+        y: u64,
+        rows: std::ops::Range<usize>,
+    ) -> CovirtResult<()> {
         for i in rows {
             let v = g.read_f64(y + (i * 8) as u64)? + alpha * g.read_f64(x + (i * 8) as u64)?;
             g.write_f64(y + (i * 8) as u64, v)?;
@@ -255,7 +286,13 @@ pub mod vec_ops {
     }
 
     /// `p[rows] = z[rows] + beta * p[rows]`.
-    pub fn xpby(g: &mut GuestCore, z: u64, beta: f64, p: u64, rows: std::ops::Range<usize>) -> CovirtResult<()> {
+    pub fn xpby(
+        g: &mut GuestCore,
+        z: u64,
+        beta: f64,
+        p: u64,
+        rows: std::ops::Range<usize>,
+    ) -> CovirtResult<()> {
         for i in rows {
             let v = g.read_f64(z + (i * 8) as u64)? + beta * g.read_f64(p + (i * 8) as u64)?;
             g.write_f64(p + (i * 8) as u64, v)?;
@@ -264,7 +301,12 @@ pub mod vec_ops {
     }
 
     /// Copy `src[rows]` into `dst[rows]`.
-    pub fn copy(g: &mut GuestCore, src: u64, dst: u64, rows: std::ops::Range<usize>) -> CovirtResult<()> {
+    pub fn copy(
+        g: &mut GuestCore,
+        src: u64,
+        dst: u64,
+        rows: std::ops::Range<usize>,
+    ) -> CovirtResult<()> {
         for i in rows {
             let v = g.read_f64(src + (i * 8) as u64)?;
             g.write_f64(dst + (i * 8) as u64, v)?;
@@ -292,7 +334,11 @@ mod tests {
         assert_eq!(GuestCsr::row_entries(dims, 3, 3, 3).len(), 8);
         // Diagonal is 26, others -1, and the row sums to 26 - (k-1).
         let entries = GuestCsr::row_entries(dims, 1, 1, 1);
-        let diag: f64 = entries.iter().filter(|(c, _)| *c == 21).map(|(_, v)| *v).sum();
+        let diag: f64 = entries
+            .iter()
+            .filter(|(c, _)| *c == 21)
+            .map(|(_, v)| *v)
+            .sum();
         assert_eq!(diag, 26.0);
         let sum: f64 = entries.iter().map(|(_, v)| v).sum();
         assert_eq!(sum, 0.0); // 26 - 26 neighbours

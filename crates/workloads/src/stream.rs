@@ -47,7 +47,12 @@ impl Stream {
     /// Allocate the arrays in `world`'s enclave.
     pub fn setup(world: &World, n: usize) -> Stream {
         let bytes = (n * 8) as u64;
-        Stream { a: world.alloc_array(bytes), b: world.alloc_array(bytes), c: world.alloc_array(bytes), n }
+        Stream {
+            a: world.alloc_array(bytes),
+            b: world.alloc_array(bytes),
+            c: world.alloc_array(bytes),
+            n,
+        }
     }
 
     /// Initialize per the STREAM reference (a=1, b=2, c=0).
@@ -72,13 +77,17 @@ impl Stream {
         let mut done = 0usize;
         while done < self.n {
             let mut got = 0usize;
-            g.with_chunks::<f64>(src + done as u64 * 8, (self.n - done).min(1 << 18), |off, ch| {
-                if off == 0 {
-                    buf.clear();
-                    buf.extend_from_slice(ch);
-                    got = ch.len();
-                }
-            })?;
+            g.with_chunks::<f64>(
+                src + done as u64 * 8,
+                (self.n - done).min(1 << 18),
+                |off, ch| {
+                    if off == 0 {
+                        buf.clear();
+                        buf.extend_from_slice(ch);
+                        got = ch.len();
+                    }
+                },
+            )?;
             g.with_chunks_mut::<f64>(dst + done as u64 * 8, got, |off, ch| {
                 for (i, v) in ch.iter_mut().enumerate() {
                     *v = f(buf[off + i]);
@@ -154,7 +163,12 @@ impl Stream {
         self.ternary_kernel(g, self.b, self.c, self.a, |x, y| x + SCALAR * y)?;
         let triad = mbs(bytes3, t.elapsed().as_secs_f64());
 
-        Ok(StreamResult { copy_mbs: copy, scale_mbs: scale, add_mbs: add, triad_mbs: triad })
+        Ok(StreamResult {
+            copy_mbs: copy,
+            scale_mbs: scale,
+            add_mbs: add,
+            triad_mbs: triad,
+        })
     }
 
     /// Verify the arrays against the analytic values after `iters` full
@@ -192,7 +206,10 @@ pub fn run(world: &World, n: usize, trials: usize) -> StreamResult {
             best.add_mbs = best.add_mbs.max(r.add_mbs);
             best.triad_mbs = best.triad_mbs.max(r.triad_mbs);
         }
-        assert!(s.verify(g, trials).expect("verify"), "STREAM validation failed");
+        assert!(
+            s.verify(g, trials).expect("verify"),
+            "STREAM validation failed"
+        );
         best
     });
     results[0]

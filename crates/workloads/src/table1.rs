@@ -15,12 +15,36 @@ pub struct BenchRow {
 
 /// The table, in the paper's order.
 pub const TABLE1: [BenchRow; 6] = [
-    BenchRow { name: "Selfish Detour", version: "1.0.7", parameters: "None" },
-    BenchRow { name: "STREAM", version: "5.10", parameters: "None" },
-    BenchRow { name: "RandomAccess_OMP", version: "10/28/04", parameters: "25" },
-    BenchRow { name: "HPCG", version: "Revision 3.1", parameters: "104 104 104 330" },
-    BenchRow { name: "MiniFE", version: "2.0", parameters: "nx 250 ny 250 nz 250" },
-    BenchRow { name: "LAMMPS", version: "3 Mar 2020", parameters: "None" },
+    BenchRow {
+        name: "Selfish Detour",
+        version: "1.0.7",
+        parameters: "None",
+    },
+    BenchRow {
+        name: "STREAM",
+        version: "5.10",
+        parameters: "None",
+    },
+    BenchRow {
+        name: "RandomAccess_OMP",
+        version: "10/28/04",
+        parameters: "25",
+    },
+    BenchRow {
+        name: "HPCG",
+        version: "Revision 3.1",
+        parameters: "104 104 104 330",
+    },
+    BenchRow {
+        name: "MiniFE",
+        version: "2.0",
+        parameters: "nx 250 ny 250 nz 250",
+    },
+    BenchRow {
+        name: "LAMMPS",
+        version: "3 Mar 2020",
+        parameters: "None",
+    },
 ];
 
 /// RandomAccess log2 table size from Table I (paper scale).
@@ -47,7 +71,10 @@ pub fn format_table1() -> String {
         "Benchmark Name", "Version", "Parameters"
     ));
     for row in TABLE1 {
-        out.push_str(&format!("{:<20} {:<14} {}\n", row.name, row.version, row.parameters));
+        out.push_str(&format!(
+            "{:<20} {:<14} {}\n",
+            row.name, row.version, row.parameters
+        ));
     }
     out
 }

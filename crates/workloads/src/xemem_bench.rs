@@ -45,8 +45,10 @@ pub fn run(mode: ExecMode, sizes_mib: &[u64], reps: usize) -> Vec<AttachSample> 
         vec![covirt_simhw::topology::CoreId(topo.total_cores() - 1 - 2)],
         vec![(covirt_simhw::topology::ZoneId(0), 64 * 1024 * 1024)],
     );
-    let (consumer, _ckernel) =
-        world.master.bring_up_enclave("consumer", &req).expect("consumer enclave");
+    let (consumer, _ckernel) = world
+        .master
+        .bring_up_enclave("consumer", &req)
+        .expect("consumer enclave");
 
     let producer_region = world.enclave.resources().mem[0];
     let clock = &world.node.clock;
@@ -70,10 +72,16 @@ pub fn run(mode: ExecMode, sizes_mib: &[u64], reps: usize) -> Vec<AttachSample> 
                 .export_segment(world.enclave.id.0, &name, seg)
                 .expect("export");
             let t0 = clock.rdtsc();
-            world.master.attach_segment(consumer.id.0, &name).expect("attach");
+            world
+                .master
+                .attach_segment(consumer.id.0, &name)
+                .expect("attach");
             let t1 = clock.rdtsc();
             samples.push(clock.cycles_to_ns(t1 - t0) as f64 / 1000.0);
-            world.master.detach_segment(consumer.id.0, &name).expect("detach");
+            world
+                .master
+                .detach_segment(consumer.id.0, &name)
+                .expect("detach");
             world.master.destroy_segment(&name).expect("destroy");
         }
         out.push(AttachSample {

@@ -65,7 +65,10 @@ mod tests {
         let ns = NameService::new();
         ns.register("ctrl", SegmentId(7)).unwrap();
         assert_eq!(ns.lookup("ctrl").unwrap(), SegmentId(7));
-        assert!(matches!(ns.register("ctrl", SegmentId(8)), Err(XememError::NameTaken(_))));
+        assert!(matches!(
+            ns.register("ctrl", SegmentId(8)),
+            Err(XememError::NameTaken(_))
+        ));
         assert_eq!(ns.unregister("ctrl").unwrap(), SegmentId(7));
         assert!(matches!(ns.lookup("ctrl"), Err(XememError::NoSuchName(_))));
         assert!(ns.unregister("ctrl").is_err());

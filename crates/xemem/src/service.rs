@@ -60,8 +60,19 @@ impl XememService {
         }
         let segid = SegmentId(self.next_segid.fetch_add(1, Ordering::Relaxed));
         self.names.register(name, segid)?;
-        let info = SegmentInfo { segid, name: name.to_owned(), owner, range };
-        self.segments.write().insert(segid, SegmentRecord { info, attached: HashSet::new() });
+        let info = SegmentInfo {
+            segid,
+            name: name.to_owned(),
+            owner,
+            range,
+        };
+        self.segments.write().insert(
+            segid,
+            SegmentRecord {
+                info,
+                attached: HashSet::new(),
+            },
+        );
         Ok(segid)
     }
 
@@ -84,7 +95,9 @@ impl XememService {
     /// transmits).
     pub fn attach(&self, segid: SegmentId, who: u64) -> XememResult<SegmentInfo> {
         let mut segs = self.segments.write();
-        let rec = segs.get_mut(&segid).ok_or(XememError::NoSuchSegment(segid))?;
+        let rec = segs
+            .get_mut(&segid)
+            .ok_or(XememError::NoSuchSegment(segid))?;
         if rec.info.owner == who {
             return Err(XememError::OwnerAttach);
         }
@@ -97,7 +110,9 @@ impl XememService {
     /// `xpmem_detach`.
     pub fn detach(&self, segid: SegmentId, who: u64) -> XememResult<SegmentInfo> {
         let mut segs = self.segments.write();
-        let rec = segs.get_mut(&segid).ok_or(XememError::NoSuchSegment(segid))?;
+        let rec = segs
+            .get_mut(&segid)
+            .ok_or(XememError::NoSuchSegment(segid))?;
         if !rec.attached.remove(&who) {
             return Err(XememError::NotAttached);
         }
@@ -137,8 +152,12 @@ impl XememService {
 
     /// All live segments.
     pub fn segments(&self) -> Vec<SegmentInfo> {
-        let mut v: Vec<SegmentInfo> =
-            self.segments.read().values().map(|r| r.info.clone()).collect();
+        let mut v: Vec<SegmentInfo> = self
+            .segments
+            .read()
+            .values()
+            .map(|r| r.info.clone())
+            .collect();
         v.sort_by_key(|s| s.segid);
         v
     }
@@ -161,7 +180,10 @@ mod tests {
         let info = x.attach(segid, 2).unwrap();
         assert_eq!(info.range.len, 0x2000);
         assert_eq!(x.attachments(segid).unwrap(), vec![2]);
-        assert!(matches!(x.attach(segid, 2), Err(XememError::AlreadyAttached)));
+        assert!(matches!(
+            x.attach(segid, 2),
+            Err(XememError::AlreadyAttached)
+        ));
         x.detach(segid, 2).unwrap();
         assert!(x.attachments(segid).unwrap().is_empty());
         assert!(matches!(x.detach(segid, 2), Err(XememError::NotAttached)));

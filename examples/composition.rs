@@ -16,7 +16,7 @@
 
 use covirt_suite::covirt::config::CovirtConfig;
 use covirt_suite::covirt::{CovirtController, GuestCore};
-use covirt_suite::hobbes::app::{Composer, ComponentSpec};
+use covirt_suite::hobbes::app::{ComponentSpec, Composer};
 use covirt_suite::hobbes::MasterControl;
 use covirt_suite::simhw::node::{NodeConfig, SimNode};
 use covirt_suite::simhw::tlb::TlbParams;
@@ -50,8 +50,16 @@ fn main() {
         .compose(
             "insitu",
             &[
-                ComponentSpec { name: "simulation".into(), enclave: e_sim.id.0, core: CoreId(2) },
-                ComponentSpec { name: "analytics".into(), enclave: e_ana.id.0, core: CoreId(8) },
+                ComponentSpec {
+                    name: "simulation".into(),
+                    enclave: e_sim.id.0,
+                    core: CoreId(2),
+                },
+                ComponentSpec {
+                    name: "analytics".into(),
+                    enclave: e_ana.id.0,
+                    core: CoreId(8),
+                },
             ],
             (ELEMS + 16) * 8 * 2,
         )
@@ -65,8 +73,16 @@ fn main() {
 
     // A cross-enclave doorbell vector, granted to both sides' whitelists.
     let doorbell = master.pisces().alloc_vector(&e_sim).expect("vector");
-    controller.context(e_sim.id.0).expect("vctx").whitelist.grant(8, doorbell);
-    controller.context(e_ana.id.0).expect("vctx").whitelist.grant(2, doorbell);
+    controller
+        .context(e_sim.id.0)
+        .expect("vctx")
+        .whitelist
+        .grant(8, doorbell);
+    controller
+        .context(e_ana.id.0)
+        .expect("vctx")
+        .whitelist
+        .grant(2, doorbell);
 
     // The exchange layout: [0] = published sequence number,
     // [8] = consumer acknowledgement, [64..] = payload.
@@ -80,12 +96,12 @@ fn main() {
     let node_c = Arc::clone(&node);
 
     let producer = std::thread::spawn(move || {
-        let mut g =
-            GuestCore::launch_covirt(node_p, k_sim, producer_ctl, 2, TlbParams::default())
-                .expect("producer core");
+        let mut g = GuestCore::launch_covirt(node_p, k_sim, producer_ctl, 2, TlbParams::default())
+            .expect("producer core");
         for step in 1..=STEPS {
             for i in 0..ELEMS {
-                g.write_f64(base + 64 + i * 8, (step * i) as f64).expect("write");
+                g.write_f64(base + 64 + i * 8, (step * i) as f64)
+                    .expect("write");
             }
             g.write_u64(base, step).expect("seq"); // publish
             g.send_ipi(8, doorbell).expect("doorbell");
@@ -102,9 +118,8 @@ fn main() {
     });
 
     let consumer = std::thread::spawn(move || {
-        let mut g =
-            GuestCore::launch_covirt(node_c, k_ana, consumer_ctl, 8, TlbParams::default())
-                .expect("consumer core");
+        let mut g = GuestCore::launch_covirt(node_c, k_ana, consumer_ctl, 8, TlbParams::default())
+            .expect("consumer core");
         let mut seen = 0u64;
         let mut checks = 0u64;
         while seen < STEPS {
@@ -141,7 +156,9 @@ fn main() {
     );
 
     // Now the producer dies; the consumer learns about it from Hobbes.
-    master.handle_enclave_failure(e_sim.id.0, "injected crash").expect("failure path");
+    master
+        .handle_enclave_failure(e_sim.id.0, "injected crash")
+        .expect("failure path");
     composer.mark_enclave_failed(e_sim.id.0);
     for n in master.notices.drain() {
         println!(

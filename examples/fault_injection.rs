@@ -40,10 +40,22 @@ impl Lab {
             c.attach_hobbes(&master);
             c
         });
-        Lab { node, master, controller }
+        Lab {
+            node,
+            master,
+            controller,
+        }
     }
 
-    fn enclave(&self, name: &str, core: usize) -> (Arc<covirt_suite::pisces::Enclave>, Arc<covirt_suite::kitten::KittenKernel>, GuestCore) {
+    fn enclave(
+        &self,
+        name: &str,
+        core: usize,
+    ) -> (
+        Arc<covirt_suite::pisces::Enclave>,
+        Arc<covirt_suite::kitten::KittenKernel>,
+        GuestCore,
+    ) {
         let req = covirt_suite::pisces::resources::ResourceRequest::new(
             vec![CoreId(core)],
             vec![(ZoneId(0), 128 * 1024 * 1024)],
@@ -99,7 +111,11 @@ fn main() {
         // destroy it while the consumer still holds it... here we model
         // the *owner-side* variant: host reclaims a granted region but the
         // buggy kernel keeps its mapping.
-        let seg = lab.master.pisces().add_memory(&e1, ZoneId(0), 2 * 1024 * 1024).expect("grant");
+        let seg = lab
+            .master
+            .pisces()
+            .add_memory(&e1, ZoneId(0), 2 * 1024 * 1024)
+            .expect("grant");
         k1.poll_ctrl().expect("poll");
         lab.master.pisces().process_acks(&e1).expect("acks");
         // The host asks for it back; the kernel acks (clean removal). The
@@ -107,7 +123,10 @@ fn main() {
         // enclave core services the TLB-flush NMI, so the host side runs
         // on its own thread while the guest keeps polling — exactly the
         // concurrency of the real system.
-        lab.master.pisces().request_remove_memory(&e1, seg).expect("remove");
+        lab.master
+            .pisces()
+            .request_remove_memory(&e1, seg)
+            .expect("remove");
         k1.poll_ctrl().expect("poll");
         let host = Arc::clone(lab.master.pisces());
         let e1c = Arc::clone(&e1);
@@ -128,17 +147,26 @@ fn main() {
         reclaim.join().expect("reclaim thread");
         // ... but a stale pointer from the cleanup path is used later:
         let fault = faults::stale_shared_mapping(&k1, seg);
-        println!("1. stale-mapping use after reclaim: {}", outcome_str(&g1.execute_fault(fault)));
+        println!(
+            "1. stale-mapping use after reclaim: {}",
+            outcome_str(&g1.execute_fault(fault))
+        );
 
         // --- scenario 2: off-by-one memory map ------------------------
         let (_e2, k2, mut g2) = lab.enclave("off-by-one", 3);
         let fault = faults::off_by_one_region(&k2);
-        println!("2. off-by-one memory map:           {}", outcome_str(&g2.execute_fault(fault)));
+        println!(
+            "2. off-by-one memory map:           {}",
+            outcome_str(&g2.execute_fault(fault))
+        );
 
         // --- scenario 3: errant IPI to the host core ------------------
         let (_e3, _k3, mut g3) = lab.enclave("errant-ipi", 4);
         let fault = faults::errant_ipi(0, 0x2f); // core 0 = host Linux
-        println!("3. errant IPI to host core 0:       {}", outcome_str(&g3.execute_fault(fault)));
+        println!(
+            "3. errant IPI to host core 0:       {}",
+            outcome_str(&g3.execute_fault(fault))
+        );
 
         // --- scenario 4: double fault in the guest --------------------
         if mode != ExecMode::Native {
@@ -158,15 +186,20 @@ fn main() {
         // --- scenario 5: MSR / I/O-port protection (FULL config only) --
         if lab.controller.as_ref().is_some_and(|c| c.config().msr) {
             let (_e5, _k5, mut g5) = lab.enclave("msr-io", 6);
-            g5.wrmsr(covirt_suite::simhw::msr::IA32_MC0_CTL, 0xbad).expect("wrmsr traps");
-            g5.io_write(covirt_suite::simhw::ioport::PORT_KBD_RESET, 0xfe).expect("out traps");
+            g5.wrmsr(covirt_suite::simhw::msr::IA32_MC0_CTL, 0xbad)
+                .expect("wrmsr traps");
+            g5.io_write(covirt_suite::simhw::ioport::PORT_KBD_RESET, 0xfe)
+                .expect("out traps");
             let mc0 = lab
                 .node
                 .cpu(CoreId(6))
                 .unwrap()
                 .msrs
                 .read(covirt_suite::simhw::msr::IA32_MC0_CTL);
-            let resets = lab.node.ioports.write_count(covirt_suite::simhw::ioport::PORT_KBD_RESET);
+            let resets = lab
+                .node
+                .ioports
+                .write_count(covirt_suite::simhw::ioport::PORT_KBD_RESET);
             println!(
                 "5. MC0_CTL write + reset-port poke: BLOCKED (MSR still {mc0:#x}, {resets} reset writes reached hardware)"
             );

@@ -14,7 +14,10 @@ use covirt_suite::kitten::TimerPolicy;
 use covirt_suite::workloads::{selfish, World};
 
 fn main() {
-    let duration_ms: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let duration_ms: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
 
     println!("Selfish-Detour noise profiles ({duration_ms} ms per cell)\n");
     println!(
@@ -35,7 +38,10 @@ fn main() {
         ] {
             let w = World::quick(mode);
             // Reprogram the enclave core's LAPIC timer for this policy.
-            let cpu = w.node.cpu(covirt_suite::simhw::topology::CoreId(w.cores[0])).unwrap();
+            let cpu = w
+                .node
+                .cpu(covirt_suite::simhw::topology::CoreId(w.cores[0]))
+                .unwrap();
             match policy.period_ns() {
                 Some(ns) => cpu.apic.arm_timer(ns, true, TIMER_VECTOR),
                 None => cpu.apic.arm_timer(0, false, TIMER_VECTOR),

@@ -52,11 +52,15 @@ fn main() {
     )
     .expect("guest core");
     let mut cursor = 0;
-    let buf = kernel.alloc_contiguous(1024 * 1024, &mut cursor).expect("alloc");
+    let buf = kernel
+        .alloc_contiguous(1024 * 1024, &mut cursor)
+        .expect("alloc");
     for i in 0..1024u64 {
         guest.write_u64(buf + i * 8, i * i).expect("write");
     }
-    let sum: u64 = (0..1024u64).map(|i| guest.read_u64(buf + i * 8).expect("read")).sum();
+    let sum: u64 = (0..1024u64)
+        .map(|i| guest.read_u64(buf + i * 8).expect("read"))
+        .sum();
     println!("guest computed sum of squares: {sum}");
     println!(
         "translation stats: {} walks, {} table loads, {} exits so far",
@@ -91,6 +95,12 @@ fn main() {
         vec![CoreId(8)],
         vec![(ZoneId(1), 64 * 1024 * 1024)],
     );
-    let (e2, _k2) = master.bring_up_enclave("phoenix", &req2).expect("second enclave");
-    println!("\nnew enclave {} is {:?} — the node survived the fault", e2.id, e2.state());
+    let (e2, _k2) = master
+        .bring_up_enclave("phoenix", &req2)
+        .expect("second enclave");
+    println!(
+        "\nnew enclave {} is {:?} — the node survived the fault",
+        e2.id,
+        e2.state()
+    );
 }

@@ -4,7 +4,7 @@
 
 use covirt_suite::covirt::config::CovirtConfig;
 use covirt_suite::covirt::{CovirtController, GuestCore};
-use covirt_suite::hobbes::app::{Composer, ComponentSpec};
+use covirt_suite::hobbes::app::{ComponentSpec, Composer};
 use covirt_suite::hobbes::MasterControl;
 use covirt_suite::pisces::resources::ResourceRequest;
 use covirt_suite::simhw::node::{NodeConfig, SimNode};
@@ -12,17 +12,22 @@ use covirt_suite::simhw::tlb::TlbParams;
 use covirt_suite::simhw::topology::{CoreId, ZoneId};
 use std::sync::Arc;
 
-fn setup(cfg: CovirtConfig) -> (Arc<SimNode>, Arc<MasterControl>, Arc<CovirtController>, Composer, u64, u64)
-{
+fn setup(
+    cfg: CovirtConfig,
+) -> (
+    Arc<SimNode>,
+    Arc<MasterControl>,
+    Arc<CovirtController>,
+    Composer,
+    u64,
+    u64,
+) {
     let node = SimNode::new(NodeConfig::paper_testbed());
     let master = MasterControl::new(Arc::clone(&node));
     let ctl = CovirtController::new(Arc::clone(&node), cfg);
     ctl.attach_hobbes(&master);
     let mk = |name: &str, core: usize, zone: usize| {
-        let req = ResourceRequest::new(
-            vec![CoreId(core)],
-            vec![(ZoneId(zone), 96 * 1024 * 1024)],
-        );
+        let req = ResourceRequest::new(vec![CoreId(core)], vec![(ZoneId(zone), 96 * 1024 * 1024)]);
         master.bring_up_enclave(name, &req).unwrap()
     };
     let (e1, _) = mk("sim", 2, 0);
@@ -39,8 +44,16 @@ fn composed_app_exchanges_data_without_data_path_exits() {
         .compose(
             "pipeline",
             &[
-                ComponentSpec { name: "producer".into(), enclave: e1, core: CoreId(2) },
-                ComponentSpec { name: "consumer".into(), enclave: e2, core: CoreId(8) },
+                ComponentSpec {
+                    name: "producer".into(),
+                    enclave: e1,
+                    core: CoreId(2),
+                },
+                ComponentSpec {
+                    name: "consumer".into(),
+                    enclave: e2,
+                    core: CoreId(8),
+                },
             ],
             4 * 1024 * 1024,
         )
@@ -49,10 +62,22 @@ fn composed_app_exchanges_data_without_data_path_exits() {
 
     let k1 = master.kernel(e1).unwrap();
     let k2 = master.kernel(e2).unwrap();
-    let mut p = GuestCore::launch_covirt(Arc::clone(&node), k1, Arc::clone(&ctl), 2, TlbParams::default())
-        .unwrap();
-    let mut c = GuestCore::launch_covirt(Arc::clone(&node), k2, Arc::clone(&ctl), 8, TlbParams::default())
-        .unwrap();
+    let mut p = GuestCore::launch_covirt(
+        Arc::clone(&node),
+        k1,
+        Arc::clone(&ctl),
+        2,
+        TlbParams::default(),
+    )
+    .unwrap();
+    let mut c = GuestCore::launch_covirt(
+        Arc::clone(&node),
+        k2,
+        Arc::clone(&ctl),
+        8,
+        TlbParams::default(),
+    )
+    .unwrap();
 
     for i in 0..4096u64 {
         p.write_u64(base + i * 8, i * 3).unwrap();
@@ -74,26 +99,49 @@ fn exchange_segment_is_bounded_for_third_parties() {
         .compose(
             "bounded",
             &[
-                ComponentSpec { name: "a".into(), enclave: e1, core: CoreId(2) },
-                ComponentSpec { name: "b".into(), enclave: e2, core: CoreId(8) },
+                ComponentSpec {
+                    name: "a".into(),
+                    enclave: e1,
+                    core: CoreId(2),
+                },
+                ComponentSpec {
+                    name: "b".into(),
+                    enclave: e2,
+                    core: CoreId(8),
+                },
             ],
             2 * 1024 * 1024,
         )
         .unwrap();
     let req = ResourceRequest::new(vec![CoreId(3)], vec![(ZoneId(0), 64 * 1024 * 1024)]);
     let (e3, k3) = master.bring_up_enclave("outsider", &req).unwrap();
-    let mut g3 = GuestCore::launch_covirt(Arc::clone(&node), Arc::clone(&k3), Arc::clone(&ctl), 3, TlbParams::default())
-        .unwrap();
+    let mut g3 = GuestCore::launch_covirt(
+        Arc::clone(&node),
+        Arc::clone(&k3),
+        Arc::clone(&ctl),
+        3,
+        TlbParams::default(),
+    )
+    .unwrap();
     // The outsider forges a mapping (the bug) and pokes the exchange.
     let fault = covirt_suite::kitten::faults::stale_shared_mapping(&k3, app.exchange_range);
     match g3.execute_fault(fault) {
         covirt_suite::covirt::exec::FaultOutcome::Contained(_) => {}
         o => panic!("outsider access must be contained, got {o:?}"),
     }
-    assert!(matches!(e3.state(), covirt_suite::pisces::EnclaveState::Failed(_)));
+    assert!(matches!(
+        e3.state(),
+        covirt_suite::pisces::EnclaveState::Failed(_)
+    ));
     // The app's enclaves are unaffected.
-    assert_eq!(master.pisces().enclave(covirt_suite::pisces::EnclaveId(e1)).unwrap().state(),
-        covirt_suite::pisces::EnclaveState::Running);
+    assert_eq!(
+        master
+            .pisces()
+            .enclave(covirt_suite::pisces::EnclaveId(e1))
+            .unwrap()
+            .state(),
+        covirt_suite::pisces::EnclaveState::Running
+    );
 }
 
 #[test]
@@ -103,16 +151,29 @@ fn component_failure_marks_only_that_component() {
         .compose(
             "resilient",
             &[
-                ComponentSpec { name: "victim".into(), enclave: e1, core: CoreId(2) },
-                ComponentSpec { name: "survivor".into(), enclave: e2, core: CoreId(8) },
+                ComponentSpec {
+                    name: "victim".into(),
+                    enclave: e1,
+                    core: CoreId(2),
+                },
+                ComponentSpec {
+                    name: "survivor".into(),
+                    enclave: e2,
+                    core: CoreId(8),
+                },
             ],
             2 * 1024 * 1024,
         )
         .unwrap();
     let k1 = master.kernel(e1).unwrap();
-    let mut g1 =
-        GuestCore::launch_covirt(Arc::clone(&node), Arc::clone(&k1), Arc::clone(&ctl), 2, TlbParams::default())
-            .unwrap();
+    let mut g1 = GuestCore::launch_covirt(
+        Arc::clone(&node),
+        Arc::clone(&k1),
+        Arc::clone(&ctl),
+        2,
+        TlbParams::default(),
+    )
+    .unwrap();
     let fault = covirt_suite::kitten::faults::off_by_one_region(&k1);
     assert!(matches!(
         g1.execute_fault(fault),

@@ -29,14 +29,15 @@ impl Lab {
             c.attach_hobbes(&master);
             c
         });
-        Lab { node, master, controller }
+        Lab {
+            node,
+            master,
+            controller,
+        }
     }
 
     fn enclave(&self, core: usize) -> (Arc<Enclave>, Arc<KittenKernel>, GuestCore) {
-        let req = ResourceRequest::new(
-            vec![CoreId(core)],
-            vec![(ZoneId(0), 96 * 1024 * 1024)],
-        );
+        let req = ResourceRequest::new(vec![CoreId(core)], vec![(ZoneId(0), 96 * 1024 * 1024)]);
         let (e, k) = self.master.bring_up_enclave("fi", &req).expect("bring-up");
         let g = match &self.controller {
             Some(c) => GuestCore::launch_covirt(
@@ -47,10 +48,13 @@ impl Lab {
                 TlbParams::default(),
             )
             .unwrap(),
-            None => {
-                GuestCore::launch_native(Arc::clone(&self.node), Arc::clone(&k), core, TlbParams::default())
-                    .unwrap()
-            }
+            None => GuestCore::launch_native(
+                Arc::clone(&self.node),
+                Arc::clone(&k),
+                core,
+                TlbParams::default(),
+            )
+            .unwrap(),
         };
         (e, k, g)
     }
@@ -82,7 +86,15 @@ fn off_by_one_contained_only_under_covirt() {
     g2.write_u64(a, 7).unwrap();
     assert_eq!(g2.read_u64(a).unwrap(), 7);
     // And the fault was logged for the operator.
-    assert_eq!(lab.controller.as_ref().unwrap().faults.for_enclave(e.id.0).len(), 1);
+    assert_eq!(
+        lab.controller
+            .as_ref()
+            .unwrap()
+            .faults
+            .for_enclave(e.id.0)
+            .len(),
+        1
+    );
 }
 
 #[test]
@@ -132,7 +144,10 @@ fn errant_ipi_matrix() {
         } else {
             assert_eq!(
                 outcome,
-                FaultOutcome::IpiDelivered { victim: 0, vector: 0x2f },
+                FaultOutcome::IpiDelivered {
+                    victim: 0,
+                    vector: 0x2f
+                },
                 "{mode}"
             );
         }
@@ -146,12 +161,19 @@ fn stale_xemem_mapping_contained_after_flush_protocol() {
     // stale access → contained.
     let lab = Lab::new(ExecMode::Covirt(CovirtConfig::MEM));
     let (e, k, mut g) = lab.enclave(2);
-    let range = lab.master.pisces().add_memory(&e, ZoneId(0), 2 * 1024 * 1024).unwrap();
+    let range = lab
+        .master
+        .pisces()
+        .add_memory(&e, ZoneId(0), 2 * 1024 * 1024)
+        .unwrap();
     k.poll_ctrl().unwrap();
     lab.master.pisces().process_acks(&e).unwrap();
     g.write_u64(range.start.raw(), 0xAA).unwrap(); // warm the TLB
 
-    lab.master.pisces().request_remove_memory(&e, range).unwrap();
+    lab.master
+        .pisces()
+        .request_remove_memory(&e, range)
+        .unwrap();
     k.poll_ctrl().unwrap(); // guest acks removal
     let host = Arc::clone(lab.master.pisces());
     let e2 = Arc::clone(&e);
@@ -214,24 +236,43 @@ fn dependent_enclaves_notified_not_crashed() {
 fn msr_and_io_protection_full_config() {
     let lab = Lab::new(ExecMode::Covirt(CovirtConfig::FULL));
     let (_e, _k, mut g) = lab.enclave(2);
-    g.wrmsr(covirt_suite::simhw::msr::IA32_MC0_CTL, 0xbad).unwrap();
+    g.wrmsr(covirt_suite::simhw::msr::IA32_MC0_CTL, 0xbad)
+        .unwrap();
     assert_eq!(
-        lab.node.cpu(CoreId(2)).unwrap().msrs.read(covirt_suite::simhw::msr::IA32_MC0_CTL),
+        lab.node
+            .cpu(CoreId(2))
+            .unwrap()
+            .msrs
+            .read(covirt_suite::simhw::msr::IA32_MC0_CTL),
         0,
         "machine-check MSR write must be blocked"
     );
-    g.io_write(covirt_suite::simhw::ioport::PORT_KBD_RESET, 0xfe).unwrap();
+    g.io_write(covirt_suite::simhw::ioport::PORT_KBD_RESET, 0xfe)
+        .unwrap();
     assert_eq!(
-        lab.node.ioports.write_count(covirt_suite::simhw::ioport::PORT_KBD_RESET),
+        lab.node
+            .ioports
+            .write_count(covirt_suite::simhw::ioport::PORT_KBD_RESET),
         0,
         "reset-port write must be blocked"
     );
     // Benign accesses pass through unchanged.
-    g.wrmsr(covirt_suite::simhw::msr::IA32_FS_BASE, 0x1000).unwrap();
+    g.wrmsr(covirt_suite::simhw::msr::IA32_FS_BASE, 0x1000)
+        .unwrap();
     assert_eq!(
-        lab.node.cpu(CoreId(2)).unwrap().msrs.read(covirt_suite::simhw::msr::IA32_FS_BASE),
+        lab.node
+            .cpu(CoreId(2))
+            .unwrap()
+            .msrs
+            .read(covirt_suite::simhw::msr::IA32_FS_BASE),
         0x1000
     );
-    g.io_write(covirt_suite::simhw::ioport::PORT_COM1, b'k' as u32).unwrap();
-    assert_eq!(lab.node.ioports.write_count(covirt_suite::simhw::ioport::PORT_COM1), 1);
+    g.io_write(covirt_suite::simhw::ioport::PORT_COM1, b'k' as u32)
+        .unwrap();
+    assert_eq!(
+        lab.node
+            .ioports
+            .write_count(covirt_suite::simhw::ioport::PORT_COM1),
+        1
+    );
 }

@@ -25,7 +25,13 @@ fn world(cfg: CovirtConfig) -> W {
 }
 
 impl W {
-    fn enclave(&self, cores: Vec<usize>) -> (Arc<covirt_suite::pisces::Enclave>, Arc<covirt_suite::kitten::KittenKernel>) {
+    fn enclave(
+        &self,
+        cores: Vec<usize>,
+    ) -> (
+        Arc<covirt_suite::pisces::Enclave>,
+        Arc<covirt_suite::kitten::KittenKernel>,
+    ) {
         let req = ResourceRequest::new(
             cores.into_iter().map(CoreId).collect(),
             vec![(ZoneId(0), 64 * 1024 * 1024)],
@@ -80,7 +86,11 @@ fn posted_mode_merges_and_avoids_receive_exits() {
     rx.poll().unwrap();
     assert_eq!(rx.counters.ipi_irqs, 1, "same-vector burst must merge");
     assert_eq!(rx.counters.posted_harvested, 1);
-    assert_eq!(rx.exit_count(), exits_before, "posted receive must not exit");
+    assert_eq!(
+        rx.exit_count(),
+        exits_before,
+        "posted receive must not exit"
+    );
     // Distinct vectors all arrive.
     let v2 = e.resources().ipi_vectors[1];
     tx.send_ipi(3, v).unwrap();
@@ -102,7 +112,10 @@ fn dynamic_vector_alloc_updates_whitelist_without_commands() {
     // changes require hypervisor coordination").
     let pending_before = vctx.cmdq(2).map(|q| q.pending()).unwrap_or(0);
     let v = w.master.pisces().alloc_vector(&e).unwrap();
-    assert_eq!(vctx.cmdq(2).map(|q| q.pending()).unwrap_or(0), pending_before);
+    assert_eq!(
+        vctx.cmdq(2).map(|q| q.pending()).unwrap_or(0),
+        pending_before
+    );
     tx.send_ipi(3, v).unwrap();
     rx.poll().unwrap();
     assert_eq!(rx.counters.ipi_irqs, 1);
@@ -169,11 +182,17 @@ fn timer_keeps_ticking_under_every_ipi_mode() {
                 TlbParams::default(),
             )
             .unwrap(),
-            None => GuestCore::launch_native(Arc::clone(&node), Arc::clone(&k), 1, TlbParams::default())
-                .unwrap(),
+            None => {
+                GuestCore::launch_native(Arc::clone(&node), Arc::clone(&k), 1, TlbParams::default())
+                    .unwrap()
+            }
         };
         // Fast tick for the test.
-        node.cpu(CoreId(1)).unwrap().apic.arm_timer(200_000, true, covirt_suite::covirt::vctx::TIMER_VECTOR);
+        node.cpu(CoreId(1)).unwrap().apic.arm_timer(
+            200_000,
+            true,
+            covirt_suite::covirt::vctx::TIMER_VECTOR,
+        );
         let t0 = std::time::Instant::now();
         while g.counters.timer_irqs < 3 && t0.elapsed().as_secs() < 5 {
             g.poll().unwrap();

@@ -118,8 +118,17 @@ fn ioctl_abi_drives_full_lifecycle() {
     d.ioctl(PiscesCtl::Launch { enclave: id }).unwrap();
     // Covirt context exists because launch ran through the hooks.
     assert!(ctl.context(id).is_ok());
-    let r = d.ioctl(PiscesCtl::AddMem { enclave: id, zone: 0, bytes: 2 * 1024 * 1024 }).unwrap();
+    let r = d
+        .ioctl(PiscesCtl::AddMem {
+            enclave: id,
+            zone: 0,
+            bytes: 2 * 1024 * 1024,
+        })
+        .unwrap();
     assert!(matches!(r, CtlReply::Region { .. }));
     d.ioctl(PiscesCtl::Teardown { enclave: id }).unwrap();
-    assert!(ctl.context(id).is_err(), "context must be dropped at teardown");
+    assert!(
+        ctl.context(id).is_err(),
+        "context must be dropped at teardown"
+    );
 }

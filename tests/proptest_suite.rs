@@ -13,12 +13,20 @@ use std::sync::Arc;
 fn pt_setup(mem_bytes: u64) -> (Arc<PhysMemory>, GuestPageTables, PhysRange) {
     let mem = Arc::new(PhysMemory::new(&[mem_bytes]));
     let pool_region = mem
-        .alloc_backed(covirt_suite::simhw::topology::ZoneId(0), 16 * 1024 * 1024, PAGE_SIZE_4K)
+        .alloc_backed(
+            covirt_suite::simhw::topology::ZoneId(0),
+            16 * 1024 * 1024,
+            PAGE_SIZE_4K,
+        )
         .unwrap();
     let pool = Arc::new(FramePool::new(Arc::clone(&mem), pool_region));
     let pt = GuestPageTables::new(pool).unwrap();
     let arena = mem
-        .alloc(covirt_suite::simhw::topology::ZoneId(0), 64 * 1024 * 1024, PAGE_SIZE_2M)
+        .alloc(
+            covirt_suite::simhw::topology::ZoneId(0),
+            64 * 1024 * 1024,
+            PAGE_SIZE_2M,
+        )
         .unwrap();
     (mem, pt, arena)
 }
@@ -165,7 +173,7 @@ proptest! {
             prop_assert_eq!(d.seq, seq);
             q.complete(d.seq);
         }
-        prop_assert!(q.wait(*seqs.last().unwrap(), 1));
+        prop_assert!(q.wait(*seqs.last().unwrap(), 1).is_ok());
     }
 
     /// Whitelist algebra: grants and revocations compose like set ops.

@@ -1,0 +1,169 @@
+//! Stale-TLB-window safety under the coalesced/broadcast shootdown
+//! protocol: a reclaim epoch may defer synchronization, but its close must
+//! not return until *every* live core has executed its flush — only then
+//! may the host recycle the frames.
+
+use covirt_suite::covirt::config::CovirtConfig;
+use covirt_suite::covirt::exec::FaultOutcome;
+use covirt_suite::covirt::{CovirtController, GuestCore};
+use covirt_suite::hobbes::MasterControl;
+use covirt_suite::simhw::node::{NodeConfig, SimNode};
+use covirt_suite::simhw::tlb::TlbParams;
+use covirt_suite::simhw::topology::{CoreId, ZoneId};
+use std::sync::Arc;
+
+fn world() -> (Arc<SimNode>, Arc<MasterControl>, Arc<CovirtController>) {
+    let node = SimNode::new(NodeConfig::paper_testbed());
+    let master = MasterControl::new(Arc::clone(&node));
+    let ctl = CovirtController::new(Arc::clone(&node), CovirtConfig::MEM);
+    ctl.attach_hobbes(&master);
+    (node, master, ctl)
+}
+
+#[test]
+fn epoch_close_blocks_until_every_core_flushes() {
+    let (node, master, ctl) = world();
+    let req = covirt_suite::pisces::resources::ResourceRequest::new(
+        vec![CoreId(2), CoreId(3)],
+        vec![(ZoneId(0), 64 * 1024 * 1024)],
+    );
+    let (e, k) = master.bring_up_enclave("s", &req).unwrap();
+    let mk = |core: usize| {
+        GuestCore::launch_covirt(
+            Arc::clone(&node),
+            Arc::clone(&k),
+            Arc::clone(&ctl),
+            core,
+            TlbParams::default(),
+        )
+        .unwrap()
+    };
+    let mut g2 = mk(2);
+    let mut g3 = mk(3);
+    ctl.set_flush_spins(50_000_000);
+
+    // Grant two ranges and cache their translations on both cores.
+    let r1 = master
+        .pisces()
+        .add_memory(&e, ZoneId(0), 2 * 1024 * 1024)
+        .unwrap();
+    let r2 = master
+        .pisces()
+        .add_memory(&e, ZoneId(0), 2 * 1024 * 1024)
+        .unwrap();
+    k.poll_ctrl().unwrap();
+    master.pisces().process_acks(&e).unwrap();
+    for g in [&mut g2, &mut g3] {
+        g.write_u64(r1.start.raw(), 0xa).unwrap();
+        g.write_u64(r2.start.raw(), 0xb).unwrap();
+    }
+
+    // Reclaim both ranges inside one epoch: the unmaps are immediate and
+    // the acks complete without any shootdown.
+    ctl.begin_reclaim_epoch(e.id.0);
+    for r in [r1, r2] {
+        master.pisces().request_remove_memory(&e, r).unwrap();
+        k.poll_ctrl().unwrap();
+        master.pisces().process_acks(&e).unwrap();
+    }
+    assert!(!e.resources().mem.contains(&r1) && !e.resources().mem.contains(&r2));
+
+    // THE WINDOW: with the epoch still open, both cores can still reach
+    // the reclaimed frames through their stale TLB entries — exactly why
+    // the epoch contract forbids recycling before the close returns.
+    assert_eq!(g2.read_u64(r1.start.raw()).unwrap(), 0xa);
+    assert_eq!(g3.read_u64(r2.start.raw()).unwrap(), 0xb);
+    let flushes_before = g2.tlb_stats().range_flushes + g2.tlb_stats().full_flushes;
+
+    // Close the epoch from the host side. Service NMIs ONLY on core 2 for
+    // a while: the close must NOT complete while core 3 still holds its
+    // stale entries.
+    let ctl2 = Arc::clone(&ctl);
+    let enclave_id = e.id.0;
+    let closer = std::thread::spawn(move || ctl2.end_reclaim_epoch(enclave_id).unwrap());
+    let t0 = std::time::Instant::now();
+    while t0.elapsed() < std::time::Duration::from_millis(300) {
+        g2.poll().unwrap();
+        std::thread::yield_now();
+    }
+    assert!(
+        !closer.is_finished(),
+        "epoch close returned before core 3 flushed — stale window open!"
+    );
+
+    // Now let core 3 service its flush too; the close completes.
+    while !closer.is_finished() {
+        g2.poll().unwrap();
+        g3.poll().unwrap();
+        std::thread::yield_now();
+    }
+    closer.join().unwrap();
+
+    // The two coalesced ranges rode ONE shootdown of two range-flush
+    // commands per core (both sit under the range threshold).
+    assert_eq!(g2.tlb_stats().range_flushes, flushes_before + 2);
+    assert_eq!(g3.tlb_stats().range_flushes, 2);
+    assert_eq!(g3.tlb_stats().full_flushes, 0);
+
+    // After the close, the stale path is gone on BOTH cores: a rebuilt
+    // stale access EPT-faults and is contained.
+    for (g, r) in [(&mut g2, r1), (&mut g3, r2)] {
+        let fault = covirt_suite::kitten::faults::stale_shared_mapping(&k, r);
+        match g.execute_fault(fault) {
+            FaultOutcome::Contained(reason) => assert!(reason.contains("EPT violation")),
+            o => panic!("post-close stale access must be contained, got {o:?}"),
+        }
+    }
+}
+
+#[test]
+fn oversized_reclaim_falls_back_to_full_flush() {
+    let (node, master, ctl) = world();
+    let req = covirt_suite::pisces::resources::ResourceRequest::new(
+        vec![CoreId(2)],
+        vec![(ZoneId(0), 64 * 1024 * 1024)],
+    );
+    let (e, k) = master.bring_up_enclave("f", &req).unwrap();
+    let mut g = GuestCore::launch_covirt(
+        Arc::clone(&node),
+        Arc::clone(&k),
+        Arc::clone(&ctl),
+        2,
+        TlbParams::default(),
+    )
+    .unwrap();
+    ctl.set_flush_spins(50_000_000);
+    // Force the fall-back for everything: threshold 0 disables range
+    // flushes outright.
+    ctl.set_range_flush_threshold(0);
+
+    let range = master
+        .pisces()
+        .add_memory(&e, ZoneId(0), 2 * 1024 * 1024)
+        .unwrap();
+    k.poll_ctrl().unwrap();
+    master.pisces().process_acks(&e).unwrap();
+    g.write_u64(range.start.raw(), 1).unwrap();
+
+    master.pisces().request_remove_memory(&e, range).unwrap();
+    k.poll_ctrl().unwrap();
+    let host = Arc::clone(master.pisces());
+    let e2 = Arc::clone(&e);
+    let reclaim = std::thread::spawn(move || {
+        while e2.resources().mem.contains(&range) {
+            host.process_acks(&e2).unwrap();
+            std::thread::yield_now();
+        }
+    });
+    while !reclaim.is_finished() {
+        g.poll().unwrap();
+        std::thread::yield_now();
+    }
+    reclaim.join().unwrap();
+    assert_eq!(
+        g.tlb_stats().full_flushes,
+        1,
+        "threshold 0 must force a full flush"
+    );
+    assert_eq!(g.tlb_stats().range_flushes, 0);
+}

@@ -38,7 +38,10 @@ fn orderly_shutdown_roundtrip() {
             std::thread::yield_now();
         }
     });
-    master.pisces().shutdown_enclave_sync(&e, 10_000_000).unwrap();
+    master
+        .pisces()
+        .shutdown_enclave_sync(&e, 10_000_000)
+        .unwrap();
     stop.store(true, std::sync::atomic::Ordering::Release);
     pump.join().unwrap();
     assert_eq!(e.state(), EnclaveState::Terminated);
@@ -117,17 +120,23 @@ fn operator_kill_switch_via_ioctl_terminates_live_guest() {
 
     // Operator issues the kill; the guest core discovers it at its next
     // safe point (the NMI drains the Terminate command).
-    d.ioctl_raw(COVIRT_IOCTL, &client::terminate(e.id.0)).unwrap();
+    d.ioctl_raw(COVIRT_IOCTL, &client::terminate(e.id.0))
+        .unwrap();
     let err = loop {
         match g.poll() {
             Ok(()) => std::thread::yield_now(),
             Err(err) => break err,
         }
     };
-    assert!(matches!(err, covirt_suite::covirt::CovirtError::EnclaveTerminated(_)));
+    assert!(matches!(
+        err,
+        covirt_suite::covirt::CovirtError::EnclaveTerminated(_)
+    ));
     assert!(matches!(e.state(), EnclaveState::Failed(_)));
     // The fault log is readable through the same ABI.
     let reply = d.ioctl_raw(COVIRT_IOCTL, &client::fault_log()).unwrap();
     let rows = client::parse_fault_log(&reply).unwrap();
-    assert!(rows.iter().any(|(enc, _, _, why)| *enc == e.id.0 && why.contains("controller")));
+    assert!(rows
+        .iter()
+        .any(|(enc, _, _, why)| *enc == e.id.0 && why.contains("controller")));
 }

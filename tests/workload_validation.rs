@@ -53,7 +53,10 @@ fn hpcg_residual_identical_across_modes() {
 
 #[test]
 fn minife_converges_on_parallel_layouts() {
-    for layout in [HwLayout { cores: 1, zones: 1 }, HwLayout { cores: 4, zones: 2 }] {
+    for layout in [
+        HwLayout { cores: 1, zones: 1 },
+        HwLayout { cores: 4, zones: 2 },
+    ] {
         for mode in [ExecMode::Native, ExecMode::Covirt(CovirtConfig::MEM_IPI)] {
             let w = World::build(mode, layout, 192 * 1024 * 1024);
             let r = minife::run(&w, 10, 300);
@@ -71,7 +74,13 @@ fn md_energy_finite_everywhere() {
     for mode in modes() {
         for wl in md::MdWorkload::ALL {
             let w = World::quick(mode);
-            let params = md::MdParams { n_atoms: 216, steps: 5, dt: 0.002, rebuild: 2, workload: wl };
+            let params = md::MdParams {
+                n_atoms: 216,
+                steps: 5,
+                dt: 0.002,
+                rebuild: 2,
+                workload: wl,
+            };
             let r = md::run(&w, params);
             assert!(r.energy_end.is_finite(), "{mode} {}", wl.label());
         }
