@@ -12,7 +12,11 @@
 //! * `shootdown`       — broadcast-shootdown wall clock vs live-core count
 //!   (two-phase post-all-then-wait-all must stay ~flat 1→8 cores);
 //! * `walk_cache`      — nested-walk cost with the EPT paging-structure
-//!   cache on vs off.
+//!   cache on vs off;
+//! * `scaling`         — concurrent per-core STREAM triad at 1/2/4/8
+//!   cores, Native vs Covirt (the lock-free resolve path must keep
+//!   per-core throughput flat), plus the per-core region cache on vs off
+//!   under TLB-fill pressure.
 
 use covirt::cmdqueue::Command;
 use covirt::config::CovirtConfig;
@@ -245,6 +249,66 @@ fn ablate_walk_cache(c: &mut Criterion) {
     group.finish();
 }
 
+fn ablate_scaling(c: &mut Criterion) {
+    use covirt_simhw::tlb::TlbParams;
+    use workloads::scaling::{self, ScalingParams, CORE_COUNTS};
+    use workloads::stream::Stream;
+    let mut group = c.benchmark_group("ablate_scaling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let p = ScalingParams {
+        stream_n: 1 << 18,
+        ra_log2_n: 10,
+        ra_updates: 0,
+        trials: 1,
+    };
+
+    // All cores run their own triad concurrently; per-iteration wall clock
+    // divided by core count must stay flat if the resolve path is truly
+    // core-local (weak scaling — the `figures scaling` claim).
+    for &n in &CORE_COUNTS {
+        for mode in scaling::modes() {
+            let world = scaling::build_world(mode, n, p);
+            let streams: Vec<Stream> = (0..n).map(|_| Stream::setup(&world, p.stream_n)).collect();
+            world.run_on_cores(|rank, g| streams[rank].init(g).unwrap());
+            group.bench_function(format!("{}-{n}c", mode.label()), |b| {
+                b.iter(|| {
+                    criterion::black_box(
+                        world.run_on_cores(|rank, g| streams[rank].run_once(g).unwrap().triad_mbs),
+                    )
+                })
+            });
+        }
+    }
+
+    // Region-cache ablation: shrink the TLB so every access pays a fill,
+    // then compare the fill path with the per-core cache on vs off (off =
+    // every fill resolves against the shared snapshot).
+    for (label, enabled) in [("resolve-cache-on", true), ("resolve-cache-off", false)] {
+        let mut world = scaling::build_world(ExecMode::Covirt(CovirtConfig::MEM), 2, p);
+        world.tlb = TlbParams {
+            entries_4k: 16,
+            entries_2m: 2,
+            entries_1g: 1,
+        };
+        let streams: Vec<Stream> = (0..2).map(|_| Stream::setup(&world, p.stream_n)).collect();
+        world.run_on_cores(|rank, g| {
+            g.set_region_cache_enabled(enabled);
+            streams[rank].init(g).unwrap()
+        });
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                criterion::black_box(world.run_on_cores(|rank, g| {
+                    g.set_region_cache_enabled(enabled);
+                    streams[rank].run_once(g).unwrap().triad_mbs
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
 type GuestOp = Box<dyn Fn(&mut covirt::GuestCore)>;
 
 fn ablate_exit_cost(c: &mut Criterion) {
@@ -296,6 +360,7 @@ criterion_group!(
     ablate_cmdqueue,
     ablate_exit_cost,
     ablate_shootdown,
-    ablate_walk_cache
+    ablate_walk_cache,
+    ablate_scaling
 );
 criterion_main!(benches);

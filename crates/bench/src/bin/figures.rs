@@ -11,13 +11,14 @@
 
 use covirt_bench::{
     render_fig3, render_fig4, render_fig5a, render_fig5b, render_fig8, render_scaling,
+    render_scaling_points,
 };
 use workloads::figures::{self, Scale};
-use workloads::table1;
+use workloads::{scaling, table1};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8|shootdown|all> [--full]\n\
+        "usage: figures <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8|scaling|shootdown|all> [--full]\n\
          \n  table1  benchmark versions/parameters (Table I)\
          \n  fig3    Selfish-Detour noise profile\
          \n  fig4    XEMEM attach delay vs region size\
@@ -26,6 +27,7 @@ fn usage() -> ! {
          \n  fig6    MiniFE scaling over core/NUMA layouts\
          \n  fig7    HPCG scaling over core/NUMA layouts\
          \n  fig8    LAMMPS loop times (lj/chain/eam/chute)\
+         \n  scaling data-plane per-core scaling (STREAM+GUPS, 1..8 cores) with resolve stats\
          \n  shootdown  coalesced reclaim-epoch demo with TLB flush stats\
          \n  all     everything above\
          \n  --full  paper-scale parameters (slow; needs several GiB)"
@@ -111,7 +113,7 @@ fn shootdown_demo() {
     );
     println!("core   tlb-hits  tlb-misses  full-flush  page-flush  range-flush  wcache h/m");
     for h in handles {
-        let g = h.join().unwrap();
+        let mut g = h.join().unwrap();
         let s = g.tlb_stats();
         println!(
             "cpu{:<4} {:>8} {:>11} {:>11} {:>11} {:>12} {:>6}/{}",
@@ -174,13 +176,25 @@ fn main() {
     if all || what == "fig8" {
         println!("{}", render_fig8(&figures::fig8(scale)));
     }
+    if all || what == "scaling" {
+        println!("{}", render_scaling_points(&scaling::run(scale)));
+    }
     if all || what == "shootdown" {
         shootdown_demo();
     }
     if !all
         && !matches!(
             what,
-            "table1" | "fig3" | "fig4" | "fig5a" | "fig5b" | "fig6" | "fig7" | "fig8" | "shootdown"
+            "table1"
+                | "fig3"
+                | "fig4"
+                | "fig5a"
+                | "fig5b"
+                | "fig6"
+                | "fig7"
+                | "fig8"
+                | "scaling"
+                | "shootdown"
         )
     {
         usage();

@@ -16,6 +16,7 @@
 
 use covirt::stats::overhead_pct;
 use workloads::figures::{Fig3Row, Fig4Row, Fig5aRow, Fig5bRow, Fig8Row, ScalingRow};
+use workloads::scaling::ScalingPoint;
 
 /// Render Figure 3 output: per-configuration noise summaries plus the
 /// first few detour samples (the scatter the paper plots).
@@ -132,6 +133,37 @@ pub fn render_scaling(title: &str, unit: &str, rows: &[ScalingRow]) -> String {
                 r.perf,
                 r.seconds,
                 overhead_pct(r.perf, native.perf)
+            ));
+        }
+    }
+    out
+}
+
+/// Render the data-plane scaling sweep (per-core STREAM + RandomAccess at
+/// 1/2/4/8 cores) with the resolve-path instrumentation behind it.
+pub fn render_scaling_points(rows: &[ScalingPoint]) -> String {
+    let mut out = String::from(
+        "Data-plane scaling — per-core throughput (weak scaling)\n\
+         cores config              triad-MB/s/core  ovh-%  GUPS/core  ovh-%  resolve-hit%  snap-swaps\n",
+    );
+    let mut core_counts: Vec<usize> = rows.iter().map(|r| r.cores).collect();
+    core_counts.dedup();
+    for &cores in &core_counts {
+        let native = rows
+            .iter()
+            .find(|r| r.cores == cores && r.mode == "native")
+            .expect("native row");
+        for r in rows.iter().filter(|r| r.cores == cores) {
+            out.push_str(&format!(
+                "{:<5} {:<18} {:>15.0} {:>6.2} {:>10.5} {:>6.2} {:>12.1} {:>11}\n",
+                r.cores,
+                r.mode,
+                r.stream_mbs_per_core,
+                overhead_pct(r.stream_mbs_per_core, native.stream_mbs_per_core),
+                r.gups_per_core,
+                overhead_pct(r.gups_per_core, native.gups_per_core),
+                r.resolve_hit_rate * 100.0,
+                r.snapshot_swaps,
             ));
         }
     }

@@ -27,9 +27,9 @@ use covirt_simhw::cpu::Cpu;
 use covirt_simhw::ept::{Ept, WalkCache};
 use covirt_simhw::error::HwError;
 use covirt_simhw::exit::ExitReason;
-use covirt_simhw::memory::PhysMemory;
+use covirt_simhw::memory::{PhysMemory, RegionCache};
 use covirt_simhw::node::SimNode;
-use covirt_simhw::paging::{Access, DirectLoad, TableLoad};
+use covirt_simhw::paging::{Access, CachedLoad, TableLoad};
 use covirt_simhw::tlb::{Tlb, TlbParams};
 use kitten::faults::InjectedFault;
 use kitten::KittenKernel;
@@ -66,6 +66,18 @@ pub struct CoreCounters {
     pub walk_cache_hits: u64,
     /// EPT walk-cache misses (PT-entry loads that paid the full EPT walk).
     pub walk_cache_misses: u64,
+    /// Region-cache hits: physical resolves answered core-locally, without
+    /// searching the populate snapshot.
+    pub resolve_hits: u64,
+    /// Region-cache misses: resolves that searched the populate snapshot.
+    pub resolve_misses: u64,
+}
+
+impl CoreCounters {
+    /// Region-cache hit rate over all resolves this core performed.
+    pub fn resolve_hit_rate(&self) -> f64 {
+        crate::stats::ratio(self.resolve_hits, self.resolve_hits + self.resolve_misses)
+    }
 }
 
 /// Outcome of executing an injected fault (see [`GuestCore::execute_fault`]).
@@ -109,6 +121,10 @@ struct NestedLoad<'a> {
     loads: Cell<u32>,
     cache: Option<&'a WalkCache>,
     generation: u64,
+    /// Core-local region cache shared with the owning [`GuestCore`], so
+    /// off-pool entry loads (both the EPT walk's and the guest walk's)
+    /// skip the populate-snapshot search.
+    region_cache: &'a RegionCache,
 }
 
 impl TableLoad for NestedLoad<'_> {
@@ -121,13 +137,22 @@ impl TableLoad for NestedLoad<'_> {
         let t = self.ept.translate(
             GuestPhysAddr::new(pa.raw()),
             Access::Read,
-            &DirectLoad(self.mem),
+            &CachedLoad {
+                mem: self.mem,
+                cache: self.region_cache,
+            },
         )?;
         self.loads.set(self.loads.get() + t.loads);
         if let Some(cache) = self.cache {
             cache.insert(pa.raw(), t.pa.raw(), self.generation);
         }
         Ok((t.pa, t.loads))
+    }
+
+    #[inline]
+    fn load_word(&self, mem: &PhysMemory, pa: HostPhysAddr) -> Result<u64, HwError> {
+        let (b, off) = self.region_cache.resolve(mem, pa, 8)?;
+        Ok(b.read_u64(off))
     }
 }
 
@@ -145,6 +170,9 @@ pub struct GuestCore {
     /// Paging-structure cache for nested walks (per-core, like the TLB).
     walk_cache: WalkCache,
     walk_cache_enabled: bool,
+    /// Last-resolved-region cache for TLB fills and off-pool walk loads
+    /// (per-core; invalidated by the populate generation).
+    region_cache: RegionCache,
     /// Instrumentation.
     pub counters: CoreCounters,
     terminated: Option<String>,
@@ -170,6 +198,7 @@ impl GuestCore {
             tlb: Tlb::new(tlb),
             walk_cache: WalkCache::new(WalkCache::DEFAULT_ENTRIES),
             walk_cache_enabled: true,
+            region_cache: RegionCache::new(),
             counters: CoreCounters::default(),
             terminated: None,
         };
@@ -201,6 +230,7 @@ impl GuestCore {
             tlb: Tlb::new(tlb),
             walk_cache: WalkCache::new(WalkCache::DEFAULT_ENTRIES),
             walk_cache_enabled: true,
+            region_cache: RegionCache::new(),
             counters: CoreCounters::default(),
             terminated: None,
         };
@@ -238,14 +268,39 @@ impl GuestCore {
         &self.node.clock
     }
 
-    /// TLB statistics snapshot.
-    pub fn tlb_stats(&self) -> covirt_simhw::tlb::TlbStats {
+    /// TLB statistics snapshot. Also folds the walk-cache and region-cache
+    /// counters into [`GuestCore::counters`] — the caches keep their own
+    /// core-local tallies so the miss path never copies stats per walk.
+    pub fn tlb_stats(&mut self) -> covirt_simhw::tlb::TlbStats {
+        self.sync_cache_counters();
         self.tlb.stats()
+    }
+
+    /// Synced snapshot of the per-core counters (see
+    /// [`GuestCore::tlb_stats`] for why a sync is needed).
+    pub fn counters(&mut self) -> CoreCounters {
+        self.sync_cache_counters();
+        self.counters
+    }
+
+    /// Copy the cache-private hit/miss tallies into the public counters.
+    fn sync_cache_counters(&mut self) {
+        let (h, m) = self.walk_cache.stats();
+        self.counters.walk_cache_hits = h;
+        self.counters.walk_cache_misses = m;
+        let (h, m) = self.region_cache.stats();
+        self.counters.resolve_hits = h;
+        self.counters.resolve_misses = m;
     }
 
     /// Enable or disable the EPT walk cache (ablation knob; on by default).
     pub fn set_walk_cache_enabled(&mut self, enabled: bool) {
         self.walk_cache_enabled = enabled;
+    }
+
+    /// Enable or disable the region cache (ablation knob; on by default).
+    pub fn set_region_cache_enabled(&mut self, enabled: bool) {
+        self.region_cache.set_enabled(enabled);
     }
 
     /// If the enclave was terminated on this core, why.
@@ -301,14 +356,12 @@ impl GuestCore {
                 loads: Cell::new(0),
                 cache: self.walk_cache_enabled.then_some(&self.walk_cache),
                 generation: ept.generation(),
+                region_cache: &self.region_cache,
             };
             let gt = match self.kernel.page_tables.walk(gva, &loader) {
                 Ok(t) => t,
                 Err(HwError::EptViolation { gpa, .. }) => {
                     self.counters.walk_loads += loader.loads.get() as u64;
-                    let (h, m) = self.walk_cache.stats();
-                    self.counters.walk_cache_hits = h;
-                    self.counters.walk_cache_misses = m;
                     return self.ept_violation(gpa, Access::Read);
                 }
                 Err(HwError::PageNotPresent { .. }) => {
@@ -317,11 +370,14 @@ impl GuestCore {
                 Err(e) => return Err(e.into()),
             };
             self.counters.walk_loads += loader.loads.get() as u64;
-            let (h, m) = self.walk_cache.stats();
-            self.counters.walk_cache_hits = h;
-            self.counters.walk_cache_misses = m;
-            let et = match ept.translate(GuestPhysAddr::new(gt.pa.raw()), access, &DirectLoad(mem))
-            {
+            let et = match ept.translate(
+                GuestPhysAddr::new(gt.pa.raw()),
+                access,
+                &CachedLoad {
+                    mem,
+                    cache: &self.region_cache,
+                },
+            ) {
                 Ok(t) => t,
                 Err(HwError::EptViolation { gpa, .. }) => {
                     return self.ept_violation(gpa, access);
@@ -333,7 +389,10 @@ impl GuestCore {
             // intersection of guest and EPT rights.
             (gt, gt.perms.w && et.perms.w)
         } else {
-            let loader = DirectLoad(mem);
+            let loader = CachedLoad {
+                mem,
+                cache: &self.region_cache,
+            };
             let t = match self.kernel.page_tables.walk(gva, &loader) {
                 Ok(t) => t,
                 Err(HwError::PageNotPresent { .. }) => {
@@ -348,9 +407,11 @@ impl GuestCore {
             (t, t.perms.w)
         };
 
-        // Resolve host backing for the whole page and fill the TLB.
+        // Resolve host backing for the whole page and fill the TLB. The
+        // region cache pins the last grant region, so consecutive fills in
+        // the same region skip the snapshot search entirely.
         let page_gva = gva - gva % t.page_size;
-        let (backing, off) = mem.resolve(t.page_base, t.page_size)?;
+        let (backing, off) = self.region_cache.resolve(mem, t.page_base, t.page_size)?;
         let base_ptr = backing.ptr_at(off);
         self.tlb
             .insert(page_gva, t.page_size, base_ptr, backing, writable);
@@ -797,10 +858,14 @@ mod tests {
             "walk cache must shed PT-entry EPT walks ({on_loads} vs {off_loads} loads)"
         );
         assert!(
-            on.counters.walk_cache_hits > 0,
+            on.counters().walk_cache_hits > 0,
             "warm walks must hit the cache"
         );
-        assert_eq!(off.counters.walk_cache_hits, 0, "disabled cache never hits");
+        assert_eq!(
+            off.counters().walk_cache_hits,
+            0,
+            "disabled cache never hits"
+        );
     }
 
     #[test]
@@ -811,7 +876,7 @@ mod tests {
         let a = data_gva(&w);
         gc.read_u64(a).unwrap();
         gc.read_u64(a + 2 * 1024 * 1024).unwrap(); // same PT pages → cache hit
-        let hits_before = gc.counters.walk_cache_hits;
+        let hits_before = gc.counters().walk_cache_hits;
         assert!(hits_before > 0);
 
         // Unmapping an unrelated grant bumps the EPT generation, which
@@ -829,12 +894,43 @@ mod tests {
         ept.unmap(range).unwrap();
         assert!(ept.generation() > gen_before);
 
-        let misses_before = gc.counters.walk_cache_misses;
+        let misses_before = gc.counters().walk_cache_misses;
         gc.read_u64(a + 4 * 1024 * 1024).unwrap(); // fresh page, same PT path
         assert!(
-            gc.counters.walk_cache_misses > misses_before,
+            gc.counters().walk_cache_misses > misses_before,
             "generation bump must force a cold re-walk"
         );
+    }
+
+    #[test]
+    fn region_cache_accelerates_tlb_fills() {
+        let w = world(ExecMode::Covirt(CovirtConfig::MEM));
+        let mut gc = core(&w, 1);
+        let a = data_gva(&w);
+        // Stride 2 MiB: every access is a fresh TLB miss → fresh resolve.
+        for i in 0..2 {
+            gc.read_u64(a + i * 2 * 1024 * 1024).unwrap();
+        }
+        let c = gc.counters();
+        assert!(
+            c.resolve_hits > 0,
+            "second fill in the same grant region must hit the region cache"
+        );
+        assert!(c.resolve_misses > 0, "cold fills must miss");
+    }
+
+    #[test]
+    fn region_cache_disabled_never_hits() {
+        let w = world(ExecMode::Native);
+        let mut gc = core(&w, 1);
+        gc.set_region_cache_enabled(false);
+        let a = data_gva(&w);
+        for i in 0..2 {
+            gc.read_u64(a + i * 2 * 1024 * 1024).unwrap();
+        }
+        let c = gc.counters();
+        assert_eq!(c.resolve_hits, 0);
+        assert!(c.resolve_misses > 0);
     }
 
     #[test]

@@ -7,13 +7,29 @@
 //! tracks which ranges are *populated* — i.e. have real host memory behind
 //! them (see [`crate::backing::Backing`]). Page walks, boot structures and
 //! workload data all resolve through [`PhysMemory::resolve`].
+//!
+//! # Lock-free resolution
+//!
+//! Resolution is the guest data plane's only shared lookup: every TLB fill
+//! and every table-entry load that misses the frame pool lands here, from
+//! every core at once. The populated map is therefore published RCU-style:
+//! writers (grant/reclaim/XEMEM — all control-plane, all rare) build a new
+//! sorted snapshot under a small writer mutex and swap one pointer; readers
+//! take no lock at all — one atomic pointer load plus a binary search.
+//! Retired snapshots are freed once no reader section is in flight.
+//!
+//! Every publish bumps [`PhysMemory::populate_generation`], which lets a
+//! per-core [`RegionCache`] pin the last-resolved region and skip even the
+//! snapshot search, with reclaim safety by generation mismatch.
 
 use crate::addr::{HostPhysAddr, PhysRange, PAGE_SIZE_4K};
 use crate::backing::Backing;
 use crate::error::{HwError, HwResult};
 use crate::topology::ZoneId;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Host-physical span reserved for each NUMA zone (1 TiB), far larger than
@@ -104,12 +120,62 @@ struct Populated {
     backing: Arc<Backing>,
 }
 
+/// An immutable view of every populated region, sorted by start address.
+/// Writers publish a fresh snapshot with a single pointer swap; readers
+/// binary-search whichever snapshot they loaded. `generation` identifies
+/// the snapshot uniquely (it increments on every publish), so a cached
+/// `(generation, region)` pair is current iff the generation still equals
+/// [`PhysMemory::populate_generation`].
+struct RegionSnapshot {
+    generation: u64,
+    regions: Vec<Populated>,
+}
+
+impl RegionSnapshot {
+    /// The region with the greatest start `<= addr`, if any. The caller
+    /// still has to bounds-check `addr` against the region's end.
+    #[inline]
+    fn find(&self, addr: u64) -> Option<&Populated> {
+        let idx = self
+            .regions
+            .partition_point(|p| p.range.start.raw() <= addr);
+        self.regions[..idx].last()
+    }
+}
+
+/// A resolved populated region: its full geometry, backing, and the
+/// generation of the snapshot it came from. The generation is the
+/// snapshot's own — never re-sampled — so a [`RegionCache`] can never pair
+/// a stale region with a fresh generation.
+#[derive(Clone)]
+pub struct ResolvedRegion {
+    /// The populated region containing the requested address.
+    pub range: PhysRange,
+    /// Host memory behind the region.
+    pub backing: Arc<Backing>,
+    /// Populate generation the region was resolved under.
+    pub generation: u64,
+}
+
 /// The node's physical memory: allocation bookkeeping plus the populated
 /// region map used to resolve physical accesses.
 pub struct PhysMemory {
     zones: Vec<Mutex<ZoneAllocator>>,
-    /// Populated regions keyed by start address (non-overlapping).
-    populated: RwLock<BTreeMap<u64, Populated>>,
+    /// Current populated-region snapshot (see module docs); never null.
+    current: AtomicPtr<RegionSnapshot>,
+    /// In-flight snapshot readers. Writers free retired snapshots only
+    /// after observing zero here (SeqCst on both sides, Dekker-style).
+    readers: AtomicU64,
+    /// Mirror of the current snapshot's generation, so the region-cache
+    /// validity check is one atomic load with no pointer chase.
+    generation: AtomicU64,
+    /// Writer side: serializes publishes and parks retired snapshots until
+    /// a publish observes reader quiescence. The boxes are the exact
+    /// allocations readers' raw snapshot pointers refer to — moving the
+    /// snapshots out of them (clippy's suggestion) would free those
+    /// allocations while readers may still hold the pointers.
+    #[allow(clippy::vec_box)]
+    retired: Mutex<Vec<Box<RegionSnapshot>>>,
 }
 
 impl PhysMemory {
@@ -121,9 +187,16 @@ impl PhysMemory {
             .enumerate()
             .map(|(i, &b)| Mutex::new(ZoneAllocator::new(i, b)))
             .collect();
+        let first = Box::new(RegionSnapshot {
+            generation: 1,
+            regions: Vec::new(),
+        });
         PhysMemory {
             zones,
-            populated: RwLock::new(BTreeMap::new()),
+            current: AtomicPtr::new(Box::into_raw(first)),
+            readers: AtomicU64::new(0),
+            generation: AtomicU64::new(1),
+            retired: Mutex::new(Vec::new()),
         }
     }
 
@@ -173,43 +246,94 @@ impl PhysMemory {
         Ok(range)
     }
 
+    /// Run `f` against the current snapshot inside a reader section.
+    #[inline]
+    fn with_snapshot<R>(&self, f: impl FnOnce(&RegionSnapshot) -> R) -> R {
+        // Announce the read *before* loading the pointer. SeqCst here pairs
+        // with the writer's swap-then-check: a writer that observes
+        // `readers == 0` after its swap knows every later reader section
+        // loads the new pointer, so whatever it retired is unreachable.
+        self.readers.fetch_add(1, Ordering::SeqCst);
+        // SAFETY: `current` always points at a live snapshot — writers only
+        // free retired snapshots after observing reader quiescence, which
+        // our increment above forbids while this reference is alive.
+        let r = f(unsafe { &*self.current.load(Ordering::SeqCst) });
+        self.readers.fetch_sub(1, Ordering::Release);
+        r
+    }
+
+    /// Clone-edit-publish the region list under the writer mutex. The edit
+    /// closure may fail, in which case nothing is published and the
+    /// generation does not move.
+    fn mutate<R>(&self, f: impl FnOnce(&mut Vec<Populated>) -> HwResult<R>) -> HwResult<R> {
+        let mut retired = self.retired.lock();
+        // SAFETY: publishes are serialized by the mutex we hold, and the
+        // *current* snapshot is never retired, so it stays live here.
+        let cur = unsafe { &*self.current.load(Ordering::SeqCst) };
+        let mut regions = cur.regions.clone();
+        let out = f(&mut regions)?;
+        let next = Box::new(RegionSnapshot {
+            generation: cur.generation + 1,
+            regions,
+        });
+        // Publish the generation before the snapshot: a region cache racing
+        // with this publish can only *miss* (generation mismatch while the
+        // old snapshot is still current), never hit on just-reclaimed data.
+        self.generation.store(next.generation, Ordering::SeqCst);
+        let old = self.current.swap(Box::into_raw(next), Ordering::SeqCst);
+        // SAFETY: `old` came out of Box::into_raw at the previous publish
+        // (or construction) and is retired exactly once — here.
+        retired.push(unsafe { Box::from_raw(old) });
+        // Grace period: with no reader in flight *now*, every retired
+        // snapshot was loaded (if at all) before this swap and dropped
+        // again — free the lot. Otherwise the list waits for a later
+        // publish; growth is bounded by the publish count, and publishes
+        // are rare control-plane events by design.
+        if self.readers.load(Ordering::SeqCst) == 0 {
+            retired.clear();
+        }
+        Ok(out)
+    }
+
     /// Attach real host memory to an allocated range so it can be accessed.
     pub fn populate(&self, range: PhysRange) -> HwResult<()> {
-        let mut pop = self.populated.write();
-        // Reject overlap with an existing populated region.
-        if let Some((_, p)) = pop.range(..range.end().raw()).next_back() {
-            if p.range.overlaps(&range) {
+        self.mutate(|regions| {
+            let idx = regions.partition_point(|p| p.range.start.raw() < range.start.raw());
+            // Regions are sorted and disjoint, so only the immediate
+            // neighbours can overlap the newcomer.
+            let clash = (idx > 0 && regions[idx - 1].range.overlaps(&range))
+                || (idx < regions.len() && regions[idx].range.overlaps(&range));
+            if clash {
                 return Err(HwError::Invalid(
                     "populate overlaps an existing populated region",
                 ));
             }
-        }
-        let backing = Arc::new(Backing::new(range.len as usize));
-        pop.insert(range.start.raw(), Populated { range, backing });
-        Ok(())
+            let backing = Arc::new(Backing::new(range.len as usize));
+            regions.insert(idx, Populated { range, backing });
+            Ok(())
+        })
     }
 
     /// Drop the backing of a populated range (exact match required).
     pub fn depopulate(&self, range: PhysRange) -> HwResult<()> {
-        let mut pop = self.populated.write();
-        match pop.get(&range.start.raw()) {
-            Some(p) if p.range == range => {
-                pop.remove(&range.start.raw());
-                Ok(())
+        self.mutate(|regions| {
+            match regions.binary_search_by_key(&range.start.raw(), |p| p.range.start.raw()) {
+                Ok(i) if regions[i].range == range => {
+                    regions.remove(i);
+                    Ok(())
+                }
+                _ => Err(HwError::NotAllocated(range.start)),
             }
-            _ => Err(HwError::NotAllocated(range.start)),
-        }
+        })
     }
 
     /// Return the range to its zone's free list (and drop backing if any).
     pub fn free(&self, range: PhysRange) -> HwResult<()> {
-        {
-            let mut pop = self.populated.write();
-            if let Some(p) = pop.get(&range.start.raw()) {
-                if p.range == range {
-                    pop.remove(&range.start.raw());
-                }
-            }
+        // Bookkeeping-only ranges fail the exact-match depopulate, which
+        // then publishes nothing — no spurious generation bump.
+        match self.depopulate(range) {
+            Ok(()) | Err(HwError::NotAllocated(_)) => {}
+            Err(e) => return Err(e),
         }
         let zone = self.zone_of(range.start);
         let mut z = self
@@ -221,15 +345,32 @@ impl PhysMemory {
         Ok(())
     }
 
-    /// Resolve a physical address to a host pointer valid for `len` bytes,
-    /// plus the backing keep-alive. Fails if the range is not fully inside
-    /// one populated region.
-    pub fn resolve(&self, addr: HostPhysAddr, len: u64) -> HwResult<(Arc<Backing>, usize)> {
-        let pop = self.populated.read();
-        let (_, p) = pop
-            .range(..=addr.raw())
-            .next_back()
-            .ok_or(HwError::UnbackedPhys(addr))?;
+    /// The current populate generation. Bumped by every successful
+    /// populate/depopulate/free-of-populated publish; region caches compare
+    /// against it to validate pinned regions.
+    #[inline]
+    pub fn populate_generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot swaps published so far (the writer-side cost counter the
+    /// scaling harness reports).
+    pub fn snapshot_swaps(&self) -> u64 {
+        self.populate_generation() - 1
+    }
+
+    /// Number of populated regions right now.
+    pub fn populated_regions(&self) -> usize {
+        self.with_snapshot(|s| s.regions.len())
+    }
+
+    #[inline]
+    fn resolve_in(
+        s: &RegionSnapshot,
+        addr: HostPhysAddr,
+        len: u64,
+    ) -> HwResult<(Arc<Backing>, usize)> {
+        let p = s.find(addr.raw()).ok_or(HwError::UnbackedPhys(addr))?;
         if !p.range.contains(addr) || addr.raw() + len > p.range.end().raw() {
             return Err(HwError::UnbackedPhys(addr));
         }
@@ -237,6 +378,41 @@ impl PhysMemory {
             Arc::clone(&p.backing),
             (addr.raw() - p.range.start.raw()) as usize,
         ))
+    }
+
+    /// Resolve a physical address to a host pointer valid for `len` bytes,
+    /// plus the backing keep-alive. Fails if the range is not fully inside
+    /// one populated region. Lock-free: one atomic load + binary search.
+    pub fn resolve(&self, addr: HostPhysAddr, len: u64) -> HwResult<(Arc<Backing>, usize)> {
+        self.with_snapshot(|s| Self::resolve_in(s, addr, len))
+    }
+
+    /// Resolve to the *whole* containing region (for [`RegionCache`]):
+    /// geometry, backing, and the snapshot's generation.
+    pub fn resolve_region(&self, addr: HostPhysAddr, len: u64) -> HwResult<ResolvedRegion> {
+        self.with_snapshot(|s| {
+            let p = s.find(addr.raw()).ok_or(HwError::UnbackedPhys(addr))?;
+            if !p.range.contains(addr) || addr.raw() + len > p.range.end().raw() {
+                return Err(HwError::UnbackedPhys(addr));
+            }
+            Ok(ResolvedRegion {
+                range: p.range,
+                backing: Arc::clone(&p.backing),
+                generation: s.generation,
+            })
+        })
+    }
+
+    /// Resolve several ranges against one consistent snapshot (a single
+    /// reader section — no torn view across the batch). Fails on the first
+    /// range that does not resolve.
+    pub fn resolve_many(&self, ranges: &[PhysRange]) -> HwResult<Vec<(Arc<Backing>, usize)>> {
+        self.with_snapshot(|s| {
+            ranges
+                .iter()
+                .map(|r| Self::resolve_in(s, r.start, r.len))
+                .collect()
+        })
     }
 
     /// Aligned 64-bit physical load.
@@ -274,17 +450,135 @@ impl PhysMemory {
         b.zero(off, range.len as usize);
         Ok(())
     }
+
+    /// Zero several ranges in one reader section (grant/boot zeroing).
+    pub fn zero_ranges(&self, ranges: &[PhysRange]) -> HwResult<()> {
+        let resolved = self.resolve_many(ranges)?;
+        for ((b, off), r) in resolved.iter().zip(ranges) {
+            b.zero(*off, r.len as usize);
+        }
+        Ok(())
+    }
+}
+
+impl Drop for PhysMemory {
+    fn drop(&mut self) {
+        // No readers can exist with &mut self; free the current snapshot
+        // (retired ones drop with the mutex-held Vec).
+        let ptr = *self.current.get_mut();
+        if !ptr.is_null() {
+            // SAFETY: `current` is only ever set from Box::into_raw and is
+            // freed exactly once, here.
+            drop(unsafe { Box::from_raw(ptr) });
+        }
+    }
 }
 
 impl std::fmt::Debug for PhysMemory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let pop = self.populated.read();
         write!(
             f,
             "PhysMemory({} zones, {} populated regions)",
             self.zones.len(),
-            pop.len()
+            self.populated_regions()
         )
+    }
+}
+
+/// Core-local cache of the last-resolved populated region. Like the TLB
+/// and the EPT walk cache it is core-private (interior mutability, one
+/// thread per core), so a hit costs one atomic generation load and zero
+/// shared-state traffic — the common case for streaming TLB fills and
+/// consecutive walk loads landing in the same grant region.
+///
+/// Reclaim safety: a hit requires the pinned region's generation to equal
+/// the *current* [`PhysMemory::populate_generation`]. Any publish —
+/// including the reclaim of an unrelated region — bumps the generation and
+/// demotes the next lookup to a snapshot search, so a reclaimed region can
+/// never resolve through the cache after its reclaim has been published.
+pub struct RegionCache {
+    slot: RefCell<Option<ResolvedRegion>>,
+    enabled: Cell<bool>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl RegionCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        RegionCache {
+            slot: RefCell::new(None),
+            enabled: Cell::new(true),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+
+    /// Ablation knob: a disabled cache never hits and never pins, so every
+    /// resolve pays the snapshot search (on by default).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.set(enabled);
+        if !enabled {
+            self.invalidate();
+        }
+    }
+
+    /// Resolve `addr` for `len` bytes through the cache, falling back to
+    /// (and re-pinning from) the snapshot on miss.
+    #[inline]
+    pub fn resolve(
+        &self,
+        mem: &PhysMemory,
+        addr: HostPhysAddr,
+        len: u64,
+    ) -> HwResult<(Arc<Backing>, usize)> {
+        if self.enabled.get() {
+            let generation = mem.populate_generation();
+            if let Some(r) = self.slot.borrow().as_ref() {
+                if r.generation == generation
+                    && r.range.contains(addr)
+                    && addr.raw() + len <= r.range.end().raw()
+                {
+                    self.hits.set(self.hits.get() + 1);
+                    return Ok((
+                        Arc::clone(&r.backing),
+                        (addr.raw() - r.range.start.raw()) as usize,
+                    ));
+                }
+            }
+        }
+        self.misses.set(self.misses.get() + 1);
+        let r = mem.resolve_region(addr, len)?;
+        let off = (addr.raw() - r.range.start.raw()) as usize;
+        if self.enabled.get() {
+            let backing = Arc::clone(&r.backing);
+            *self.slot.borrow_mut() = Some(r);
+            return Ok((backing, off));
+        }
+        Ok((r.backing, off))
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.get(), self.misses.get())
+    }
+
+    /// Zero the hit/miss counters.
+    pub fn reset_stats(&self) {
+        self.hits.set(0);
+        self.misses.set(0);
+    }
+
+    /// Drop the pinned region (the generation check makes this unnecessary
+    /// for correctness; useful for ablations).
+    pub fn invalidate(&self) {
+        *self.slot.borrow_mut() = None;
+    }
+}
+
+impl Default for RegionCache {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -398,5 +692,120 @@ mod tests {
         assert_eq!(m.zone_usage(ZoneId(0)).unwrap().1, 4096);
         m.free(r).unwrap();
         assert_eq!(m.zone_usage(ZoneId(0)).unwrap().1, 0);
+    }
+
+    #[test]
+    fn generation_bumps_on_publish_only() {
+        let m = mem();
+        let g0 = m.populate_generation();
+        let r = m.alloc(ZoneId(0), 4096, PAGE_SIZE_4K).unwrap();
+        // Bookkeeping-only alloc does not publish.
+        assert_eq!(m.populate_generation(), g0);
+        m.populate(r).unwrap();
+        assert_eq!(m.populate_generation(), g0 + 1);
+        // Failed publishes do not move the generation.
+        assert!(m.populate(r).is_err());
+        assert_eq!(m.populate_generation(), g0 + 1);
+        m.free(r).unwrap();
+        assert_eq!(m.populate_generation(), g0 + 2);
+        // Freeing a bookkeeping-only range does not publish.
+        let r2 = m.alloc(ZoneId(0), 4096, PAGE_SIZE_4K).unwrap();
+        m.free(r2).unwrap();
+        assert_eq!(m.populate_generation(), g0 + 2);
+        assert_eq!(m.snapshot_swaps(), g0 + 1);
+    }
+
+    #[test]
+    fn resolve_many_single_snapshot() {
+        let m = mem();
+        let a = m.alloc_backed(ZoneId(0), 8192, PAGE_SIZE_4K).unwrap();
+        let b = m.alloc_backed(ZoneId(1), 4096, PAGE_SIZE_4K).unwrap();
+        let got = m
+            .resolve_many(&[PhysRange::new(a.start.add(4096), 4096), b])
+            .unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].1, 4096);
+        assert_eq!(got[1].1, 0);
+        // One unbacked range fails the whole batch.
+        let hole = m.alloc(ZoneId(0), 4096, PAGE_SIZE_4K).unwrap();
+        assert!(m.resolve_many(&[a, hole]).is_err());
+    }
+
+    #[test]
+    fn zero_ranges_batch() {
+        let m = mem();
+        let a = m.alloc_backed(ZoneId(0), 4096, PAGE_SIZE_4K).unwrap();
+        let b = m.alloc_backed(ZoneId(0), 4096, PAGE_SIZE_4K).unwrap();
+        m.write_u64(a.start, 7).unwrap();
+        m.write_u64(b.start, 8).unwrap();
+        m.zero_ranges(&[a, b]).unwrap();
+        assert_eq!(m.read_u64(a.start).unwrap(), 0);
+        assert_eq!(m.read_u64(b.start).unwrap(), 0);
+    }
+
+    #[test]
+    fn region_cache_hits_and_generation_invalidation() {
+        let m = mem();
+        let cache = RegionCache::new();
+        let r = m.alloc_backed(ZoneId(0), 8192, PAGE_SIZE_4K).unwrap();
+        // First lookup misses, the rest of the region hits.
+        cache.resolve(&m, r.start, 8).unwrap();
+        cache.resolve(&m, r.start.add(4096), 8).unwrap();
+        assert_eq!(cache.stats(), (1, 1));
+        // An unrelated publish bumps the generation: next lookup misses,
+        // then re-pins.
+        let other = m.alloc_backed(ZoneId(1), 4096, PAGE_SIZE_4K).unwrap();
+        cache.resolve(&m, r.start, 8).unwrap();
+        assert_eq!(cache.stats(), (1, 2));
+        cache.resolve(&m, r.start.add(8), 8).unwrap();
+        assert_eq!(cache.stats(), (2, 2));
+        let _ = other;
+    }
+
+    #[test]
+    fn region_cache_never_resolves_reclaimed_region() {
+        let m = mem();
+        let cache = RegionCache::new();
+        let r = m.alloc_backed(ZoneId(0), 4096, PAGE_SIZE_4K).unwrap();
+        cache.resolve(&m, r.start, 8).unwrap();
+        m.free(r).unwrap();
+        // The pinned region's generation is stale; resolution must fail,
+        // not serve the reclaimed backing.
+        assert!(matches!(
+            cache.resolve(&m, r.start, 8),
+            Err(HwError::UnbackedPhys(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_readers_quiesce() {
+        // Churn publishes while hammering resolves from other threads; the
+        // retired list must stay bounded and every resolve must see a
+        // coherent snapshot. (The deeper coherence assertions live in
+        // tests/resolve_coherence.rs.)
+        let m = Arc::new(mem());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let target = m.alloc_backed(ZoneId(1), 4096, PAGE_SIZE_4K).unwrap();
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let (b, off) = m.resolve(target.start, 8).unwrap();
+                        let _ = b.read_u64(off);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            let r = m.alloc_backed(ZoneId(0), 4096, PAGE_SIZE_4K).unwrap();
+            m.free(r).unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in readers {
+            h.join().unwrap();
+        }
+        assert!(m.snapshot_swaps() >= 400);
     }
 }

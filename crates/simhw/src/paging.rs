@@ -167,6 +167,14 @@ pub trait TableLoad {
     /// address to read and the number of additional table loads the
     /// translation itself performed.
     fn translate_entry_addr(&self, pa: HostPhysAddr) -> HwResult<(HostPhysAddr, u32)>;
+
+    /// Load a table-entry word that missed the frame-pool fast path. The
+    /// default goes straight to physical memory; core-local loaders route
+    /// it through a [`crate::memory::RegionCache`] instead.
+    #[inline]
+    fn load_word(&self, mem: &PhysMemory, pa: HostPhysAddr) -> HwResult<u64> {
+        mem.read_u64(pa)
+    }
 }
 
 /// Plain physical loads (no nested translation).
@@ -176,6 +184,29 @@ impl TableLoad for DirectLoad<'_> {
     #[inline]
     fn translate_entry_addr(&self, pa: HostPhysAddr) -> HwResult<(HostPhysAddr, u32)> {
         Ok((pa, 0))
+    }
+}
+
+/// [`DirectLoad`] with a per-core region cache: identity nested
+/// translation, but entry loads that fall outside the table pool resolve
+/// through the cache instead of searching the populate snapshot.
+pub struct CachedLoad<'a> {
+    /// The physical memory to resolve against.
+    pub mem: &'a PhysMemory,
+    /// The core-local region cache.
+    pub cache: &'a crate::memory::RegionCache,
+}
+
+impl TableLoad for CachedLoad<'_> {
+    #[inline]
+    fn translate_entry_addr(&self, pa: HostPhysAddr) -> HwResult<(HostPhysAddr, u32)> {
+        Ok((pa, 0))
+    }
+
+    #[inline]
+    fn load_word(&self, mem: &PhysMemory, pa: HostPhysAddr) -> HwResult<u64> {
+        let (b, off) = self.cache.resolve(mem, pa, 8)?;
+        Ok(b.read_u64(off))
     }
 }
 
@@ -273,9 +304,14 @@ impl FramePool {
                 requested: PAGE_SIZE_4K,
             });
         }
-        let pa = self.region.start.add(*next);
+        let frame_off = *next;
+        let pa = self.region.start.add(frame_off);
         *next += PAGE_SIZE_4K;
-        self.mem.zero_range(PhysRange::new(pa, PAGE_SIZE_4K))?;
+        // Zero through the pool's own pinned backing: frame allocation is a
+        // tight loop at boot, and the region was resolved once at
+        // construction.
+        self.backing
+            .zero(self.backing_off + frame_off as usize, PAGE_SIZE_4K as usize);
         Ok(pa)
     }
 
@@ -481,7 +517,12 @@ impl<F: EntryFormat> RadixTable<F> {
         loop {
             let eaddr = Self::entry_addr(table, level_index(va, level));
             let (taddr, extra) = loader.translate_entry_addr(eaddr)?;
-            let e = self.read_entry(taddr)?;
+            // Pool fast path first; off-pool entries go through the loader,
+            // which may hold a core-local region cache.
+            let e = match self.pool.load(taddr) {
+                Some(v) => v,
+                None => loader.load_word(&self.mem, taddr)?,
+            };
             loads += extra + 1;
             if !F::present(e) {
                 return Err(HwError::PageNotPresent {

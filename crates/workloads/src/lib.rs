@@ -27,6 +27,7 @@ pub mod hpcg;
 pub mod md;
 pub mod minife;
 pub mod randomaccess;
+pub mod scaling;
 pub mod selfish;
 pub mod sparse;
 pub mod stream;
