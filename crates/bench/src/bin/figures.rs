@@ -10,15 +10,17 @@
 //! paper-scale parameters from Table I instead of the scaled defaults.
 
 use covirt_bench::{
-    render_fig3, render_fig4, render_fig5a, render_fig5b, render_fig8, render_scaling,
+    fmt_pct, render_fig3, render_fig4, render_fig5a, render_fig5b, render_fig8, render_scaling,
     render_scaling_points,
 };
+use covirt_simhw::node::SimNode;
+use std::sync::Arc;
 use workloads::figures::{self, Scale};
 use workloads::{scaling, table1};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8|scaling|shootdown|all> [--full]\n\
+        "usage: figures <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8|scaling|shootdown|trace|report|traceovh|all> [--full]\n\
          \n  table1  benchmark versions/parameters (Table I)\
          \n  fig3    Selfish-Detour noise profile\
          \n  fig4    XEMEM attach delay vs region size\
@@ -29,7 +31,13 @@ fn usage() -> ! {
          \n  fig8    LAMMPS loop times (lj/chain/eam/chute)\
          \n  scaling data-plane per-core scaling (STREAM+GUPS, 1..8 cores) with resolve stats\
          \n  shootdown  coalesced reclaim-epoch demo with TLB flush stats\
-         \n  all     everything above\
+         \n  trace   shootdown demo with the flight recorder on; writes covirt-trace.json\
+         \n          (chrome://tracing / ui.perfetto.dev) and covirt-trace.jsonl\
+         \n  report  shootdown demo with metrics on; prints the registry and the\
+         \n          slowest command completions\
+         \n  traceovh  STREAM with the recorder disabled vs enabled; exits 1 if the\
+         \n          disabled path regresses >2%\
+         \n  all     everything above (trace/report/traceovh run separately)\
          \n  --full  paper-scale parameters (slow; needs several GiB)"
     );
     std::process::exit(2)
@@ -38,12 +46,13 @@ fn usage() -> ! {
 /// Demonstrate the coalesced two-phase shootdown: grant two ranges, touch
 /// them on every live core, reclaim both inside one epoch, and print the
 /// per-core TLB flush statistics (range vs full) plus walk-cache counters.
-fn shootdown_demo() {
+/// With `trace` the node's flight recorder runs for the whole demo; the
+/// node is returned so callers can export the trace and metrics.
+fn shootdown_demo(trace: bool) -> Arc<SimNode> {
     use covirt::config::CovirtConfig;
     use covirt::ExecMode;
     use covirt_simhw::topology::{HwLayout, ZoneId};
     use std::sync::atomic::{AtomicBool, Ordering};
-    use std::sync::Arc;
     use workloads::World;
 
     let world = World::build(
@@ -51,6 +60,9 @@ fn shootdown_demo() {
         HwLayout { cores: 2, zones: 1 },
         96 * 1024 * 1024,
     );
+    if trace {
+        world.node.recorder().set_enabled(true);
+    }
     let ctl = Arc::clone(world.controller.as_ref().unwrap());
     ctl.set_flush_spins(50_000_000);
     let enclave = Arc::clone(&world.enclave);
@@ -113,8 +125,10 @@ fn shootdown_demo() {
     );
     println!("core   tlb-hits  tlb-misses  full-flush  page-flush  range-flush  wcache h/m");
     for h in handles {
-        let mut g = h.join().unwrap();
+        let g = h.join().unwrap();
+        g.publish_metrics();
         let s = g.tlb_stats();
+        let c = g.counters();
         println!(
             "cpu{:<4} {:>8} {:>11} {:>11} {:>11} {:>12} {:>6}/{}",
             g.core,
@@ -123,10 +137,120 @@ fn shootdown_demo() {
             s.full_flushes,
             s.page_flushes,
             s.range_flushes,
-            g.counters.walk_cache_hits,
-            g.counters.walk_cache_misses,
+            c.walk_cache_hits,
+            c.walk_cache_misses,
         );
     }
+    Arc::clone(&world.node)
+}
+
+/// `trace` subcommand: run the shootdown demo with the recorder on and
+/// export the merged timeline in both formats.
+fn trace_cmd() {
+    use covirt_trace::export;
+
+    let node = shootdown_demo(true);
+    let events = node.recorder().drain();
+    let hz = node.clock.hz();
+
+    let chrome = export::to_chrome_trace(&events, hz);
+    let jsonl = export::to_jsonl(&events, hz);
+    std::fs::write("covirt-trace.json", &chrome).expect("write covirt-trace.json");
+    std::fs::write("covirt-trace.jsonl", &jsonl).expect("write covirt-trace.jsonl");
+
+    let mut by_kind: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    for e in &events {
+        *by_kind.entry(e.kind.name()).or_insert(0) += 1;
+    }
+    println!(
+        "\n{} trace events across {} lanes:",
+        events.len(),
+        node.recorder().lane_count()
+    );
+    for (k, n) in &by_kind {
+        println!("  {k:<18} {n:>6}");
+    }
+    println!(
+        "\nwrote covirt-trace.json ({} bytes; load in chrome://tracing or ui.perfetto.dev)",
+        chrome.len()
+    );
+    println!("wrote covirt-trace.jsonl ({} bytes)", jsonl.len());
+}
+
+/// `report` subcommand: run the shootdown demo with the recorder on and
+/// print the unified metrics registry plus the slowest command completions.
+fn report_cmd() {
+    use covirt_trace::export;
+
+    let node = shootdown_demo(true);
+    let events = node.recorder().drain();
+    println!("\n{}", node.recorder().metrics().render());
+    let slow = export::slowest_commands(&events, 5);
+    if slow.is_empty() {
+        println!("no timed command completions recorded");
+    } else {
+        println!("slowest command completions (post -> complete):");
+        println!("  seq        core   latency-ns");
+        for c in slow {
+            println!("  {:<10} {:<6} {:>10}", c.seq, c.core, c.latency_ns);
+        }
+    }
+}
+
+/// One best-of STREAM triad measurement with the recorder off or on.
+fn stream_triad(trace: bool) -> f64 {
+    use covirt::config::CovirtConfig;
+    use covirt::ExecMode;
+    use covirt_simhw::topology::HwLayout;
+    use workloads::{stream, World};
+
+    let world = World::build(
+        ExecMode::Covirt(CovirtConfig::MEM),
+        HwLayout { cores: 1, zones: 1 },
+        96 * 1024 * 1024,
+    );
+    if trace {
+        world.node.recorder().set_enabled(true);
+    }
+    let s = stream::Stream::setup(&world, 200_000);
+    let mut g = world.guest_core(world.cores[0]).unwrap();
+    s.init(&mut g).expect("stream init");
+    let mut best: f64 = 0.0;
+    for _ in 0..5 {
+        best = best.max(s.run_once(&mut g).expect("stream kernel").triad_mbs);
+    }
+    best
+}
+
+/// `traceovh` subcommand: assert the disabled recorder costs nothing on
+/// the guest data plane. The off-path is one relaxed load + branch per
+/// emit point, so disabled throughput must track (and normally beat)
+/// enabled throughput; a >2% deficit means the off-path gate regressed.
+fn traceovh_cmd() {
+    use covirt::stats::overhead_pct;
+
+    // Warm once, then best-of-four per mode, interleaved so host
+    // scheduler noise lands on both modes alike.
+    let _ = stream_triad(false);
+    let mut off: f64 = 0.0;
+    let mut on: f64 = 0.0;
+    for _ in 0..4 {
+        off = off.max(stream_triad(false));
+        on = on.max(stream_triad(true));
+    }
+    let margin = overhead_pct(on, off); // off throughput relative to on
+    println!("STREAM triad, recorder off: {off:.0} MB/s");
+    println!("STREAM triad, recorder on:  {on:.0} MB/s");
+    println!(
+        "disabled-recorder margin: {}%  (positive = off faster, as expected)",
+        fmt_pct(margin)
+    );
+    if off < 0.98 * on {
+        eprintln!("FAIL: tracing-disabled data plane is >2% slower than the enabled one");
+        std::process::exit(1);
+    }
+    println!("OK: tracing-disabled overhead within 2%");
 }
 
 fn main() {
@@ -180,7 +304,16 @@ fn main() {
         println!("{}", render_scaling_points(&scaling::run(scale)));
     }
     if all || what == "shootdown" {
-        shootdown_demo();
+        shootdown_demo(false);
+    }
+    if what == "trace" {
+        trace_cmd();
+    }
+    if what == "report" {
+        report_cmd();
+    }
+    if what == "traceovh" {
+        traceovh_cmd();
     }
     if !all
         && !matches!(
@@ -195,6 +328,9 @@ fn main() {
                 | "fig8"
                 | "scaling"
                 | "shootdown"
+                | "trace"
+                | "report"
+                | "traceovh"
         )
     {
         usage();

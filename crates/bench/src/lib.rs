@@ -18,6 +18,16 @@ use covirt::stats::overhead_pct;
 use workloads::figures::{Fig3Row, Fig4Row, Fig5aRow, Fig5bRow, Fig8Row, ScalingRow};
 use workloads::scaling::ScalingPoint;
 
+/// Format an overhead percentage for a table cell: two decimals, or
+/// `"n/a"` when the baseline was zero (`overhead_pct` yields NaN then).
+pub fn fmt_pct(v: f64) -> String {
+    if v.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{v:.2}")
+    }
+}
+
 /// Render Figure 3 output: per-configuration noise summaries plus the
 /// first few detour samples (the scatter the paper plots).
 pub fn render_fig3(rows: &[Fig3Row]) -> String {
@@ -77,13 +87,13 @@ pub fn render_fig5a(rows: &[Fig5aRow]) -> String {
     );
     for r in rows {
         out.push_str(&format!(
-            "{:<18} {:>10.0} {:>11.0} {:>11.0} {:>11.0} {:>10.2}\n",
+            "{:<18} {:>10.0} {:>11.0} {:>11.0} {:>11.0} {:>10}\n",
             r.mode,
             r.copy,
             r.scale,
             r.add,
             r.triad,
-            overhead_pct(r.triad, native.triad) // slower ⇒ positive
+            fmt_pct(overhead_pct(r.triad, native.triad)) // slower ⇒ positive
         ));
     }
     out
@@ -102,11 +112,11 @@ pub fn render_fig5b(rows: &[Fig5bRow]) -> String {
     );
     for r in rows {
         out.push_str(&format!(
-            "{:<18} {:>10.5} {:>11.4} {:>11.2} {:>11.2} {:>12.1}\n",
+            "{:<18} {:>10.5} {:>11.4} {:>11} {:>11.2} {:>12.1}\n",
             r.mode,
             r.gups,
             r.tlb_miss_rate,
-            overhead_pct(r.gups, native.gups),
+            fmt_pct(overhead_pct(r.gups, native.gups)),
             r.walk_loads_per_miss,
             r.walk_cache_hit_rate * 100.0
         ));
@@ -127,12 +137,12 @@ pub fn render_scaling(title: &str, unit: &str, rows: &[ScalingRow]) -> String {
             .expect("native row");
         for r in rows.iter().filter(|r| &r.layout == layout) {
             out.push_str(&format!(
-                "{:<7} {:<18} {:>12.2} {:>9.3} {:>12.2}\n",
+                "{:<7} {:<18} {:>12.2} {:>9.3} {:>12}\n",
                 r.layout,
                 r.mode,
                 r.perf,
                 r.seconds,
-                overhead_pct(r.perf, native.perf)
+                fmt_pct(overhead_pct(r.perf, native.perf))
             ));
         }
     }
@@ -155,13 +165,16 @@ pub fn render_scaling_points(rows: &[ScalingPoint]) -> String {
             .expect("native row");
         for r in rows.iter().filter(|r| r.cores == cores) {
             out.push_str(&format!(
-                "{:<5} {:<18} {:>15.0} {:>6.2} {:>10.5} {:>6.2} {:>12.1} {:>11}\n",
+                "{:<5} {:<18} {:>15.0} {:>6} {:>10.5} {:>6} {:>12.1} {:>11}\n",
                 r.cores,
                 r.mode,
                 r.stream_mbs_per_core,
-                overhead_pct(r.stream_mbs_per_core, native.stream_mbs_per_core),
+                fmt_pct(overhead_pct(
+                    r.stream_mbs_per_core,
+                    native.stream_mbs_per_core
+                )),
                 r.gups_per_core,
-                overhead_pct(r.gups_per_core, native.gups_per_core),
+                fmt_pct(overhead_pct(r.gups_per_core, native.gups_per_core)),
                 r.resolve_hit_rate * 100.0,
                 r.snapshot_swaps,
             ));
@@ -185,11 +198,11 @@ pub fn render_fig8(rows: &[Fig8Row]) -> String {
             .expect("native row");
         for r in rows.iter().filter(|r| &r.workload == wl) {
             out.push_str(&format!(
-                "{:<9} {:<18} {:>8.3} {:>14.2}\n",
+                "{:<9} {:<18} {:>8.3} {:>14}\n",
                 r.workload,
                 r.mode,
                 r.loop_time_s,
-                overhead_pct(native.loop_time_s, r.loop_time_s)
+                fmt_pct(overhead_pct(native.loop_time_s, r.loop_time_s))
             ));
         }
     }
@@ -199,6 +212,13 @@ pub fn render_fig8(rows: &[Fig8Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fmt_pct_prints_na_for_nan() {
+        assert_eq!(fmt_pct(f64::NAN), "n/a");
+        assert_eq!(fmt_pct(3.14159), "3.14");
+        assert_eq!(fmt_pct(overhead_pct(0.0, 5.0)), "n/a");
+    }
 
     #[test]
     fn fig5b_render_includes_overheads() {

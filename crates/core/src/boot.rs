@@ -37,6 +37,7 @@ const CFG_VAPIC: u64 = 1 << 1;
 const CFG_PIV: u64 = 1 << 2;
 const CFG_MSR: u64 = 1 << 3;
 const CFG_IO: u64 = 1 << 4;
+const CFG_TRACE: u64 = 1 << 5;
 
 /// Encode a feature set into the boot-parameter word.
 pub fn encode_config(c: CovirtConfig) -> u64 {
@@ -55,6 +56,9 @@ pub fn encode_config(c: CovirtConfig) -> u64 {
     if c.io {
         bits |= CFG_IO;
     }
+    if c.trace {
+        bits |= CFG_TRACE;
+    }
     bits
 }
 
@@ -71,6 +75,7 @@ pub fn decode_config(bits: u64) -> CovirtConfig {
         },
         msr: bits & CFG_MSR != 0,
         io: bits & CFG_IO != 0,
+        trace: bits & CFG_TRACE != 0,
     }
 }
 
@@ -201,6 +206,7 @@ mod tests {
             CovirtConfig::MEM_IPI,
             CovirtConfig::MEM_IPI_PIV,
             CovirtConfig::FULL,
+            CovirtConfig::MEM.with_trace(),
         ] {
             assert_eq!(decode_config(encode_config(c)), c);
         }

@@ -16,12 +16,13 @@
 
 use covirt_simhw::addr::{HostPhysAddr, PhysRange};
 use covirt_simhw::memory::PhysMemory;
+use covirt_trace::{EventKind, Hist, Tracer};
 use pisces::ring::{RingError, SharedRing};
 use pisces::wire::{WireReader, WireWriter};
 use std::sync::Arc;
 
-/// Fixed command slot size.
-pub const CMD_SLOT: u64 = 32;
+/// Fixed command slot size (seq + post-TSC + op + up to two operands).
+pub const CMD_SLOT: u64 = 40;
 /// Commands per queue.
 pub const CMD_SLOTS: u64 = 32;
 /// Offset of the completion counter within the queue region.
@@ -84,6 +85,9 @@ impl Command {
 pub struct SeqCommand {
     /// Monotonic sequence number (used for completion tracking).
     pub seq: u64,
+    /// TSC at post time (0 when the poster's recorder was off); lets the
+    /// completing hypervisor report post→complete latency.
+    pub tsc: u64,
     /// The command.
     pub cmd: Command,
 }
@@ -91,7 +95,7 @@ pub struct SeqCommand {
 impl SeqCommand {
     fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
-        w.put_u64(self.seq);
+        w.put_u64(self.seq).put_u64(self.tsc);
         match self.cmd {
             Command::TlbFlushAll => {
                 w.put_u64(OP_FLUSH_ALL);
@@ -118,6 +122,7 @@ impl SeqCommand {
     fn decode(buf: &[u8]) -> Option<SeqCommand> {
         let mut r = WireReader::new(buf);
         let seq = r.get_u64().ok()?;
+        let tsc = r.get_u64().ok()?;
         let op = r.get_u64().ok()?;
         let cmd = match op {
             OP_FLUSH_ALL => Command::TlbFlushAll,
@@ -133,7 +138,7 @@ impl SeqCommand {
             OP_SYNC => Command::Sync,
             _ => return None,
         };
-        Some(SeqCommand { seq, cmd })
+        Some(SeqCommand { seq, tsc, cmd })
     }
 }
 
@@ -172,6 +177,8 @@ pub struct CmdQueue {
     /// The core this queue serves (diagnostic only; carried into
     /// [`FlushTimeout`] errors).
     core: u64,
+    /// Flight-recorder handle; posts and waits emit trace events when set.
+    tracer: Option<Tracer>,
 }
 
 impl CmdQueue {
@@ -200,6 +207,7 @@ impl CmdQueue {
             base: range.start,
             ring,
             core: 0,
+            tracer: None,
         })
     }
 
@@ -211,12 +219,19 @@ impl CmdQueue {
             base,
             ring,
             core: 0,
+            tracer: None,
         })
     }
 
     /// Tag the queue with the core it serves (for timeout diagnostics).
     pub fn with_core(mut self, core: u64) -> Self {
         self.core = core;
+        self
+    }
+
+    /// Attach a flight-recorder handle (controller side).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -253,12 +268,23 @@ impl CmdQueue {
     /// [`Command::is_flush`]), which both makes room and subsumes the
     /// drained work.
     pub fn post(&self, cmd: Command) -> Result<u64, RingError> {
+        self.post_at(cmd, 0)
+    }
+
+    /// [`CmdQueue::post`] with an explicit post-time TSC stamp, which the
+    /// completing hypervisor uses to report post→complete latency. A zero
+    /// stamp disables the measurement for that command.
+    pub fn post_at(&self, cmd: Command, tsc: u64) -> Result<u64, RingError> {
         let seq = self.alloc_seq()?;
-        match self.ring.push(&SeqCommand { seq, cmd }.encode()) {
+        let out = match self.ring.push(&SeqCommand { seq, tsc, cmd }.encode()) {
             Ok(()) => Ok(seq),
-            Err(RingError::Full) => self.post_coalescing(cmd),
+            Err(RingError::Full) => self.post_coalescing(cmd, tsc),
             Err(e) => Err(e),
+        };
+        if let (Ok(seq), Some(t)) = (&out, &self.tracer) {
+            t.emit(EventKind::CmdPost, *seq, self.core);
         }
+        out
     }
 
     /// Slow path when the ring is full: drain it, merge every flush-class
@@ -272,7 +298,7 @@ impl CmdQueue {
     /// Racing the hypervisor's own drain is harmless for the same reason:
     /// a command observed by both sides executes twice, and every command
     /// in the protocol is idempotent.
-    fn post_coalescing(&self, cmd: Command) -> Result<u64, RingError> {
+    fn post_coalescing(&self, cmd: Command, tsc: u64) -> Result<u64, RingError> {
         let mut kept = Vec::new();
         let mut flushes = 0u64;
         while let Ok(buf) = self.ring.pop() {
@@ -293,6 +319,7 @@ impl CmdQueue {
             self.ring.push(
                 &SeqCommand {
                     seq,
+                    tsc,
                     cmd: Command::TlbFlushAll,
                 }
                 .encode(),
@@ -304,13 +331,14 @@ impl CmdQueue {
                 self.ring.push(
                     &SeqCommand {
                         seq,
+                        tsc: 0,
                         cmd: Command::TlbFlushAll,
                     }
                     .encode(),
                 )?;
             }
             let seq = self.alloc_seq()?;
-            self.ring.push(&SeqCommand { seq, cmd }.encode())?;
+            self.ring.push(&SeqCommand { seq, tsc, cmd }.encode())?;
             Ok(seq)
         }
     }
@@ -357,8 +385,14 @@ impl CmdQueue {
     pub fn wait(&self, seq: u64, spins: u64) -> Result<(), FlushTimeout> {
         const SPIN_POLLS: u64 = 128;
         const YIELD_POLLS: u64 = 4096;
+        let t0 = self
+            .tracer
+            .as_ref()
+            .filter(|t| t.enabled())
+            .map(|_| std::time::Instant::now());
         for i in 0..spins {
             if self.completed() >= seq {
+                self.trace_wait(seq, t0);
                 return Ok(());
             }
             if i < SPIN_POLLS {
@@ -370,6 +404,7 @@ impl CmdQueue {
             }
         }
         if self.completed() >= seq {
+            self.trace_wait(seq, t0);
             Ok(())
         } else {
             Err(FlushTimeout {
@@ -377,6 +412,14 @@ impl CmdQueue {
                 seq,
                 completed: self.completed(),
             })
+        }
+    }
+
+    fn trace_wait(&self, seq: u64, t0: Option<std::time::Instant>) {
+        if let (Some(t), Some(t0)) = (&self.tracer, t0) {
+            let ns = t0.elapsed().as_nanos() as u64;
+            t.emit(EventKind::CmdWait, seq, ns);
+            t.observe(Hist::CmdWaitNs, ns);
         }
     }
 

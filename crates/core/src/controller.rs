@@ -28,6 +28,7 @@ use covirt_simhw::interconnect::{DeliveryMode, IpiDest};
 use covirt_simhw::node::SimNode;
 use covirt_simhw::paging::FramePool;
 use covirt_simhw::topology::ZoneId;
+use covirt_trace::{EventKind, Hist, Tracer};
 use hobbes::events::HobbesHooks;
 use hobbes::MasterControl;
 use parking_lot::{Mutex, RwLock};
@@ -71,11 +72,17 @@ pub struct CovirtController {
     pending_reclaims: Mutex<HashMap<u64, Vec<PhysRange>>>,
     /// Broadcast shootdowns issued (instrumentation).
     shootdowns: RwLock<u64>,
+    /// Flight-recorder handle on the controller lane.
+    tracer: Tracer,
 }
 
 impl CovirtController {
     /// Create a controller enforcing `config` on every enclave it manages.
     pub fn new(node: Arc<SimNode>, config: CovirtConfig) -> Arc<Self> {
+        if config.trace {
+            node.recorder().set_enabled(true);
+        }
+        let tracer = node.controller_tracer();
         Arc::new(CovirtController {
             node,
             config,
@@ -86,6 +93,7 @@ impl CovirtController {
             range_flush_threshold: RwLock::new(DEFAULT_RANGE_FLUSH_THRESHOLD),
             pending_reclaims: Mutex::new(HashMap::new()),
             shootdowns: RwLock::new(0),
+            tracer,
         })
     }
 
@@ -153,6 +161,7 @@ impl CovirtController {
             .map_err(PiscesError::Hw)?;
             for r in &res.mem {
                 ept.map_identity(*r, 3).map_err(PiscesError::Hw)?;
+                self.tracer.emit(EventKind::EptMap, r.start.raw(), r.len);
             }
             // The management region (boot structures, control channel,
             // command queues) must be guest-reachable too.
@@ -182,7 +191,8 @@ impl CovirtController {
             let range = PhysRange::new(base, crate::boot::CMDQ_STRIDE);
             let q = CmdQueue::create(&self.node.mem, range)
                 .map_err(|_| PiscesError::Invalid("command queue creation failed"))?
-                .with_core(core as u64);
+                .with_core(core as u64)
+                .with_tracer(self.tracer.clone());
             queues.push((core as u64, base.raw()));
             vctx.set_cmdq(core, q);
         }
@@ -226,6 +236,8 @@ impl CovirtController {
             return Ok(()); // memory protection off — nothing to unmap
         };
         ept.unmap(range).map_err(|e| e.to_string())?;
+        self.tracer
+            .emit(EventKind::Reclaim, range.start.raw(), range.len);
 
         {
             let mut pending = self.pending_reclaims.lock();
@@ -258,11 +270,22 @@ impl CovirtController {
         let use_ranges = threshold > 0
             && ranges.len() <= MAX_RANGE_FLUSH_CMDS
             && ranges.iter().all(|r| r.len <= threshold);
+        let traced = self.tracer.enabled();
+        let t0 = if traced { self.node.clock.rdtsc() } else { 0 };
+        if traced {
+            self.tracer.emit_at(
+                EventKind::ShootdownBegin,
+                t0,
+                ranges.len() as u64,
+                use_ranges as u64,
+            );
+        }
 
         // Phase 1: post commands + fire NMIs to all live cores.
         let mut waits = Vec::new();
         for core in vctx.live_cores() {
             if let Some(q) = vctx.cmdq(core) {
+                let stamp = if traced { self.node.clock.rdtsc() } else { 0 };
                 let seq = if use_ranges {
                     let mut last = 0;
                     for r in ranges {
@@ -270,15 +293,19 @@ impl CovirtController {
                         // guest-virtual address of a reclaimed frame is its
                         // guest-physical address.
                         last = q
-                            .post(Command::TlbFlushRange {
-                                gva: r.start.raw(),
-                                len: r.len,
-                            })
+                            .post_at(
+                                Command::TlbFlushRange {
+                                    gva: r.start.raw(),
+                                    len: r.len,
+                                },
+                                stamp,
+                            )
                             .map_err(|e| e.to_string())?;
                     }
                     last
                 } else {
-                    q.post(Command::TlbFlushAll).map_err(|e| e.to_string())?
+                    q.post_at(Command::TlbFlushAll, stamp)
+                        .map_err(|e| e.to_string())?
                 };
                 self.node
                     .interconnect
@@ -294,6 +321,14 @@ impl CovirtController {
                 .map_err(|e| format!("TLB shootdown failed: {e}"))?;
         }
         *self.shootdowns.write() += 1;
+        if traced {
+            let rtt = self
+                .node
+                .clock
+                .cycles_to_ns(self.node.clock.rdtsc().saturating_sub(t0));
+            self.tracer.emit(EventKind::ShootdownEnd, rtt, 0);
+            self.tracer.observe(Hist::ShootdownRttNs, rtt);
+        }
         Ok(())
     }
 
@@ -339,7 +374,12 @@ impl CovirtController {
         let mut waits = Vec::new();
         for core in vctx.live_cores() {
             if let Some(q) = vctx.cmdq(core) {
-                let seq = q.post(Command::Sync).map_err(|e| e.to_string())?;
+                let stamp = if self.tracer.enabled() {
+                    self.node.clock.rdtsc()
+                } else {
+                    0
+                };
+                let seq = q.post_at(Command::Sync, stamp).map_err(|e| e.to_string())?;
                 self.node
                     .interconnect
                     .send(0, IpiDest::Core(core), DeliveryMode::Nmi)
@@ -359,6 +399,8 @@ impl CovirtController {
     /// report and tell the master control process, which reclaims the
     /// enclave's resources and notifies dependants.
     pub fn report_fault(&self, enclave: u64, core: usize, reason: &str) {
+        self.tracer
+            .emit(EventKind::FaultReport, enclave, core as u64);
         self.faults.record(FaultReport {
             enclave,
             core,
@@ -387,6 +429,8 @@ impl EnclaveHooks for CovirtController {
                 // Map, then return immediately: Pisces may transmit the
                 // page list while the guest keeps running.
                 ept.map_identity(range, 3).map_err(PiscesError::Hw)?;
+                self.tracer
+                    .emit(EventKind::Grant, range.start.raw(), range.len);
             }
         }
         Ok(())
@@ -400,6 +444,7 @@ impl EnclaveHooks for CovirtController {
     fn on_vector_alloc(&self, enclave: &Enclave, vector: u8) -> PiscesResult<()> {
         if let Some(vctx) = self.contexts.read().get(&enclave.id.0) {
             vctx.whitelist.add_vector(vector);
+            self.tracer.emit(EventKind::VectorAlloc, vector as u64, 0);
         }
         Ok(())
     }
@@ -407,6 +452,7 @@ impl EnclaveHooks for CovirtController {
     fn on_vector_free(&self, enclave: &Enclave, vector: u8) -> PiscesResult<()> {
         if let Some(vctx) = self.contexts.read().get(&enclave.id.0) {
             vctx.whitelist.remove_vector(vector);
+            self.tracer.emit(EventKind::VectorFree, vector as u64, 0);
         }
         Ok(())
     }
@@ -414,6 +460,7 @@ impl EnclaveHooks for CovirtController {
     fn on_teardown(&self, enclave: &Enclave) {
         if let Some(vctx) = self.contexts.write().remove(&enclave.id.0) {
             vctx.terminate("enclave torn down");
+            self.tracer.emit(EventKind::Teardown, enclave.id.0, 0);
         }
     }
 }
@@ -423,12 +470,16 @@ impl HobbesHooks for CovirtController {
         if let Some(vctx) = self.contexts.read().get(&enclave) {
             if let Some(ept) = vctx.ept.as_ref() {
                 ept.map_identity(range, 3).map_err(|e| e.to_string())?;
+                self.tracer
+                    .emit(EventKind::XememAttach, range.start.raw(), range.len);
             }
         }
         Ok(())
     }
 
     fn on_xemem_detach_acked(&self, enclave: u64, range: PhysRange) -> Result<(), String> {
+        self.tracer
+            .emit(EventKind::XememDetach, range.start.raw(), range.len);
         self.unmap_and_flush(enclave, range)
     }
 }

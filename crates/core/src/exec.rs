@@ -31,6 +31,7 @@ use covirt_simhw::memory::{PhysMemory, RegionCache};
 use covirt_simhw::node::SimNode;
 use covirt_simhw::paging::{Access, CachedLoad, TableLoad};
 use covirt_simhw::tlb::{Tlb, TlbParams};
+use covirt_trace::{Counter, EventKind, Hist, Tracer};
 use kitten::faults::InjectedFault;
 use kitten::KittenKernel;
 use std::cell::Cell;
@@ -175,6 +176,8 @@ pub struct GuestCore {
     region_cache: RegionCache,
     /// Instrumentation.
     pub counters: CoreCounters,
+    /// Flight-recorder handle for this core's lane.
+    tracer: Tracer,
     terminated: Option<String>,
 }
 
@@ -187,6 +190,9 @@ impl GuestCore {
         tlb: TlbParams,
     ) -> CovirtResult<Self> {
         let cpu = Arc::clone(node.cpu(covirt_simhw::topology::CoreId(core))?);
+        let tracer = node.tracer(core as u32);
+        let mut tlb = Tlb::new(tlb);
+        tlb.set_tracer(tracer.clone());
         let gc = GuestCore {
             core,
             node,
@@ -195,11 +201,12 @@ impl GuestCore {
             vctx: None,
             hv: None,
             controller: None,
-            tlb: Tlb::new(tlb),
+            tlb,
             walk_cache: WalkCache::new(WalkCache::DEFAULT_ENTRIES),
             walk_cache_enabled: true,
             region_cache: RegionCache::new(),
             counters: CoreCounters::default(),
+            tracer,
             terminated: None,
         };
         gc.arm_timer();
@@ -219,6 +226,9 @@ impl GuestCore {
         let vctx = controller.context(kernel.params.enclave_id)?;
         let cpu = Arc::clone(node.cpu(covirt_simhw::topology::CoreId(core))?);
         let hv = Hypervisor::launch(Arc::clone(&node), Arc::clone(&vctx), core)?;
+        let tracer = node.tracer(core as u32);
+        let mut tlb = Tlb::new(tlb);
+        tlb.set_tracer(tracer.clone());
         let gc = GuestCore {
             core,
             node,
@@ -227,11 +237,12 @@ impl GuestCore {
             vctx: Some(vctx),
             hv: Some(hv),
             controller: Some(controller),
-            tlb: Tlb::new(tlb),
+            tlb,
             walk_cache: WalkCache::new(WalkCache::DEFAULT_ENTRIES),
             walk_cache_enabled: true,
             region_cache: RegionCache::new(),
             counters: CoreCounters::default(),
+            tracer,
             terminated: None,
         };
         gc.arm_timer();
@@ -268,29 +279,58 @@ impl GuestCore {
         &self.node.clock
     }
 
-    /// TLB statistics snapshot. Also folds the walk-cache and region-cache
-    /// counters into [`GuestCore::counters`] — the caches keep their own
-    /// core-local tallies so the miss path never copies stats per walk.
-    pub fn tlb_stats(&mut self) -> covirt_simhw::tlb::TlbStats {
-        self.sync_cache_counters();
+    /// TLB statistics snapshot.
+    pub fn tlb_stats(&self) -> covirt_simhw::tlb::TlbStats {
         self.tlb.stats()
     }
 
-    /// Synced snapshot of the per-core counters (see
-    /// [`GuestCore::tlb_stats`] for why a sync is needed).
-    pub fn counters(&mut self) -> CoreCounters {
-        self.sync_cache_counters();
-        self.counters
+    /// Snapshot of the per-core counters with the cache-private hit/miss
+    /// tallies folded in. The caches keep their own core-local tallies so
+    /// the miss path never copies stats per walk; the merge happens here,
+    /// on the (cold) reporting path, without mutating the core.
+    pub fn counters(&self) -> CoreCounters {
+        let mut c = self.counters;
+        let (h, m) = self.walk_cache.stats();
+        c.walk_cache_hits = h;
+        c.walk_cache_misses = m;
+        let (h, m) = self.region_cache.stats();
+        c.resolve_hits = h;
+        c.resolve_misses = m;
+        c
     }
 
-    /// Copy the cache-private hit/miss tallies into the public counters.
-    fn sync_cache_counters(&mut self) {
-        let (h, m) = self.walk_cache.stats();
-        self.counters.walk_cache_hits = h;
-        self.counters.walk_cache_misses = m;
-        let (h, m) = self.region_cache.stats();
-        self.counters.resolve_hits = h;
-        self.counters.resolve_misses = m;
+    /// Publish this core's counters and TLB statistics into the node's
+    /// metrics registry (absolute stores, so republishing is idempotent).
+    /// This is the single stat-copy path: harnesses read the registry
+    /// instead of hand-copying individual counter fields.
+    pub fn publish_metrics(&self) {
+        let reg = self.node.recorder().metrics();
+        let lane = self.core;
+        let c = self.counters();
+        let t = self.tlb.stats();
+        for (k, v) in [
+            (Counter::Reads, c.reads),
+            (Counter::Writes, c.writes),
+            (Counter::Walks, c.walks),
+            (Counter::WalkLoads, c.walk_loads),
+            (Counter::IpisSent, c.ipis_sent),
+            (Counter::TimerIrqs, c.timer_irqs),
+            (Counter::IpiIrqs, c.ipi_irqs),
+            (Counter::PostedHarvested, c.posted_harvested),
+            (Counter::Polls, c.polls),
+            (Counter::WalkCacheHits, c.walk_cache_hits),
+            (Counter::WalkCacheMisses, c.walk_cache_misses),
+            (Counter::ResolveHits, c.resolve_hits),
+            (Counter::ResolveMisses, c.resolve_misses),
+            (Counter::TlbHits, t.hits),
+            (Counter::TlbMisses, t.misses),
+            (Counter::TlbFullFlushes, t.full_flushes),
+            (Counter::TlbPageFlushes, t.page_flushes),
+            (Counter::TlbRangeFlushes, t.range_flushes),
+            (Counter::Exits, self.exit_count()),
+        ] {
+            reg.set(lane, k, v);
+        }
     }
 
     /// Enable or disable the EPT walk cache (ablation knob; on by default).
@@ -341,6 +381,7 @@ impl GuestCore {
     #[cold]
     fn translate_slow(&mut self, gva: u64, access: Access) -> CovirtResult<(*mut u8, u64)> {
         self.counters.walks += 1;
+        let t0 = self.tracer.enabled().then(std::time::Instant::now);
         let mem = &self.node.mem;
         let ept = self.vctx.as_ref().and_then(|v| v.ept.clone());
 
@@ -416,6 +457,10 @@ impl GuestCore {
         self.tlb
             .insert(page_gva, t.page_size, base_ptr, backing, writable);
         let in_page = gva - page_gva;
+        if let Some(t0) = t0 {
+            self.tracer
+                .observe(Hist::ResolveMissNs, t0.elapsed().as_nanos() as u64);
+        }
         // SAFETY: in_page < page_size, and the resolve covered the page.
         Ok(unsafe { (base_ptr.add(in_page as usize), t.page_size - in_page) })
     }
@@ -647,9 +692,14 @@ impl GuestCore {
             if let Some(desc) = piv.as_ref() {
                 if vector == PIV_NOTIFICATION_VECTOR {
                     // Exit-less delivery: harvest the PIR directly.
+                    let mut harvested = 0u64;
                     for v in desc.harvest() {
                         self.deliver(v);
                         self.counters.posted_harvested += 1;
+                        harvested += 1;
+                    }
+                    if harvested > 0 {
+                        self.tracer.emit(EventKind::PostedHarvest, harvested, 0);
                     }
                     continue;
                 }

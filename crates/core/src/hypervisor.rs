@@ -21,6 +21,7 @@ use covirt_simhw::exit::{ExitInfo, ExitReason};
 use covirt_simhw::node::SimNode;
 use covirt_simhw::tlb::Tlb;
 use covirt_simhw::vmcs::VmcsHandle;
+use covirt_trace::{EventKind, Hist, Tracer};
 use std::sync::Arc;
 
 /// Measured VM-entry/exit round-trip on Broadwell-class hardware is on the
@@ -69,6 +70,8 @@ pub struct Hypervisor {
     pub exit_ns: u64,
     /// Commands executed from the queue.
     pub commands: u64,
+    /// Flight-recorder handle for this core's lane.
+    tracer: Tracer,
 }
 
 impl Hypervisor {
@@ -95,6 +98,8 @@ impl Hypervisor {
         cpu.set_mode(CpuMode::Guest);
         vctx.core_entered_guest(core);
         model_delay_ns(VM_TRANSITION_NS); // the VMLAUNCH itself
+        let tracer = node.tracer(core as u32);
+        vmcs.write().tracer = Some(node.tracer(core as u32));
         Ok(Hypervisor {
             core,
             cpu,
@@ -105,6 +110,7 @@ impl Hypervisor {
             exits: 0,
             exit_ns: 0,
             commands: 0,
+            tracer,
         })
     }
 
@@ -221,7 +227,12 @@ impl Hypervisor {
             model_delay_ns(VM_TRANSITION_NS); // VM entry
             self.cpu.set_mode(CpuMode::Guest);
         }
-        self.exit_ns += t0.elapsed().as_nanos() as u64;
+        let handled_ns = t0.elapsed().as_nanos() as u64;
+        self.exit_ns += handled_ns;
+        if self.tracer.enabled() {
+            self.tracer.emit(EventKind::ExitLeave, handled_ns, 0);
+            self.tracer.observe(Hist::ExitHandleNs, handled_ns);
+        }
         action
     }
 
@@ -232,7 +243,12 @@ impl Hypervisor {
         };
         let q = q.clone();
         let mut action = ExitAction::Resume;
-        for sc in q.drain() {
+        let drained = q.drain();
+        if self.tracer.enabled() && !drained.is_empty() {
+            self.tracer
+                .emit(EventKind::CmdDrain, drained.len() as u64, 0);
+        }
+        for sc in drained {
             self.commands += 1;
             match sc.cmd {
                 Command::TlbFlushAll => tlb.flush_all(),
@@ -249,6 +265,20 @@ impl Hypervisor {
                 Command::Sync => {}
             }
             q.complete(sc.seq);
+            if self.tracer.enabled() {
+                // A zero stamp means the poster's recorder was off.
+                let ns = if sc.tsc != 0 {
+                    self.node
+                        .clock
+                        .cycles_to_ns(self.node.clock.rdtsc().saturating_sub(sc.tsc))
+                } else {
+                    0
+                };
+                self.tracer.emit(EventKind::CmdComplete, sc.seq, ns);
+                if ns != 0 {
+                    self.tracer.observe(Hist::CmdLatencyNs, ns);
+                }
+            }
         }
         action
     }

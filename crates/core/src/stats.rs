@@ -22,10 +22,12 @@ pub fn format_exit_table(vctx: &VirtContext) -> String {
 }
 
 /// Percentage slowdown of `measured` relative to `baseline` (positive =
-/// slower). Used everywhere the paper reports "X% overhead".
+/// slower). Used everywhere the paper reports "X% overhead". A zero
+/// baseline makes the ratio meaningless, so it yields NaN — call sites
+/// print "n/a" rather than a fake 0.0% (see `covirt_bench::fmt_pct`).
 pub fn overhead_pct(baseline: f64, measured: f64) -> f64 {
     if baseline == 0.0 {
-        return 0.0;
+        return f64::NAN;
     }
     (measured - baseline) / baseline * 100.0
 }
@@ -102,7 +104,7 @@ mod tests {
     #[test]
     fn overhead_math() {
         assert_eq!(overhead_pct(100.0, 103.1), 3.0999999999999943);
-        assert_eq!(overhead_pct(0.0, 5.0), 0.0);
+        assert!(overhead_pct(0.0, 5.0).is_nan(), "zero baseline is n/a");
         assert!(overhead_pct(100.0, 95.0) < 0.0);
     }
 

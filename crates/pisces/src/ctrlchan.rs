@@ -10,6 +10,7 @@ use crate::ring::{RingError, SharedRing};
 use crate::wire::{WireError, WireReader, WireWriter};
 use covirt_simhw::addr::{HostPhysAddr, PhysRange};
 use covirt_simhw::memory::PhysMemory;
+use covirt_trace::{pack_str, EventKind, Tracer};
 
 /// Slot size of control messages.
 pub const CTRL_SLOT: u64 = 64;
@@ -92,6 +93,22 @@ const TAG_PING: u64 = 9;
 const TAG_PING_ACK: u64 = 10;
 
 impl CtrlMsg {
+    /// Short wire-level name of this message kind (trace labels).
+    pub fn tag_name(&self) -> &'static str {
+        match self {
+            CtrlMsg::AddMem { .. } => "add_mem",
+            CtrlMsg::AddMemAck { .. } => "add_mem_ack",
+            CtrlMsg::RemoveMem { .. } => "remove_mem",
+            CtrlMsg::RemoveMemAck { .. } => "remove_mem_ack",
+            CtrlMsg::Syscall { .. } => "syscall",
+            CtrlMsg::SyscallRet { .. } => "syscall_ret",
+            CtrlMsg::Shutdown => "shutdown",
+            CtrlMsg::ShutdownAck => "shutdown_ack",
+            CtrlMsg::Ping { .. } => "ping",
+            CtrlMsg::PingAck { .. } => "ping_ack",
+        }
+    }
+
     /// Encode into a fixed-size slot payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
@@ -194,6 +211,8 @@ pub struct CtrlChannel {
     side: Side,
     to_enclave: SharedRing,
     to_host: SharedRing,
+    /// Flight-recorder handle; control traffic emits trace events when set.
+    tracer: Option<Tracer>,
 }
 
 impl CtrlChannel {
@@ -212,6 +231,7 @@ impl CtrlChannel {
             side: Side::Host,
             to_enclave: SharedRing::create(mem, a, CTRL_SLOTS, CTRL_SLOT)?,
             to_host: SharedRing::create(mem, b, CTRL_SLOTS, CTRL_SLOT)?,
+            tracer: None,
         })
     }
 
@@ -227,12 +247,19 @@ impl CtrlChannel {
             side: Side::Enclave,
             to_enclave: SharedRing::attach(mem, base)?,
             to_host: SharedRing::attach(mem, base.add(half))?,
+            tracer: None,
         })
     }
 
     /// Which side this handle represents.
     pub fn side(&self) -> Side {
         self.side
+    }
+
+    /// Attach a flight-recorder handle; this clone (and clones made from
+    /// it) will trace control traffic.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
     }
 
     fn tx(&self) -> &SharedRing {
@@ -251,13 +278,25 @@ impl CtrlChannel {
 
     /// Send a message toward the peer.
     pub fn send(&self, msg: &CtrlMsg) -> Result<(), RingError> {
-        self.tx().push(&msg.encode())
+        self.tx().push(&msg.encode())?;
+        if let Some(t) = &self.tracer {
+            let (a, b) = pack_str(msg.tag_name());
+            t.emit(EventKind::CtrlSend, a, b);
+        }
+        Ok(())
     }
 
     /// Non-blocking receive from the peer.
     pub fn try_recv(&self) -> Result<Option<CtrlMsg>, RingError> {
         match self.rx().pop() {
-            Ok(buf) => Ok(Some(CtrlMsg::decode(&buf).map_err(|_| RingError::Corrupt)?)),
+            Ok(buf) => {
+                let msg = CtrlMsg::decode(&buf).map_err(|_| RingError::Corrupt)?;
+                if let Some(t) = &self.tracer {
+                    let (a, b) = pack_str(msg.tag_name());
+                    t.emit(EventKind::CtrlRecv, a, b);
+                }
+                Ok(Some(msg))
+            }
             Err(RingError::Empty) => Ok(None),
             Err(e) => Err(e),
         }

@@ -186,8 +186,9 @@ impl PiscesHost {
         // Control channel occupies the tail of the management region.
         let chan_len = CtrlChannel::required_bytes();
         let chan_base = mgmt.start.add(mgmt.len - chan_len);
-        let chan = CtrlChannel::create(&self.node.mem, PhysRange::new(chan_base, chan_len))
+        let mut chan = CtrlChannel::create(&self.node.mem, PhysRange::new(chan_base, chan_len))
             .map_err(|_| PiscesError::Invalid("control channel setup failed"))?;
+        chan.set_tracer(self.node.controller_tracer());
         enclave.set_ctrl(chan);
 
         // Boot parameters at the head of the management region.

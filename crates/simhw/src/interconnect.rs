@@ -9,7 +9,9 @@
 //! race-free delivery semantics.
 
 use crate::error::{HwError, HwResult};
+use covirt_trace::{EventKind, Tracer};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// A 256-bit pending-vector bitmap (IRR analogue).
 #[derive(Default)]
@@ -142,6 +144,8 @@ pub struct Interconnect {
     mailboxes: Vec<CoreMailbox>,
     /// Total IPI send operations (instrumentation for the evaluation).
     sends: AtomicU64,
+    /// Flight-recorder handle; NMI kicks emit trace events when set.
+    tracer: OnceLock<Tracer>,
 }
 
 impl Interconnect {
@@ -150,7 +154,13 @@ impl Interconnect {
         Interconnect {
             mailboxes: (0..cores).map(|_| CoreMailbox::default()).collect(),
             sends: AtomicU64::new(0),
+            tracer: OnceLock::new(),
         }
+    }
+
+    /// Attach a flight-recorder handle (first call wins).
+    pub fn set_tracer(&self, tracer: Tracer) {
+        let _ = self.tracer.set(tracer);
     }
 
     /// Number of cores attached.
@@ -167,6 +177,17 @@ impl Interconnect {
     /// destinations).
     pub fn send(&self, from: usize, dest: IpiDest, mode: DeliveryMode) -> HwResult<()> {
         self.sends.fetch_add(1, Ordering::Relaxed);
+        // NMI kicks are the command queue's doorbell — trace them. Fixed
+        // IPIs are the guest's own data plane and stay untraced here.
+        if mode == DeliveryMode::Nmi {
+            if let Some(t) = self.tracer.get() {
+                let d = match dest {
+                    IpiDest::Core(c) => c as u64,
+                    IpiDest::AllExcludingSelf | IpiDest::AllIncludingSelf => u64::MAX,
+                };
+                t.emit(EventKind::NmiKick, from as u64, d);
+            }
+        }
         let deliver = |mb: &CoreMailbox| match mode {
             DeliveryMode::Fixed(v) => mb.post(v),
             DeliveryMode::Nmi => mb.post_nmi(),

@@ -26,11 +26,12 @@ use crate::addr::{HostPhysAddr, PhysRange, PAGE_SIZE_4K};
 use crate::backing::Backing;
 use crate::error::{HwError, HwResult};
 use crate::topology::ZoneId;
+use covirt_trace::{EventKind, Tracer};
 use parking_lot::Mutex;
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Host-physical span reserved for each NUMA zone (1 TiB), far larger than
 /// any real zone so zone membership is recoverable from an address alone.
@@ -176,6 +177,9 @@ pub struct PhysMemory {
     /// allocations while readers may still hold the pointers.
     #[allow(clippy::vec_box)]
     retired: Mutex<Vec<Box<RegionSnapshot>>>,
+    /// Flight-recorder handle, installed once by the owning node; snapshot
+    /// publishes and retire sweeps emit trace events when set.
+    tracer: OnceLock<Tracer>,
 }
 
 impl PhysMemory {
@@ -197,7 +201,14 @@ impl PhysMemory {
             readers: AtomicU64::new(0),
             generation: AtomicU64::new(1),
             retired: Mutex::new(Vec::new()),
+            tracer: OnceLock::new(),
         }
+    }
+
+    /// Attach a flight-recorder handle (first call wins; standalone
+    /// `PhysMemory` instances in tests simply stay untraced).
+    pub fn set_tracer(&self, tracer: Tracer) {
+        let _ = self.tracer.set(tracer);
     }
 
     /// Number of NUMA zones.
@@ -272,8 +283,10 @@ impl PhysMemory {
         let cur = unsafe { &*self.current.load(Ordering::SeqCst) };
         let mut regions = cur.regions.clone();
         let out = f(&mut regions)?;
+        let next_gen = cur.generation + 1;
+        let region_count = regions.len() as u64;
         let next = Box::new(RegionSnapshot {
-            generation: cur.generation + 1,
+            generation: next_gen,
             regions,
         });
         // Publish the generation before the snapshot: a region cache racing
@@ -289,8 +302,16 @@ impl PhysMemory {
         // again — free the lot. Otherwise the list waits for a later
         // publish; growth is bounded by the publish count, and publishes
         // are rare control-plane events by design.
+        let mut freed = 0;
         if self.readers.load(Ordering::SeqCst) == 0 {
+            freed = retired.len() as u64;
             retired.clear();
+        }
+        if let Some(t) = self.tracer.get() {
+            t.emit(EventKind::SnapshotPublish, next_gen, region_count);
+            if freed > 0 {
+                t.emit(EventKind::SnapshotRetire, freed, 0);
+            }
         }
         Ok(out)
     }

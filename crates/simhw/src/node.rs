@@ -9,6 +9,7 @@ use crate::interconnect::Interconnect;
 use crate::ioport::IoPortSpace;
 use crate::memory::PhysMemory;
 use crate::topology::{CoreId, Topology};
+use covirt_trace::{Recorder, Tracer, DEFAULT_LANE_CAPACITY};
 use std::sync::Arc;
 
 /// Construction parameters for a [`SimNode`].
@@ -56,6 +57,7 @@ pub struct SimNode {
     /// Legacy I/O port space.
     pub ioports: Arc<IoPortSpace>,
     cpus: Vec<Arc<Cpu>>,
+    recorder: Arc<Recorder>,
 }
 
 impl SimNode {
@@ -66,6 +68,23 @@ impl SimNode {
         let mem = Arc::new(PhysMemory::new(&zone_bytes));
         let clock = Arc::new(TscClock::new(topo.tsc_hz));
         let interconnect = Arc::new(Interconnect::new(topo.total_cores()));
+        // One lane per core plus a controller lane.
+        let recorder = Recorder::new(topo.total_cores() + 1, DEFAULT_LANE_CAPACITY);
+        let ctrl_lane = recorder.controller_lane();
+        let now: Arc<dyn Fn() -> u64 + Send + Sync> = {
+            let clock = Arc::clone(&clock);
+            Arc::new(move || clock.rdtsc())
+        };
+        mem.set_tracer(Tracer::new(
+            Arc::clone(&recorder),
+            ctrl_lane,
+            Arc::clone(&now),
+        ));
+        interconnect.set_tracer(Tracer::new(
+            Arc::clone(&recorder),
+            ctrl_lane,
+            Arc::clone(&now),
+        ));
         let cpus = (0..topo.total_cores())
             .map(|i| {
                 let apic = Arc::new(LocalApic::new(
@@ -83,7 +102,29 @@ impl SimNode {
             interconnect,
             ioports: Arc::new(IoPortSpace::new()),
             cpus,
+            recorder,
         })
+    }
+
+    /// The node's flight recorder (trace rings + metrics registry).
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    /// A tracer stamping events for `lane` with this node's TSC. Lanes 0
+    /// to `total_cores - 1` are per-core; see [`SimNode::controller_tracer`].
+    pub fn tracer(&self, lane: u32) -> Tracer {
+        let clock = Arc::clone(&self.clock);
+        Tracer::new(
+            Arc::clone(&self.recorder),
+            lane,
+            Arc::new(move || clock.rdtsc()),
+        )
+    }
+
+    /// The controller's tracer (the lane after the last core's).
+    pub fn controller_tracer(&self) -> Tracer {
+        self.tracer(self.recorder.controller_lane())
     }
 
     /// A core by id.

@@ -19,6 +19,7 @@
 //! overhead band (see EXPERIMENTS.md).
 
 use crate::backing::Backing;
+use covirt_trace::{EventKind, Tracer};
 use std::sync::Arc;
 
 /// TLB geometry.
@@ -120,6 +121,7 @@ pub struct Tlb {
     e2m: Vec<TlbEntry>,
     e1g: Vec<TlbEntry>,
     stats: TlbStats,
+    tracer: Option<Tracer>,
 }
 
 const SHIFT_4K: u32 = 12;
@@ -142,7 +144,13 @@ impl Tlb {
             e2m: vec![TlbEntry::empty(); p.entries_2m],
             e1g: vec![TlbEntry::empty(); p.entries_1g],
             stats: TlbStats::default(),
+            tracer: None,
         }
+    }
+
+    /// Attach a flight-recorder handle; flushes emit trace events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
     }
 
     /// Geometry in use (after power-of-two rounding).
@@ -231,6 +239,9 @@ impl Tlb {
             *e = TlbEntry::empty();
         }
         self.stats.full_flushes += 1;
+        if let Some(t) = &self.tracer {
+            t.emit(EventKind::TlbFlushAll, 0, 0);
+        }
     }
 
     /// Invalidate any entry covering `gva` (INVLPG analogue).
@@ -247,6 +258,9 @@ impl Tlb {
             }
         }
         self.stats.page_flushes += 1;
+        if let Some(t) = &self.tracer {
+            t.emit(EventKind::TlbFlushPage, gva, 0);
+        }
     }
 
     /// Invalidate every entry whose page overlaps `[gva, gva + len)`.
@@ -271,6 +285,9 @@ impl Tlb {
             }
         }
         self.stats.range_flushes += 1;
+        if let Some(t) = &self.tracer {
+            t.emit(EventKind::TlbFlushRange, gva, len);
+        }
     }
 
     /// Snapshot of the counters.

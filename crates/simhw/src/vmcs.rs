@@ -14,6 +14,7 @@ use crate::exit::ExitInfo;
 use crate::ioport::IoBitmap;
 use crate::msr::MsrBitmap;
 use crate::posted::PostedIntDescriptor;
+use covirt_trace::{pack_str, EventKind, Tracer};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -98,6 +99,8 @@ pub struct Vmcs {
     /// Cumulative exit counts by reason name (instrumentation register —
     /// stands in for the perf counters the paper reads).
     pub exit_counts: HashMap<&'static str, u64>,
+    /// Flight-recorder handle; exits emit `ExitEnter` events when set.
+    pub tracer: Option<Tracer>,
 }
 
 impl Vmcs {
@@ -109,6 +112,12 @@ impl Vmcs {
     /// Record an exit in the exit-information fields.
     pub fn record_exit(&mut self, info: ExitInfo) {
         *self.exit_counts.entry(info.reason.name()).or_insert(0) += 1;
+        if let Some(t) = &self.tracer {
+            if t.enabled() {
+                let (a, b) = pack_str(info.reason.name());
+                t.emit_at(EventKind::ExitEnter, info.tsc, a, b);
+            }
+        }
         self.last_exit = Some(info);
     }
 

@@ -1,0 +1,331 @@
+//! Trace exporters: JSON Lines and chrome://tracing, hand-rolled so the
+//! crate stays dependency-free. Timestamps convert from sim-TSC cycles to
+//! microseconds with the caller-supplied clock frequency.
+
+use crate::{unpack_str, EventKind, TraceEvent};
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_name_fields(e: &TraceEvent, out: &mut String) {
+    if e.kind.carries_name() {
+        out.push_str(",\"name\":\"");
+        escape(&unpack_str(e.a, e.b), out);
+        out.push('"');
+    } else {
+        out.push_str(&format!(",\"a\":{},\"b\":{}", e.a, e.b));
+    }
+}
+
+/// One JSON object per event, chronological, TSC converted to ns.
+pub fn to_jsonl(events: &[TraceEvent], hz: u64) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for e in events {
+        let ns = cycles_to_ns(e.tsc, hz);
+        out.push_str(&format!(
+            "{{\"ts_ns\":{},\"tsc\":{},\"lane\":{},\"idx\":{},\"kind\":\"{}\"",
+            ns,
+            e.tsc,
+            e.lane,
+            e.idx,
+            e.kind.name()
+        ));
+        push_name_fields(e, &mut out);
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn cycles_to_ns(tsc: u64, hz: u64) -> u64 {
+    if hz == 0 {
+        return tsc;
+    }
+    // Split to avoid overflow on large cycle counts.
+    let secs = tsc / hz;
+    let rem = tsc % hz;
+    secs * 1_000_000_000 + rem * 1_000_000_000 / hz
+}
+
+fn ts_us(tsc: u64, t0: u64, hz: u64) -> f64 {
+    cycles_to_ns(tsc.saturating_sub(t0), hz) as f64 / 1000.0
+}
+
+/// Span-begin kinds paired into chrome "X" complete events by
+/// [`to_chrome_trace`]; everything else becomes an instant event.
+fn span_end_for(kind: EventKind) -> Option<EventKind> {
+    match kind {
+        EventKind::ExitEnter => Some(EventKind::ExitLeave),
+        EventKind::ShootdownBegin => Some(EventKind::ShootdownEnd),
+        _ => None,
+    }
+}
+
+/// chrome://tracing (and https://ui.perfetto.dev) loadable JSON. Exit and
+/// shootdown begin/end pairs render as duration ("X") slices per lane;
+/// all other events render as instants ("i"). `pid` 0, `tid` = lane.
+pub fn to_chrome_trace(events: &[TraceEvent], hz: u64) -> String {
+    let t0 = events.iter().map(|e| e.tsc).min().unwrap_or(0);
+    let mut out = String::with_capacity(events.len() * 128 + 64);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    // Per-lane stack of pending span-begin events (index into `events`).
+    let mut open: Vec<(u32, EventKind, usize)> = Vec::new();
+    let emit = |out: &mut String, first: &mut bool, body: String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&body);
+    };
+    for (i, e) in events.iter().enumerate() {
+        if span_end_for(e.kind).is_some() {
+            open.push((e.lane, e.kind, i));
+            continue;
+        }
+        let is_end = matches!(e.kind, EventKind::ExitLeave | EventKind::ShootdownEnd);
+        if is_end {
+            let want = match e.kind {
+                EventKind::ExitLeave => EventKind::ExitEnter,
+                _ => EventKind::ShootdownBegin,
+            };
+            if let Some(pos) = open
+                .iter()
+                .rposition(|(lane, kind, _)| *lane == e.lane && *kind == want)
+            {
+                let (_, _, bi) = open.remove(pos);
+                let begin = &events[bi];
+                let mut name = String::new();
+                if begin.kind.carries_name() {
+                    escape(&unpack_str(begin.a, begin.b), &mut name);
+                } else {
+                    name.push_str(begin.kind.name());
+                }
+                let ts = ts_us(begin.tsc, t0, hz);
+                let dur = (ts_us(e.tsc, t0, hz) - ts).max(0.001);
+                emit(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"ns\":{}}}}}",
+                        name,
+                        begin.kind.name(),
+                        e.lane,
+                        ts,
+                        dur,
+                        e.a
+                    ),
+                );
+                continue;
+            }
+            // Unmatched end: fall through and render as an instant.
+        }
+        let mut name = String::new();
+        if e.kind.carries_name() {
+            escape(&unpack_str(e.a, e.b), &mut name);
+            emit(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{},\"ts\":{:.3}}}",
+                    name,
+                    e.kind.name(),
+                    e.lane,
+                    ts_us(e.tsc, t0, hz)
+                ),
+            );
+        } else {
+            emit(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{},\"ts\":{:.3},\"args\":{{\"a\":{},\"b\":{}}}}}",
+                    e.kind.name(),
+                    e.kind.name(),
+                    e.lane,
+                    ts_us(e.tsc, t0, hz),
+                    e.a,
+                    e.b
+                ),
+            );
+        }
+    }
+    // Unmatched begins (still-open spans at dump time) become instants.
+    for (lane, kind, bi) in open {
+        let begin = &events[bi];
+        let mut name = String::new();
+        if kind.carries_name() {
+            escape(&unpack_str(begin.a, begin.b), &mut name);
+        } else {
+            name.push_str(kind.name());
+        }
+        emit(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{},\"ts\":{:.3}}}",
+                name,
+                kind.name(),
+                lane,
+                ts_us(begin.tsc, t0, hz)
+            ),
+        );
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+/// A completed command: post event paired with its completion.
+#[derive(Clone, Copy, Debug)]
+pub struct SlowCommand {
+    /// Command sequence number.
+    pub seq: u64,
+    /// Core the command was posted to.
+    pub core: u64,
+    /// Post timestamp (TSC).
+    pub post_tsc: u64,
+    /// Post → complete latency in nanoseconds (as measured by the
+    /// completing hypervisor).
+    pub latency_ns: u64,
+}
+
+/// Pair `CmdPost`(a=seq, b=core) with `CmdComplete`(a=seq, b=latency ns)
+/// events and return the `n` slowest completions, slowest first. Sequence
+/// numbers are per-queue, so posts are keyed by (seq, core) and matched
+/// against the lane the completion was recorded on.
+pub fn slowest_commands(events: &[TraceEvent], n: usize) -> Vec<SlowCommand> {
+    use std::collections::HashMap;
+    let mut posts: HashMap<(u64, u64), u64> = HashMap::new(); // (seq, core) -> tsc
+    let mut done: Vec<SlowCommand> = Vec::new();
+    for e in events {
+        match e.kind {
+            EventKind::CmdPost => {
+                posts.insert((e.a, e.b), e.tsc);
+            }
+            EventKind::CmdComplete => {
+                let core = e.lane as u64;
+                let post_tsc = posts.remove(&(e.a, core)).unwrap_or(e.tsc);
+                done.push(SlowCommand {
+                    seq: e.a,
+                    core,
+                    post_tsc,
+                    latency_ns: e.b,
+                });
+            }
+            _ => {}
+        }
+    }
+    done.sort_by(|x, y| y.latency_ns.cmp(&x.latency_ns).then(x.seq.cmp(&y.seq)));
+    done.truncate(n);
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack_str;
+
+    fn ev(tsc: u64, lane: u32, idx: u64, kind: EventKind, a: u64, b: u64) -> TraceEvent {
+        TraceEvent {
+            tsc,
+            lane,
+            idx,
+            kind,
+            a,
+            b,
+        }
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event() {
+        let (a, b) = pack_str("cpuid");
+        let events = vec![
+            ev(1000, 0, 0, EventKind::ExitEnter, a, b),
+            ev(2000, 0, 1, EventKind::Grant, 0x1000, 0x2000),
+        ];
+        let text = to_jsonl(&events, 1_000_000_000);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"exit_enter\""));
+        assert!(lines[0].contains("\"name\":\"cpuid\""));
+        assert!(lines[1].contains("\"a\":4096"));
+        // 1 GHz: 1 cycle = 1 ns.
+        assert!(lines[0].contains("\"ts_ns\":1000"));
+    }
+
+    #[test]
+    fn chrome_trace_pairs_spans() {
+        let (a, b) = pack_str("msr_read");
+        let events = vec![
+            ev(1000, 0, 0, EventKind::ExitEnter, a, b),
+            ev(1500, 1, 0, EventKind::CmdPost, 7, 1),
+            ev(3000, 0, 1, EventKind::ExitLeave, 2000, 0),
+        ];
+        let text = to_chrome_trace(&events, 1_000_000_000);
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.ends_with('}'));
+        // The exit pair becomes one X slice named after the reason.
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"name\":\"msr_read\""));
+        assert!(text.contains("\"dur\":2.000"));
+        // The post stays an instant on lane 1.
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"tid\":1"));
+    }
+
+    #[test]
+    fn chrome_trace_handles_unmatched_spans() {
+        let events = vec![
+            ev(100, 2, 0, EventKind::ShootdownBegin, 3, 1),
+            ev(500, 0, 0, EventKind::ExitLeave, 400, 0),
+        ];
+        let text = to_chrome_trace(&events, 1_000_000_000);
+        // Both degrade to instants rather than corrupting the stream.
+        assert_eq!(text.matches("\"ph\":\"i\"").count(), 2);
+        assert!(!text.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        assert_eq!(
+            to_chrome_trace(&[], 1_000_000_000),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ns\"}"
+        );
+        assert_eq!(to_jsonl(&[], 1_000_000_000), "");
+    }
+
+    #[test]
+    fn slowest_commands_pairs_and_ranks() {
+        let events = vec![
+            ev(100, 3, 0, EventKind::CmdPost, 1, 0),
+            ev(110, 3, 1, EventKind::CmdPost, 2, 1),
+            ev(500, 0, 0, EventKind::CmdComplete, 1, 400),
+            ev(900, 1, 0, EventKind::CmdComplete, 2, 790),
+            ev(950, 3, 2, EventKind::CmdPost, 3, 0), // never completes
+        ];
+        let top = slowest_commands(&events, 10);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].seq, 2);
+        assert_eq!(top[0].latency_ns, 790);
+        assert_eq!(top[0].core, 1);
+        assert_eq!(top[1].seq, 1);
+        assert_eq!(slowest_commands(&events, 1).len(), 1);
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        let mut s = String::new();
+        escape("a\"b\\c\nd", &mut s);
+        assert_eq!(s, "a\\\"b\\\\c\\nd");
+    }
+}

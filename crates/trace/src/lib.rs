@@ -1,0 +1,557 @@
+//! Flight recorder + unified metrics registry for the Covirt control plane.
+//!
+//! Covirt's evaluation needs *traces* (which event, when, on which core),
+//! not just counters: a shootdown storm is explained by the interleaving of
+//! controller posts, NMI kicks and per-core flushes, which aggregates
+//! cannot show. This crate provides:
+//!
+//! * a lock-free per-lane **flight recorder** — one fixed-size ring of
+//!   compact [`TraceEvent`] records per core (plus one lane for the
+//!   controller), written with relaxed atomics behind a single
+//!   `enabled` branch so the hot paths pay nothing when tracing is off;
+//! * a **metrics registry** ([`MetricsRegistry`]) of per-lane sharded
+//!   counters and log-bucketed latency histograms behind typed
+//!   [`Counter`]/[`Hist`] enums;
+//! * **exporters** ([`export`]) rendering a merged chronological dump as
+//!   JSON Lines or chrome://tracing JSON.
+//!
+//! The crate is a leaf: it knows nothing about the simulated hardware.
+//! Callers stamp events with their own TSC (a [`Tracer`] carries a
+//! timestamp closure so emit sites stay one-liners).
+//!
+//! ## Ring protocol
+//!
+//! Each lane has one *logical* writer (the thread driving that core; the
+//! controller gets its own lane), but the ring is robust to concurrent
+//! readers and even misbehaving extra writers: slots carry a seqlock-style
+//! sequence word (`2*idx + 1` while a write is in flight, `2*idx + 2` once
+//! slot content for stream index `idx` is committed). A reader that
+//! observes an odd sequence, or a sequence that changed across its payload
+//! read, discards the slot — torn records are *detected*, never returned.
+
+pub mod export;
+pub mod metrics;
+
+pub use metrics::{Counter, Hist, HistSnapshot, MetricsRegistry};
+
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default events retained per lane.
+pub const DEFAULT_LANE_CAPACITY: usize = 4096;
+
+/// What happened. Payload words `a`/`b` are event-specific; kinds that
+/// carry a name (exit reasons, control-channel tags) pack it with
+/// [`pack_str`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// VM exit recorded (span begin). `a`,`b`: packed exit-reason name.
+    ExitEnter = 1,
+    /// VM exit handled, guest re-entered (span end). `a`: handle ns.
+    ExitLeave = 2,
+    /// Command posted to a core's queue. `a`: seq, `b`: target core.
+    CmdPost = 3,
+    /// Hypervisor drained its queue. `a`: commands drained.
+    CmdDrain = 4,
+    /// Command executed + acknowledged. `a`: seq, `b`: post→complete ns.
+    CmdComplete = 5,
+    /// Controller finished waiting on a completion. `a`: seq, `b`: ns.
+    CmdWait = 6,
+    /// NMI kick sent. `a`: sender core, `b`: destination core.
+    NmiKick = 7,
+    /// Full TLB flush executed.
+    TlbFlushAll = 8,
+    /// Single-page TLB invalidation. `a`: gva.
+    TlbFlushPage = 9,
+    /// Ranged TLB invalidation. `a`: gva, `b`: len.
+    TlbFlushRange = 10,
+    /// EPT mapping installed. `a`: start, `b`: len.
+    EptMap = 11,
+    /// EPT mapping removed. `a`: start, `b`: len.
+    EptUnmap = 12,
+    /// Populate snapshot published. `a`: generation, `b`: region count.
+    SnapshotPublish = 13,
+    /// Retired snapshots freed at a quiescent publish. `a`: count.
+    SnapshotRetire = 14,
+    /// Memory granted to the enclave. `a`: start, `b`: len.
+    Grant = 15,
+    /// Memory reclaimed (unmapped, shootdown issued/deferred). `a`: start,
+    /// `b`: len.
+    Reclaim = 16,
+    /// Broadcast shootdown phase 1 begins (span begin). `a`: ranges,
+    /// `b`: 1 if range-flush commands were selected.
+    ShootdownBegin = 17,
+    /// Broadcast shootdown fully acknowledged (span end). `a`: rtt ns.
+    ShootdownEnd = 18,
+    /// XEMEM segment attached. `a`: start, `b`: len.
+    XememAttach = 19,
+    /// XEMEM segment detached. `a`: start, `b`: len.
+    XememDetach = 20,
+    /// IPI vector whitelisted. `a`: vector.
+    VectorAlloc = 21,
+    /// IPI vector revoked. `a`: vector.
+    VectorFree = 22,
+    /// Enclave virtualization context torn down. `a`: enclave.
+    Teardown = 23,
+    /// Fault-isolation teardown reported. `a`: enclave, `b`: core.
+    FaultReport = 24,
+    /// Control-channel message sent. `a`,`b`: packed message tag.
+    CtrlSend = 25,
+    /// Control-channel message received. `a`,`b`: packed message tag.
+    CtrlRecv = 26,
+    /// Posted-interrupt vectors harvested exit-lessly. `a`: count.
+    PostedHarvest = 27,
+}
+
+impl EventKind {
+    /// Every kind, for decoders and summaries.
+    pub const ALL: [EventKind; 27] = [
+        EventKind::ExitEnter,
+        EventKind::ExitLeave,
+        EventKind::CmdPost,
+        EventKind::CmdDrain,
+        EventKind::CmdComplete,
+        EventKind::CmdWait,
+        EventKind::NmiKick,
+        EventKind::TlbFlushAll,
+        EventKind::TlbFlushPage,
+        EventKind::TlbFlushRange,
+        EventKind::EptMap,
+        EventKind::EptUnmap,
+        EventKind::SnapshotPublish,
+        EventKind::SnapshotRetire,
+        EventKind::Grant,
+        EventKind::Reclaim,
+        EventKind::ShootdownBegin,
+        EventKind::ShootdownEnd,
+        EventKind::XememAttach,
+        EventKind::XememDetach,
+        EventKind::VectorAlloc,
+        EventKind::VectorFree,
+        EventKind::Teardown,
+        EventKind::FaultReport,
+        EventKind::CtrlSend,
+        EventKind::CtrlRecv,
+        EventKind::PostedHarvest,
+    ];
+
+    /// Stable wire/display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::ExitEnter => "exit_enter",
+            EventKind::ExitLeave => "exit_leave",
+            EventKind::CmdPost => "cmd_post",
+            EventKind::CmdDrain => "cmd_drain",
+            EventKind::CmdComplete => "cmd_complete",
+            EventKind::CmdWait => "cmd_wait",
+            EventKind::NmiKick => "nmi_kick",
+            EventKind::TlbFlushAll => "tlb_flush_all",
+            EventKind::TlbFlushPage => "tlb_flush_page",
+            EventKind::TlbFlushRange => "tlb_flush_range",
+            EventKind::EptMap => "ept_map",
+            EventKind::EptUnmap => "ept_unmap",
+            EventKind::SnapshotPublish => "snapshot_publish",
+            EventKind::SnapshotRetire => "snapshot_retire",
+            EventKind::Grant => "grant",
+            EventKind::Reclaim => "reclaim",
+            EventKind::ShootdownBegin => "shootdown_begin",
+            EventKind::ShootdownEnd => "shootdown_end",
+            EventKind::XememAttach => "xemem_attach",
+            EventKind::XememDetach => "xemem_detach",
+            EventKind::VectorAlloc => "vector_alloc",
+            EventKind::VectorFree => "vector_free",
+            EventKind::Teardown => "teardown",
+            EventKind::FaultReport => "fault_report",
+            EventKind::CtrlSend => "ctrl_send",
+            EventKind::CtrlRecv => "ctrl_recv",
+            EventKind::PostedHarvest => "posted_harvest",
+        }
+    }
+
+    /// Whether `a`/`b` carry a [`pack_str`]-packed name.
+    pub fn carries_name(&self) -> bool {
+        matches!(
+            self,
+            EventKind::ExitEnter | EventKind::CtrlSend | EventKind::CtrlRecv
+        )
+    }
+
+    fn from_u8(v: u8) -> Option<EventKind> {
+        EventKind::ALL.get(v.wrapping_sub(1) as usize).copied()
+    }
+}
+
+/// Pack up to 16 bytes of a name into two payload words (little-endian,
+/// zero-padded) so events can carry `&'static str` identities without the
+/// recorder knowing the namespace.
+pub fn pack_str(s: &str) -> (u64, u64) {
+    let mut buf = [0u8; 16];
+    let bytes = s.as_bytes();
+    let n = bytes.len().min(16);
+    buf[..n].copy_from_slice(&bytes[..n]);
+    (
+        u64::from_le_bytes(buf[..8].try_into().unwrap()),
+        u64::from_le_bytes(buf[8..].try_into().unwrap()),
+    )
+}
+
+/// Inverse of [`pack_str`].
+pub fn unpack_str(a: u64, b: u64) -> String {
+    let mut buf = [0u8; 16];
+    buf[..8].copy_from_slice(&a.to_le_bytes());
+    buf[8..].copy_from_slice(&b.to_le_bytes());
+    let end = buf.iter().position(|&c| c == 0).unwrap_or(16);
+    String::from_utf8_lossy(&buf[..end]).into_owned()
+}
+
+/// One flight-recorder record: 40 bytes of payload, no pointers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated-TSC timestamp.
+    pub tsc: u64,
+    /// Lane (== core id; the last lane is the controller's).
+    pub lane: u32,
+    /// Position in the lane's event stream (monotonic per lane; survives
+    /// wraparound, so dumps expose how many events were overwritten).
+    pub idx: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+/// One ring slot. `seq` is the seqlock word; payload words are relaxed
+/// atomics so concurrent read/write stays defined — the seqlock detects
+/// (and discards) torn payloads rather than preventing them.
+struct Slot {
+    seq: AtomicU64,
+    tsc: AtomicU64,
+    /// kind (low 8 bits) | lane (next 32 bits).
+    meta: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            tsc: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One per-core ring.
+struct Lane {
+    /// Next stream index to write (fetch_add reservation).
+    next: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl Lane {
+    fn new(capacity: usize) -> Lane {
+        Lane {
+            next: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Slot::empty()).collect(),
+        }
+    }
+
+    #[inline]
+    fn write(&self, lane: u32, kind: EventKind, tsc: u64, a: u64, b: u64) {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(idx as usize) & (self.slots.len() - 1)];
+        // Odd = write in flight. Release so the odd marker is visible
+        // before any payload store can be observed as part of this write.
+        slot.seq.store(idx * 2 + 1, Ordering::Release);
+        slot.tsc.store(tsc, Ordering::Relaxed);
+        slot.meta
+            .store(kind as u64 | ((lane as u64) << 8), Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        // Even = committed for stream index `idx`; Release publishes the
+        // payload to any reader that acquires this value.
+        slot.seq.store(idx * 2 + 2, Ordering::Release);
+    }
+
+    /// Snapshot every coherent record, oldest first. Records a concurrent
+    /// writer is mid-overwriting are skipped.
+    fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 == 0 || s1 % 2 == 1 {
+                continue; // empty or write in flight
+            }
+            let tsc = slot.tsc.load(Ordering::Relaxed);
+            let meta = slot.meta.load(Ordering::Relaxed);
+            let a = slot.a.load(Ordering::Relaxed);
+            let b = slot.b.load(Ordering::Relaxed);
+            // The fence orders the payload loads before the re-check: if
+            // seq is unchanged, no writer touched the slot in between and
+            // the payload is the one committed under s1.
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != s1 {
+                continue; // overwritten mid-read — discard
+            }
+            let Some(kind) = EventKind::from_u8(meta as u8) else {
+                continue;
+            };
+            out.push(TraceEvent {
+                tsc,
+                lane: (meta >> 8) as u32,
+                idx: (s1 - 2) / 2,
+                kind,
+                a,
+                b,
+            });
+        }
+        out.sort_by_key(|e| e.idx);
+        out
+    }
+}
+
+/// The flight recorder: one ring per lane plus the metrics registry, so a
+/// single handle gives a run's trace *and* its counter/histogram snapshot.
+pub struct Recorder {
+    enabled: AtomicBool,
+    lanes: Vec<Lane>,
+    metrics: MetricsRegistry,
+}
+
+impl Recorder {
+    /// A recorder with `lanes` rings of `capacity` events each (rounded up
+    /// to a power of two). Tracing starts disabled.
+    pub fn new(lanes: usize, capacity: usize) -> Arc<Recorder> {
+        let lanes = lanes.max(1);
+        let capacity = capacity.max(2).next_power_of_two();
+        Arc::new(Recorder {
+            enabled: AtomicBool::new(false),
+            lanes: (0..lanes).map(|_| Lane::new(capacity)).collect(),
+            metrics: MetricsRegistry::new(lanes),
+        })
+    }
+
+    /// Whether tracing is on — the one branch the hot paths pay.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn tracing on or off at runtime.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Release);
+    }
+
+    /// Number of lanes (cores + 1 controller lane by convention).
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The controller's lane (last, by convention).
+    pub fn controller_lane(&self) -> u32 {
+        (self.lanes.len() - 1) as u32
+    }
+
+    /// The unified metrics registry sharing this recorder's lanes.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Emit one event if tracing is enabled. Out-of-range lanes clamp to
+    /// the last (controller) lane.
+    #[inline]
+    pub fn emit(&self, lane: u32, kind: EventKind, tsc: u64, a: u64, b: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let li = (lane as usize).min(self.lanes.len() - 1);
+        self.lanes[li].write(lane, kind, tsc, a, b);
+    }
+
+    /// One lane's coherent records, oldest first.
+    pub fn lane_events(&self, lane: u32) -> Vec<TraceEvent> {
+        self.lanes
+            .get(lane as usize)
+            .map(|l| l.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Merged chronological dump across all lanes, sorted by TSC (lane and
+    /// stream index break ties deterministically).
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = self.lanes.iter().flat_map(|l| l.snapshot()).collect();
+        all.sort_by_key(|e| (e.tsc, e.lane, e.idx));
+        all
+    }
+
+    /// Total events ever emitted (including overwritten ones).
+    pub fn emitted(&self) -> u64 {
+        self.lanes
+            .iter()
+            .map(|l| l.next.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A cheap per-call-site handle: recorder + lane + timestamp source. The
+/// closure indirection only runs when tracing is enabled — `emit` checks
+/// the flag before taking a timestamp.
+#[derive(Clone)]
+pub struct Tracer {
+    rec: Arc<Recorder>,
+    lane: u32,
+    now: Arc<dyn Fn() -> u64 + Send + Sync>,
+}
+
+impl Tracer {
+    /// A tracer stamping events for `lane` with timestamps from `now`.
+    pub fn new(rec: Arc<Recorder>, lane: u32, now: Arc<dyn Fn() -> u64 + Send + Sync>) -> Tracer {
+        Tracer { rec, lane, now }
+    }
+
+    /// The lane this tracer writes.
+    pub fn lane(&self) -> u32 {
+        self.lane
+    }
+
+    /// The recorder behind this tracer.
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.rec
+    }
+
+    /// Whether tracing is on (hot-path gate).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.rec.enabled()
+    }
+
+    /// Emit with a timestamp from the tracer's clock.
+    #[inline]
+    pub fn emit(&self, kind: EventKind, a: u64, b: u64) {
+        if self.rec.enabled() {
+            self.rec.emit(self.lane, kind, (self.now)(), a, b);
+        }
+    }
+
+    /// Emit with a caller-supplied timestamp (e.g. the exit-info TSC).
+    #[inline]
+    pub fn emit_at(&self, kind: EventKind, tsc: u64, a: u64, b: u64) {
+        self.rec.emit(self.lane, kind, tsc, a, b);
+    }
+
+    /// Record a latency sample into the registry (gated like `emit`).
+    #[inline]
+    pub fn observe(&self, hist: Hist, value: u64) {
+        if self.rec.enabled() {
+            self.rec.metrics.observe(self.lane as usize, hist, value);
+        }
+    }
+
+    /// Bump a registry counter on this tracer's lane (not gated: counters
+    /// replace always-on instrumentation).
+    #[inline]
+    pub fn count(&self, counter: Counter, n: u64) {
+        self.rec.metrics.add(self.lane as usize, counter, n);
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tracer(lane {})", self.lane)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recorder() -> Arc<Recorder> {
+        let r = Recorder::new(3, 16);
+        r.set_enabled(true);
+        r
+    }
+
+    #[test]
+    fn disabled_recorder_emits_nothing() {
+        let r = Recorder::new(2, 16);
+        r.emit(0, EventKind::Grant, 10, 1, 2);
+        assert!(r.drain().is_empty());
+        assert_eq!(r.emitted(), 0);
+    }
+
+    #[test]
+    fn events_roundtrip_and_merge_sorted() {
+        let r = recorder();
+        r.emit(1, EventKind::CmdPost, 30, 7, 1);
+        r.emit(0, EventKind::Grant, 10, 0x1000, 0x2000);
+        r.emit(2, EventKind::CmdComplete, 20, 7, 900);
+        let all = r.drain();
+        assert_eq!(all.len(), 3);
+        assert_eq!(
+            all.iter().map(|e| e.tsc).collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
+        assert_eq!(all[0].kind, EventKind::Grant);
+        assert_eq!(all[0].a, 0x1000);
+        assert_eq!(all[2].lane, 1);
+    }
+
+    #[test]
+    fn wraparound_keeps_latest_capacity_events() {
+        let r = recorder(); // capacity 16 per lane
+        for i in 0..40u64 {
+            r.emit(0, EventKind::CmdPost, 100 + i, i, 0);
+        }
+        let events = r.lane_events(0);
+        assert_eq!(events.len(), 16);
+        assert_eq!(events.first().unwrap().idx, 24);
+        assert_eq!(events.last().unwrap().idx, 39);
+        assert_eq!(events.last().unwrap().a, 39);
+        assert_eq!(r.emitted(), 40);
+    }
+
+    #[test]
+    fn out_of_range_lane_clamps_to_controller() {
+        let r = recorder();
+        r.emit(99, EventKind::Teardown, 5, 1, 0);
+        // Stored in the last ring, but tagged with the caller's lane id.
+        assert_eq!(r.lane_events(2).len(), 1);
+        assert_eq!(r.lane_events(2)[0].lane, 99);
+    }
+
+    #[test]
+    fn pack_unpack_str_roundtrip() {
+        for s in ["cpuid", "ept_violation", "a-16-byte-name!!", ""] {
+            let (a, b) = pack_str(s);
+            assert_eq!(unpack_str(a, b), s[..s.len().min(16)]);
+        }
+        // Longer than 16 bytes truncates.
+        let (a, b) = pack_str("external_interrupt");
+        assert_eq!(unpack_str(a, b), "external_interru");
+    }
+
+    #[test]
+    fn tracer_uses_clock_closure() {
+        let r = recorder();
+        let t = Tracer::new(Arc::clone(&r), 1, Arc::new(|| 777));
+        t.emit(EventKind::NmiKick, 0, 1);
+        let e = &r.lane_events(1)[0];
+        assert_eq!(e.tsc, 777);
+        assert_eq!(e.kind, EventKind::NmiKick);
+    }
+
+    #[test]
+    fn kind_codes_roundtrip() {
+        for k in EventKind::ALL {
+            assert_eq!(EventKind::from_u8(k as u8), Some(k));
+        }
+        assert_eq!(EventKind::from_u8(0), None);
+        assert_eq!(EventKind::from_u8(200), None);
+    }
+}

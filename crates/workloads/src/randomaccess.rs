@@ -94,7 +94,7 @@ impl RandomAccess {
         let mask = self.entries() - 1;
         let mut ran: u64 = 0x1;
         let m0 = g.tlb_stats();
-        let c0 = g.counters;
+        let c0 = g.counters();
         let t = std::time::Instant::now();
         for i in 0..updates {
             ran = hpcc_next(ran);
@@ -108,7 +108,7 @@ impl RandomAccess {
         }
         let secs = t.elapsed().as_secs_f64();
         let m1 = g.tlb_stats();
-        let c1 = g.counters;
+        let c1 = g.counters();
         let lookups = (m1.hits + m1.misses) - (m0.hits + m0.misses);
         let misses = m1.misses - m0.misses;
         Ok(RaResult {

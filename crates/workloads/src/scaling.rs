@@ -16,7 +16,9 @@ use crate::figures::Scale;
 use crate::{randomaccess, stream};
 use covirt::config::CovirtConfig;
 use covirt::ExecMode;
+use covirt_simhw::node::SimNode;
 use covirt_simhw::topology::{HwLayout, Topology};
+use std::sync::Arc;
 
 /// Core counts the sweep runs (the paper's 1→8 ladder).
 pub const CORE_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -104,7 +106,30 @@ pub fn build_world(mode: ExecMode, cores: usize, p: ScalingParams) -> World {
 /// Run one (mode, cores) point: per-core STREAM then per-core
 /// RandomAccess, all cores concurrent, one OS thread per core.
 pub fn run_point(mode: ExecMode, cores: usize, p: ScalingParams) -> ScalingPoint {
+    run_point_on(mode, cores, p, false).0
+}
+
+/// [`run_point`] with the node's flight recorder attached for the whole
+/// run. Returns the node alongside the measurement so the caller can
+/// export the trace and the metrics registry.
+pub fn run_point_recorded(
+    mode: ExecMode,
+    cores: usize,
+    p: ScalingParams,
+) -> (ScalingPoint, Arc<SimNode>) {
+    run_point_on(mode, cores, p, true)
+}
+
+fn run_point_on(
+    mode: ExecMode,
+    cores: usize,
+    p: ScalingParams,
+    record: bool,
+) -> (ScalingPoint, Arc<SimNode>) {
     let world = build_world(mode, cores, p);
+    if record {
+        world.node.recorder().set_enabled(true);
+    }
     let streams: Vec<stream::Stream> = (0..cores)
         .map(|_| stream::Stream::setup(&world, p.stream_n))
         .collect();
@@ -128,6 +153,7 @@ pub fn run_point(mode: ExecMode, cores: usize, p: ScalingParams) -> ScalingPoint
         for _ in 0..p.trials {
             gups = gups.max(ra.run(g, p.ra_updates).expect("ra updates").gups);
         }
+        g.publish_metrics();
         let c = g.counters();
         (triad, gups, c.resolve_hits, c.resolve_misses)
     });
@@ -136,14 +162,15 @@ pub fn run_point(mode: ExecMode, cores: usize, p: ScalingParams) -> ScalingPoint
     let gups: Vec<f64> = results.iter().map(|r| r.1).collect();
     let hits: u64 = results.iter().map(|r| r.2).sum();
     let misses: u64 = results.iter().map(|r| r.3).sum();
-    ScalingPoint {
+    let point = ScalingPoint {
         mode: mode.label(),
         cores,
         stream_mbs_per_core: covirt::stats::median(&triads),
         gups_per_core: covirt::stats::median(&gups),
         resolve_hit_rate: covirt::stats::ratio(hits, hits + misses),
         snapshot_swaps,
-    }
+    };
+    (point, Arc::clone(&world.node))
 }
 
 /// Run the full sweep: every core count, Native then Covirt, interleaved

@@ -240,7 +240,7 @@ fn guest_reads_stay_coherent_across_reclaim_epochs() {
     }
     stop.store(true, Ordering::Release);
     for h in guests {
-        let mut g = h.join().unwrap();
+        let g = h.join().unwrap();
         // The resolve instrumentation saw traffic on every live core.
         let c = g.counters();
         assert!(c.resolve_hits + c.resolve_misses > 0);
