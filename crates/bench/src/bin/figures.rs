@@ -20,7 +20,7 @@ use workloads::{scaling, table1};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8|scaling|shootdown|trace|report|traceovh|all> [--full]\n\
+        "usage: figures <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8|scaling|shootdown|trace|report|traceovh|audit|all> [--full] [--fault]\n\
          \n  table1  benchmark versions/parameters (Table I)\
          \n  fig3    Selfish-Detour noise profile\
          \n  fig4    XEMEM attach delay vs region size\
@@ -37,8 +37,14 @@ fn usage() -> ! {
          \n          slowest command completions\
          \n  traceovh  STREAM with the recorder disabled vs enabled; exits 1 if the\
          \n          disabled path regresses >2%\
-         \n  all     everything above (trace/report/traceovh run separately)\
-         \n  --full  paper-scale parameters (slow; needs several GiB)"
+         \n  audit   protection audit: run a clean lifecycle workload through the\
+         \n          audit engine and print lifecycles, violations (expected: zero)\
+         \n          and the per-enclave budget report; exits 1 on any violation.\
+         \n          With --fault, inject a contained fault instead and exit 1\
+         \n          unless the engine attributes >=1 violation to the enclave\
+         \n  all     everything above (trace/report/traceovh/audit run separately)\
+         \n  --full  paper-scale parameters (slow; needs several GiB)\
+         \n  --fault audit only: fault-injected run instead of the clean one"
     );
     std::process::exit(2)
 }
@@ -184,8 +190,20 @@ fn report_cmd() {
     use covirt_trace::export;
 
     let node = shootdown_demo(true);
-    let events = node.recorder().drain();
+    let (events, drops) = node.drain_trace();
     println!("\n{}", node.recorder().metrics().render());
+    let total_drops: u64 = drops.iter().sum();
+    let per_lane: Vec<String> = drops.iter().map(u64::to_string).collect();
+    println!(
+        "ring drops per lane: [{}]  total {}{}",
+        per_lane.join(", "),
+        total_drops,
+        if total_drops > 0 {
+            "  (evidence incomplete: oldest events overwritten)"
+        } else {
+            ""
+        }
+    );
     let slow = export::slowest_commands(&events, 5);
     if slow.is_empty() {
         println!("no timed command completions recorded");
@@ -195,6 +213,57 @@ fn report_cmd() {
         for c in slow {
             println!("  {:<10} {:<6} {:>10}", c.seq, c.core, c.latency_ns);
         }
+    }
+}
+
+/// `audit` subcommand: run the clean (or fault-injected) audit workload,
+/// stream the recorder through the protection-audit engine, and print the
+/// report. Exit status encodes the expectation: a clean run must show
+/// zero violations; a fault run must show at least one attributed to the
+/// faulting enclave.
+fn audit_cmd(fault: bool) {
+    use covirt_trace::audit::{audit_events, AuditConfig};
+    use workloads::audit as drivers;
+
+    let run = if fault {
+        eprintln!("[audit] fault-injected run...");
+        drivers::fault_run()
+    } else {
+        eprintln!("[audit] clean lifecycle run...");
+        drivers::clean_run()
+    };
+    let (events, drops) = run.node.drain_trace();
+    let report = audit_events(AuditConfig::default(), run.node.clock.hz(), &events, &drops);
+    println!("{}", report.render());
+    if fault {
+        let attributed = report
+            .violations
+            .iter()
+            .filter(|v| v.enclave == Some(run.enclave))
+            .count();
+        if attributed == 0 {
+            eprintln!(
+                "FAIL: fault run produced no violation attributed to enclave {}",
+                run.enclave
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "OK: fault run attributed {} violation(s) to enclave {}",
+            attributed, run.enclave
+        );
+    } else if !report.ok() {
+        eprintln!(
+            "FAIL: clean run produced {} invariant violation(s)",
+            report.violations.len()
+        );
+        std::process::exit(1);
+    } else {
+        println!(
+            "OK: clean audit — {} region lifecycle(s) complete, {} command chain(s), zero violations",
+            report.regions.len(),
+            report.commands.len()
+        );
     }
 }
 
@@ -315,6 +384,9 @@ fn main() {
     if what == "traceovh" {
         traceovh_cmd();
     }
+    if what == "audit" {
+        audit_cmd(args.iter().any(|a| a == "--fault"));
+    }
     if !all
         && !matches!(
             what,
@@ -331,6 +403,7 @@ fn main() {
                 | "trace"
                 | "report"
                 | "traceovh"
+                | "audit"
         )
     {
         usage();

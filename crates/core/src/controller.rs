@@ -161,7 +161,8 @@ impl CovirtController {
             .map_err(PiscesError::Hw)?;
             for r in &res.mem {
                 ept.map_identity(*r, 3).map_err(PiscesError::Hw)?;
-                self.tracer.emit(EventKind::EptMap, r.start.raw(), r.len);
+                self.tracer
+                    .emit_for(enclave.id.0, EventKind::EptMap, r.start.raw(), r.len);
             }
             // The management region (boot structures, control channel,
             // command queues) must be guest-reachable too.
@@ -192,7 +193,7 @@ impl CovirtController {
             let q = CmdQueue::create(&self.node.mem, range)
                 .map_err(|_| PiscesError::Invalid("command queue creation failed"))?
                 .with_core(core as u64)
-                .with_tracer(self.tracer.clone());
+                .with_tracer(self.tracer.clone().with_enclave(enclave.id.0));
             queues.push((core as u64, base.raw()));
             vctx.set_cmdq(core, q);
         }
@@ -237,7 +238,7 @@ impl CovirtController {
         };
         ept.unmap(range).map_err(|e| e.to_string())?;
         self.tracer
-            .emit(EventKind::Reclaim, range.start.raw(), range.len);
+            .emit_for(enclave, EventKind::Reclaim, range.start.raw(), range.len);
 
         {
             let mut pending = self.pending_reclaims.lock();
@@ -273,7 +274,8 @@ impl CovirtController {
         let traced = self.tracer.enabled();
         let t0 = if traced { self.node.clock.rdtsc() } else { 0 };
         if traced {
-            self.tracer.emit_at(
+            self.tracer.emit_at_for(
+                vctx.enclave_id,
                 EventKind::ShootdownBegin,
                 t0,
                 ranges.len() as u64,
@@ -326,7 +328,8 @@ impl CovirtController {
                 .node
                 .clock
                 .cycles_to_ns(self.node.clock.rdtsc().saturating_sub(t0));
-            self.tracer.emit(EventKind::ShootdownEnd, rtt, 0);
+            self.tracer
+                .emit_for(vctx.enclave_id, EventKind::ShootdownEnd, rtt, 0);
             self.tracer.observe(Hist::ShootdownRttNs, rtt);
         }
         Ok(())
@@ -400,7 +403,7 @@ impl CovirtController {
     /// enclave's resources and notifies dependants.
     pub fn report_fault(&self, enclave: u64, core: usize, reason: &str) {
         self.tracer
-            .emit(EventKind::FaultReport, enclave, core as u64);
+            .emit_for(enclave, EventKind::FaultReport, enclave, core as u64);
         self.faults.record(FaultReport {
             enclave,
             core,
@@ -430,7 +433,7 @@ impl EnclaveHooks for CovirtController {
                 // page list while the guest keeps running.
                 ept.map_identity(range, 3).map_err(PiscesError::Hw)?;
                 self.tracer
-                    .emit(EventKind::Grant, range.start.raw(), range.len);
+                    .emit_for(enclave.id.0, EventKind::Grant, range.start.raw(), range.len);
             }
         }
         Ok(())
@@ -444,7 +447,8 @@ impl EnclaveHooks for CovirtController {
     fn on_vector_alloc(&self, enclave: &Enclave, vector: u8) -> PiscesResult<()> {
         if let Some(vctx) = self.contexts.read().get(&enclave.id.0) {
             vctx.whitelist.add_vector(vector);
-            self.tracer.emit(EventKind::VectorAlloc, vector as u64, 0);
+            self.tracer
+                .emit_for(enclave.id.0, EventKind::VectorAlloc, vector as u64, 0);
         }
         Ok(())
     }
@@ -452,7 +456,8 @@ impl EnclaveHooks for CovirtController {
     fn on_vector_free(&self, enclave: &Enclave, vector: u8) -> PiscesResult<()> {
         if let Some(vctx) = self.contexts.read().get(&enclave.id.0) {
             vctx.whitelist.remove_vector(vector);
-            self.tracer.emit(EventKind::VectorFree, vector as u64, 0);
+            self.tracer
+                .emit_for(enclave.id.0, EventKind::VectorFree, vector as u64, 0);
         }
         Ok(())
     }
@@ -460,7 +465,8 @@ impl EnclaveHooks for CovirtController {
     fn on_teardown(&self, enclave: &Enclave) {
         if let Some(vctx) = self.contexts.write().remove(&enclave.id.0) {
             vctx.terminate("enclave torn down");
-            self.tracer.emit(EventKind::Teardown, enclave.id.0, 0);
+            self.tracer
+                .emit_for(enclave.id.0, EventKind::Teardown, enclave.id.0, 0);
         }
     }
 }
@@ -470,16 +476,24 @@ impl HobbesHooks for CovirtController {
         if let Some(vctx) = self.contexts.read().get(&enclave) {
             if let Some(ept) = vctx.ept.as_ref() {
                 ept.map_identity(range, 3).map_err(|e| e.to_string())?;
-                self.tracer
-                    .emit(EventKind::XememAttach, range.start.raw(), range.len);
+                self.tracer.emit_for(
+                    enclave,
+                    EventKind::XememAttach,
+                    range.start.raw(),
+                    range.len,
+                );
             }
         }
         Ok(())
     }
 
     fn on_xemem_detach_acked(&self, enclave: u64, range: PhysRange) -> Result<(), String> {
-        self.tracer
-            .emit(EventKind::XememDetach, range.start.raw(), range.len);
+        self.tracer.emit_for(
+            enclave,
+            EventKind::XememDetach,
+            range.start.raw(),
+            range.len,
+        );
         self.unmap_and_flush(enclave, range)
     }
 }

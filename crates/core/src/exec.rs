@@ -226,7 +226,7 @@ impl GuestCore {
         let vctx = controller.context(kernel.params.enclave_id)?;
         let cpu = Arc::clone(node.cpu(covirt_simhw::topology::CoreId(core))?);
         let hv = Hypervisor::launch(Arc::clone(&node), Arc::clone(&vctx), core)?;
-        let tracer = node.tracer(core as u32);
+        let tracer = node.tracer(core as u32).with_enclave(vctx.enclave_id);
         let mut tlb = Tlb::new(tlb);
         tlb.set_tracer(tracer.clone());
         let gc = GuestCore {

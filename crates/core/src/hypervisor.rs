@@ -98,8 +98,10 @@ impl Hypervisor {
         cpu.set_mode(CpuMode::Guest);
         vctx.core_entered_guest(core);
         model_delay_ns(VM_TRANSITION_NS); // the VMLAUNCH itself
-        let tracer = node.tracer(core as u32);
-        vmcs.write().tracer = Some(node.tracer(core as u32));
+                                          // Tag this core's lane with the enclave it runs, so exits, drains
+                                          // and completions attribute to it in the audit engine.
+        let tracer = node.tracer(core as u32).with_enclave(vctx.enclave_id);
+        vmcs.write().tracer = Some(tracer.clone());
         Ok(Hypervisor {
             core,
             cpu,

@@ -127,6 +127,14 @@ impl SimNode {
         self.tracer(self.recorder.controller_lane())
     }
 
+    /// Drain the flight recorder together with its per-lane overflow drop
+    /// counters. Audit consumers need both: the events to check, and the
+    /// drops to know whether absence-based invariants may be asserted.
+    pub fn drain_trace(&self) -> (Vec<covirt_trace::TraceEvent>, Vec<u64>) {
+        let drops = self.recorder.drops_per_lane();
+        (self.recorder.drain(), drops)
+    }
+
     /// A core by id.
     pub fn cpu(&self, id: CoreId) -> HwResult<&Arc<Cpu>> {
         self.cpus.get(id.0).ok_or(HwError::NoSuchCore(id.0))

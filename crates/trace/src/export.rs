@@ -41,6 +41,9 @@ pub fn to_jsonl(events: &[TraceEvent], hz: u64) -> String {
             e.idx,
             e.kind.name()
         ));
+        if let Some(enc) = e.enclave {
+            out.push_str(&format!(",\"enclave\":{enc}"));
+        }
         push_name_fields(e, &mut out);
         out.push_str("}\n");
     }
@@ -160,24 +163,29 @@ pub fn to_chrome_trace(events: &[TraceEvent], hz: u64) -> String {
             );
         }
     }
-    // Unmatched begins (still-open spans at dump time) become instants.
+    // Unmatched begins (still-open spans at dump time) become instants
+    // flagged `unpaired`, keeping their payload so in-flight exits and
+    // shootdowns stay visible in the trace instead of vanishing.
     for (lane, kind, bi) in open {
         let begin = &events[bi];
         let mut name = String::new();
-        if kind.carries_name() {
+        let args = if kind.carries_name() {
             escape(&unpack_str(begin.a, begin.b), &mut name);
+            "{\"unpaired\":true}".to_string()
         } else {
             name.push_str(kind.name());
-        }
+            format!("{{\"unpaired\":true,\"a\":{},\"b\":{}}}", begin.a, begin.b)
+        };
         emit(
             &mut out,
             &mut first,
             format!(
-                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{},\"ts\":{:.3}}}",
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{},\"ts\":{:.3},\"args\":{}}}",
                 name,
                 kind.name(),
                 lane,
-                ts_us(begin.tsc, t0, hz)
+                ts_us(begin.tsc, t0, hz),
+                args
             ),
         );
     }
@@ -241,6 +249,7 @@ mod tests {
             lane,
             idx,
             kind,
+            enclave: None,
             a,
             b,
         }
@@ -293,6 +302,32 @@ mod tests {
         // Both degrade to instants rather than corrupting the stream.
         assert_eq!(text.matches("\"ph\":\"i\"").count(), 2);
         assert!(!text.contains("\"ph\":\"X\""));
+        // The in-flight begin keeps its payload and is flagged unpaired.
+        assert!(text.contains("\"unpaired\":true"));
+        assert!(text.contains("\"a\":3,\"b\":1"));
+    }
+
+    #[test]
+    fn unpaired_named_begin_keeps_name() {
+        let (a, b) = pack_str("hlt");
+        let events = vec![ev(100, 0, 0, EventKind::ExitEnter, a, b)];
+        let text = to_chrome_trace(&events, 1_000_000_000);
+        assert!(text.contains("\"name\":\"hlt\""));
+        assert!(text.contains("\"unpaired\":true"));
+    }
+
+    #[test]
+    fn jsonl_carries_enclave_tag() {
+        let mut e = ev(1000, 0, 0, EventKind::Grant, 0x1000, 0x2000);
+        e.enclave = Some(3);
+        let text = to_jsonl(&[e], 1_000_000_000);
+        assert!(text.contains("\"enclave\":3"));
+        // Untagged events omit the field entirely.
+        let text = to_jsonl(
+            &[ev(1000, 0, 0, EventKind::Grant, 0x1000, 0x2000)],
+            1_000_000_000,
+        );
+        assert!(!text.contains("enclave"));
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //!   counters and log-bucketed latency histograms behind typed
 //!   [`Counter`]/[`Hist`] enums;
 //! * **exporters** ([`export`]) rendering a merged chronological dump as
-//!   JSON Lines or chrome://tracing JSON.
+//!   JSON Lines or chrome://tracing JSON;
+//! * an online **protection-audit engine** ([`audit`]) that streams a
+//!   dump through lifecycle stitching, invariant checkers and per-enclave
+//!   SLO watchdogs.
 //!
 //! The crate is a leaf: it knows nothing about the simulated hardware.
 //! Callers stamp events with their own TSC (a [`Tracer`] carries a
@@ -29,6 +32,7 @@
 //! observes an odd sequence, or a sequence that changed across its payload
 //! read, discards the slot — torn records are *detected*, never returned.
 
+pub mod audit;
 pub mod export;
 pub mod metrics;
 
@@ -48,21 +52,23 @@ pub const DEFAULT_LANE_CAPACITY: usize = 4096;
 pub enum EventKind {
     /// VM exit recorded (span begin). `a`,`b`: packed exit-reason name.
     ExitEnter = 1,
-    /// VM exit handled, guest re-entered (span end). `a`: handle ns.
+    /// VM exit handled, guest re-entered (span end). `a`: handle ns,
+    /// `b`: unused (0).
     ExitLeave = 2,
     /// Command posted to a core's queue. `a`: seq, `b`: target core.
     CmdPost = 3,
-    /// Hypervisor drained its queue. `a`: commands drained.
+    /// Hypervisor drained its queue. `a`: commands drained, `b`: unused (0).
     CmdDrain = 4,
-    /// Command executed + acknowledged. `a`: seq, `b`: post→complete ns.
+    /// Command executed + acknowledged. `a`: seq, `b`: post→complete ns
+    /// (0 when the poster's recorder was off).
     CmdComplete = 5,
-    /// Controller finished waiting on a completion. `a`: seq, `b`: ns.
+    /// Controller finished waiting on a completion. `a`: seq, `b`: wait ns.
     CmdWait = 6,
     /// NMI kick sent. `a`: sender core, `b`: destination core.
     NmiKick = 7,
-    /// Full TLB flush executed.
+    /// Full TLB flush executed. `a`,`b`: unused (0).
     TlbFlushAll = 8,
-    /// Single-page TLB invalidation. `a`: gva.
+    /// Single-page TLB invalidation. `a`: gva, `b`: unused (0).
     TlbFlushPage = 9,
     /// Ranged TLB invalidation. `a`: gva, `b`: len.
     TlbFlushRange = 10,
@@ -72,7 +78,8 @@ pub enum EventKind {
     EptUnmap = 12,
     /// Populate snapshot published. `a`: generation, `b`: region count.
     SnapshotPublish = 13,
-    /// Retired snapshots freed at a quiescent publish. `a`: count.
+    /// Retired snapshots freed at a quiescent publish. `a`: count freed,
+    /// `b`: unused (0).
     SnapshotRetire = 14,
     /// Memory granted to the enclave. `a`: start, `b`: len.
     Grant = 15,
@@ -80,27 +87,30 @@ pub enum EventKind {
     /// `b`: len.
     Reclaim = 16,
     /// Broadcast shootdown phase 1 begins (span begin). `a`: ranges,
-    /// `b`: 1 if range-flush commands were selected.
+    /// `b`: 1 if range-flush commands were selected, else 0.
     ShootdownBegin = 17,
-    /// Broadcast shootdown fully acknowledged (span end). `a`: rtt ns.
+    /// Broadcast shootdown fully acknowledged (span end). `a`: rtt ns,
+    /// `b`: unused (0).
     ShootdownEnd = 18,
     /// XEMEM segment attached. `a`: start, `b`: len.
     XememAttach = 19,
     /// XEMEM segment detached. `a`: start, `b`: len.
     XememDetach = 20,
-    /// IPI vector whitelisted. `a`: vector.
+    /// IPI vector whitelisted. `a`: vector, `b`: unused (0).
     VectorAlloc = 21,
-    /// IPI vector revoked. `a`: vector.
+    /// IPI vector revoked. `a`: vector, `b`: unused (0).
     VectorFree = 22,
-    /// Enclave virtualization context torn down. `a`: enclave.
+    /// Enclave virtualization context torn down. `a`: enclave id,
+    /// `b`: unused (0).
     Teardown = 23,
-    /// Fault-isolation teardown reported. `a`: enclave, `b`: core.
+    /// Fault-isolation teardown reported. `a`: enclave id, `b`: core.
     FaultReport = 24,
     /// Control-channel message sent. `a`,`b`: packed message tag.
     CtrlSend = 25,
     /// Control-channel message received. `a`,`b`: packed message tag.
     CtrlRecv = 26,
-    /// Posted-interrupt vectors harvested exit-lessly. `a`: count.
+    /// Posted-interrupt vectors harvested exit-lessly. `a`: count,
+    /// `b`: unused (0).
     PostedHarvest = 27,
 }
 
@@ -205,6 +215,19 @@ pub fn unpack_str(a: u64, b: u64) -> String {
     String::from_utf8_lossy(&buf[..end]).into_owned()
 }
 
+/// Enclave-attribution tags ride in the high 24 bits of a slot's meta
+/// word; ids at or above this alias to the max tag (never hit in practice
+/// — enclave ids are small and sequential).
+const ENCLAVE_TAG_MAX: u64 = (1 << 24) - 1;
+
+#[inline]
+fn enclave_tag(enclave: Option<u64>) -> u64 {
+    match enclave {
+        Some(id) => id.saturating_add(1).min(ENCLAVE_TAG_MAX),
+        None => 0,
+    }
+}
+
 /// One flight-recorder record: 40 bytes of payload, no pointers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -217,6 +240,9 @@ pub struct TraceEvent {
     pub idx: u64,
     /// What happened.
     pub kind: EventKind,
+    /// The enclave this event is attributed to, when the emitter tagged
+    /// one (see [`Tracer::with_enclave`] / [`Tracer::emit_for`]).
+    pub enclave: Option<u64>,
     /// First payload word.
     pub a: u64,
     /// Second payload word.
@@ -229,7 +255,8 @@ pub struct TraceEvent {
 struct Slot {
     seq: AtomicU64,
     tsc: AtomicU64,
-    /// kind (low 8 bits) | lane (next 32 bits).
+    /// kind (low 8 bits) | lane (bits 8..40) | enclave tag (bits 40..64,
+    /// `enclave_id + 1`, 0 = unattributed).
     meta: AtomicU64,
     a: AtomicU64,
     b: AtomicU64,
@@ -263,15 +290,17 @@ impl Lane {
     }
 
     #[inline]
-    fn write(&self, lane: u32, kind: EventKind, tsc: u64, a: u64, b: u64) {
+    fn write(&self, lane: u32, tag: u64, kind: EventKind, tsc: u64, a: u64, b: u64) {
         let idx = self.next.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(idx as usize) & (self.slots.len() - 1)];
         // Odd = write in flight. Release so the odd marker is visible
         // before any payload store can be observed as part of this write.
         slot.seq.store(idx * 2 + 1, Ordering::Release);
         slot.tsc.store(tsc, Ordering::Relaxed);
-        slot.meta
-            .store(kind as u64 | ((lane as u64) << 8), Ordering::Relaxed);
+        slot.meta.store(
+            kind as u64 | ((lane as u64) << 8) | (tag << 40),
+            Ordering::Relaxed,
+        );
         slot.a.store(a, Ordering::Relaxed);
         slot.b.store(b, Ordering::Relaxed);
         // Even = committed for stream index `idx`; Release publishes the
@@ -302,11 +331,13 @@ impl Lane {
             let Some(kind) = EventKind::from_u8(meta as u8) else {
                 continue;
             };
+            let tag = meta >> 40;
             out.push(TraceEvent {
                 tsc,
                 lane: (meta >> 8) as u32,
                 idx: (s1 - 2) / 2,
                 kind,
+                enclave: (tag != 0).then(|| tag - 1),
                 a,
                 b,
             });
@@ -367,11 +398,27 @@ impl Recorder {
     /// the last (controller) lane.
     #[inline]
     pub fn emit(&self, lane: u32, kind: EventKind, tsc: u64, a: u64, b: u64) {
+        self.emit_tagged(lane, None, kind, tsc, a, b);
+    }
+
+    /// [`Recorder::emit`] with an enclave-attribution tag packed into the
+    /// record's meta word (the audit engine keys per-enclave rollups and
+    /// lifecycle chains off it).
+    #[inline]
+    pub fn emit_tagged(
+        &self,
+        lane: u32,
+        enclave: Option<u64>,
+        kind: EventKind,
+        tsc: u64,
+        a: u64,
+        b: u64,
+    ) {
         if !self.enabled() {
             return;
         }
         let li = (lane as usize).min(self.lanes.len() - 1);
-        self.lanes[li].write(lane, kind, tsc, a, b);
+        self.lanes[li].write(lane, enclave_tag(enclave), kind, tsc, a, b);
     }
 
     /// One lane's coherent records, oldest first.
@@ -397,6 +444,39 @@ impl Recorder {
             .map(|l| l.next.load(Ordering::Relaxed))
             .sum()
     }
+
+    /// Events per lane ring (all lanes share one capacity).
+    pub fn lane_capacity(&self) -> u64 {
+        self.lanes[0].slots.len() as u64
+    }
+
+    /// Events ever emitted on one lane (including overwritten ones).
+    pub fn lane_emitted(&self, lane: u32) -> u64 {
+        self.lanes
+            .get(lane as usize)
+            .map(|l| l.next.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Events a lane's ring has overwritten (dropped from any future
+    /// dump): everything emitted beyond the ring's capacity.
+    pub fn lane_dropped(&self, lane: u32) -> u64 {
+        self.lane_emitted(lane).saturating_sub(self.lane_capacity())
+    }
+
+    /// Overwritten (dropped) events summed across all lanes.
+    pub fn dropped(&self) -> u64 {
+        (0..self.lanes.len() as u32)
+            .map(|l| self.lane_dropped(l))
+            .sum()
+    }
+
+    /// Per-lane dropped-event counts, in lane order.
+    pub fn drops_per_lane(&self) -> Vec<u64> {
+        (0..self.lanes.len() as u32)
+            .map(|l| self.lane_dropped(l))
+            .collect()
+    }
 }
 
 /// A cheap per-call-site handle: recorder + lane + timestamp source. The
@@ -406,13 +486,32 @@ impl Recorder {
 pub struct Tracer {
     rec: Arc<Recorder>,
     lane: u32,
+    /// Default enclave attribution for every emit (None = untagged).
+    enclave: Option<u64>,
     now: Arc<dyn Fn() -> u64 + Send + Sync>,
 }
 
 impl Tracer {
     /// A tracer stamping events for `lane` with timestamps from `now`.
     pub fn new(rec: Arc<Recorder>, lane: u32, now: Arc<dyn Fn() -> u64 + Send + Sync>) -> Tracer {
-        Tracer { rec, lane, now }
+        Tracer {
+            rec,
+            lane,
+            enclave: None,
+            now,
+        }
+    }
+
+    /// Tag every event this tracer emits with an enclave id, so the audit
+    /// engine can attribute exits, commands and shootdowns per enclave.
+    pub fn with_enclave(mut self, enclave: u64) -> Tracer {
+        self.enclave = Some(enclave);
+        self
+    }
+
+    /// The enclave this tracer attributes events to, if any.
+    pub fn enclave(&self) -> Option<u64> {
+        self.enclave
     }
 
     /// The lane this tracer writes.
@@ -435,14 +534,34 @@ impl Tracer {
     #[inline]
     pub fn emit(&self, kind: EventKind, a: u64, b: u64) {
         if self.rec.enabled() {
-            self.rec.emit(self.lane, kind, (self.now)(), a, b);
+            self.rec
+                .emit_tagged(self.lane, self.enclave, kind, (self.now)(), a, b);
+        }
+    }
+
+    /// Emit attributed to an explicit enclave, overriding the tracer's
+    /// default tag — for shared call sites (controller hooks) that serve
+    /// many enclaves through one tracer.
+    #[inline]
+    pub fn emit_for(&self, enclave: u64, kind: EventKind, a: u64, b: u64) {
+        if self.rec.enabled() {
+            self.rec
+                .emit_tagged(self.lane, Some(enclave), kind, (self.now)(), a, b);
         }
     }
 
     /// Emit with a caller-supplied timestamp (e.g. the exit-info TSC).
     #[inline]
     pub fn emit_at(&self, kind: EventKind, tsc: u64, a: u64, b: u64) {
-        self.rec.emit(self.lane, kind, tsc, a, b);
+        self.rec
+            .emit_tagged(self.lane, self.enclave, kind, tsc, a, b);
+    }
+
+    /// [`Tracer::emit_at`] attributed to an explicit enclave.
+    #[inline]
+    pub fn emit_at_for(&self, enclave: u64, kind: EventKind, tsc: u64, a: u64, b: u64) {
+        self.rec
+            .emit_tagged(self.lane, Some(enclave), kind, tsc, a, b);
     }
 
     /// Record a latency sample into the registry (gated like `emit`).
@@ -553,5 +672,81 @@ mod tests {
         }
         assert_eq!(EventKind::from_u8(0), None);
         assert_eq!(EventKind::from_u8(200), None);
+    }
+
+    /// The kind→name table must stay exhaustive: `EventKind::name` is a
+    /// match without a wildcard (a new kind without a name is a compile
+    /// error), `ALL` must enumerate every discriminant contiguously, and
+    /// names must be unique, non-empty wire identifiers.
+    #[test]
+    fn kind_name_table_exhaustive() {
+        use std::collections::HashSet;
+        // Discriminants are 1..=N with no gaps, in declaration order.
+        for (i, k) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(*k as u8, (i + 1) as u8, "ALL must match discriminants");
+        }
+        assert_eq!(
+            EventKind::from_u8(EventKind::ALL.len() as u8 + 1),
+            None,
+            "ALL must cover every defined kind"
+        );
+        let names: HashSet<&str> = EventKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), EventKind::ALL.len(), "names must be unique");
+        for n in names {
+            assert!(!n.is_empty());
+            assert!(
+                n.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "{n} is not a wire-safe name"
+            );
+        }
+    }
+
+    #[test]
+    fn enclave_tag_roundtrips_through_meta_word() {
+        let r = recorder();
+        r.emit_tagged(0, Some(0), EventKind::Grant, 10, 1, 2);
+        r.emit_tagged(0, Some(41), EventKind::Reclaim, 20, 3, 4);
+        r.emit(0, EventKind::CmdPost, 30, 5, 6);
+        let evs = r.lane_events(0);
+        assert_eq!(evs[0].enclave, Some(0));
+        assert_eq!(evs[1].enclave, Some(41));
+        assert_eq!(evs[2].enclave, None);
+        // Huge ids clamp instead of corrupting lane/kind bits.
+        r.emit_tagged(1, Some(u64::MAX), EventKind::Teardown, 40, 0, 0);
+        let e = &r.lane_events(1)[0];
+        assert_eq!(e.kind, EventKind::Teardown);
+        assert_eq!(e.lane, 1);
+        assert_eq!(e.enclave, Some(ENCLAVE_TAG_MAX - 1));
+    }
+
+    #[test]
+    fn tracer_enclave_tagging() {
+        let r = recorder();
+        let t = Tracer::new(Arc::clone(&r), 1, Arc::new(|| 5)).with_enclave(7);
+        assert_eq!(t.enclave(), Some(7));
+        t.emit(EventKind::ExitLeave, 100, 0);
+        t.emit_for(9, EventKind::Grant, 0x1000, 0x2000);
+        t.emit_at(EventKind::CmdDrain, 6, 1, 0);
+        t.emit_at_for(9, EventKind::ShootdownBegin, 7, 1, 0);
+        let evs = r.lane_events(1);
+        assert_eq!(evs[0].enclave, Some(7));
+        assert_eq!(evs[1].enclave, Some(9));
+        assert_eq!(evs[2].enclave, Some(7));
+        assert_eq!(evs[3].enclave, Some(9));
+    }
+
+    #[test]
+    fn lane_drop_accounting() {
+        let r = recorder(); // capacity 16 per lane
+        assert_eq!(r.lane_capacity(), 16);
+        for i in 0..40u64 {
+            r.emit(0, EventKind::CmdPost, 100 + i, i, 0);
+        }
+        r.emit(1, EventKind::Grant, 1, 0, 0);
+        assert_eq!(r.lane_emitted(0), 40);
+        assert_eq!(r.lane_dropped(0), 24);
+        assert_eq!(r.lane_dropped(1), 0);
+        assert_eq!(r.dropped(), 24);
+        assert_eq!(r.drops_per_lane(), vec![24, 0, 0]);
     }
 }

@@ -213,6 +213,25 @@ impl Default for HistSnapshot {
 }
 
 impl HistSnapshot {
+    /// Record one sample into this snapshot — for offline consumers (the
+    /// audit engine) that bucket values outside the atomic registry.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[LogHistogram::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Merge another snapshot (e.g. a per-lane shard) into this one.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (i, b) in other.buckets.iter().enumerate() {
+            self.buckets[i] += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
     /// Arithmetic mean, or 0 for an empty histogram.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -410,6 +429,90 @@ mod tests {
         // Out-of-range lane clamps to the last shard.
         reg.add(99, Counter::Shootdowns, 1);
         assert_eq!(reg.counter(2, Counter::Shootdowns), 1);
+    }
+
+    /// Exact q-quantile of a sorted sample set (nearest-rank).
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank - 1]
+    }
+
+    /// The log2 buckets guarantee the estimate is the upper bound of the
+    /// bucket holding the true quantile: exact <= estimate <= 2 * exact
+    /// (equality on the right when the exact value is a power of two).
+    fn assert_within_bucket(est: u64, exact: u64, what: &str) {
+        if exact == 0 {
+            assert_eq!(est, 0, "{what}: zero sample must estimate 0");
+        } else {
+            assert!(
+                est >= exact && est <= exact.saturating_mul(2),
+                "{what}: estimate {est} outside [{exact}, {}]",
+                exact.saturating_mul(2)
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_track_exact_values_on_synthetic_distributions() {
+        // Uniform, geometric-ish (latency-like heavy tail), and constant.
+        let uniform: Vec<u64> = (1..=10_000).collect();
+        let heavy: Vec<u64> = (0..10_000)
+            .map(|i| 100 + (i % 97) + if i % 100 == 0 { 1 << 20 } else { 0 })
+            .collect();
+        let constant: Vec<u64> = vec![4096; 1000];
+        for (name, samples) in [
+            ("uniform", uniform),
+            ("heavy-tail", heavy),
+            ("constant", constant),
+        ] {
+            let mut snap = HistSnapshot::default();
+            for &v in &samples {
+                snap.record(v);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            for q in [0.5, 0.9, 0.99] {
+                assert_within_bucket(
+                    snap.quantile(q),
+                    exact_quantile(&sorted, q),
+                    &format!("{name} p{}", (q * 100.0) as u32),
+                );
+            }
+            assert_eq!(snap.count, samples.len() as u64);
+            assert_eq!(snap.max, *sorted.last().unwrap());
+        }
+    }
+
+    #[test]
+    fn merge_of_shards_matches_single_histogram() {
+        // Record the same stream split across 4 shards vs all-in-one;
+        // merged shards must be bit-identical to the single snapshot.
+        let samples: Vec<u64> = (0..5_000).map(|i| (i * 7919) % 100_000).collect();
+        let mut whole = HistSnapshot::default();
+        let mut shards = vec![HistSnapshot::default(); 4];
+        for (i, &v) in samples.iter().enumerate() {
+            whole.record(v);
+            shards[i % 4].record(v);
+        }
+        let mut merged = HistSnapshot::default();
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged.buckets, whole.buckets);
+        assert_eq!(merged.count, whole.count);
+        assert_eq!(merged.sum, whole.sum);
+        assert_eq!(merged.max, whole.max);
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), whole.quantile(q));
+        }
+        // And matches the atomic registry's cross-lane merge.
+        let reg = MetricsRegistry::new(4);
+        for (i, &v) in samples.iter().enumerate() {
+            reg.observe(i % 4, Hist::CmdLatencyNs, v);
+        }
+        let reg_snap = reg.histogram(Hist::CmdLatencyNs);
+        assert_eq!(reg_snap.buckets, whole.buckets);
+        assert_eq!(reg_snap.count, whole.count);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! Kitten stack for one `ExecMode`, and [`figures`] contains the
 //! per-figure drivers the benchmark harness and the `figures` binary use.
 
+pub mod audit;
 pub mod env;
 pub mod figures;
 pub mod hpcg;

@@ -5,6 +5,7 @@
 //! tour and DESIGN.md for the system inventory.
 
 pub use covirt_simhw as simhw;
+pub use covirt_trace as trace;
 pub use hobbes;
 pub use kitten;
 pub use pisces;
