@@ -20,7 +20,7 @@ use workloads::{scaling, table1};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8|scaling|shootdown|trace|report|traceovh|audit|all> [--full] [--fault]\n\
+        "usage: figures <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8|scaling|shootdown|trace|report|traceovh|audit|selfheal|all> [--full] [--fault]\n\
          \n  table1  benchmark versions/parameters (Table I)\
          \n  fig3    Selfish-Detour noise profile\
          \n  fig4    XEMEM attach delay vs region size\
@@ -42,9 +42,14 @@ fn usage() -> ! {
          \n          and the per-enclave budget report; exits 1 on any violation.\
          \n          With --fault, inject a contained fault instead and exit 1\
          \n          unless the engine attributes >=1 violation to the enclave\
-         \n  all     everything above (trace/report/traceovh/audit run separately)\
+         \n  selfheal  live audit tail with self-healing control feedback: a clean\
+         \n          run must take zero remediation actions; with --fault, the\
+         \n          injected violation must be detected live, the enclave\
+         \n          quarantined, and the detection->remediation latency (MTTR)\
+         \n          printed; exits 1 when either expectation fails\
+         \n  all     everything above (trace/report/traceovh/audit/selfheal run separately)\
          \n  --full  paper-scale parameters (slow; needs several GiB)\
-         \n  --fault audit only: fault-injected run instead of the clean one"
+         \n  --fault audit/selfheal: fault-injected run instead of the clean one"
     );
     std::process::exit(2)
 }
@@ -267,6 +272,64 @@ fn audit_cmd(fault: bool) {
     }
 }
 
+/// `selfheal` subcommand: run the live-tailed workload with the
+/// remediation loop closed onto the Pisces host. A clean run must take
+/// zero actions; a fault run must quarantine the faulting enclave from a
+/// live verdict and report a finite MTTR.
+fn selfheal_cmd(fault: bool) {
+    use workloads::selfheal as drivers;
+
+    let r = if fault {
+        eprintln!("[selfheal] fault-injected run, live tail + remediation...");
+        drivers::fault_run()
+    } else {
+        eprintln!("[selfheal] clean lifecycle run, live tail + remediation...");
+        drivers::clean_run()
+    };
+    println!(
+        "live tail: {} batch(es), {} event(s) delivered, {} lapped",
+        r.batches, r.events, r.dropped
+    );
+    if r.actions.is_empty() {
+        println!("remediation actions: none");
+    } else {
+        println!("remediation actions:");
+        for a in &r.actions {
+            println!("  - {a}");
+        }
+    }
+    if fault {
+        if !r.quarantined() || !r.quarantined_live {
+            eprintln!(
+                "FAIL: fault run did not quarantine enclave {} from the live tail",
+                r.enclave
+            );
+            std::process::exit(1);
+        }
+        match r.mttr_ns {
+            Some(mttr) => println!(
+                "OK: enclave {} quarantined live; MTTR {} ns ({} event(s) fault -> remediation)",
+                r.enclave, mttr, r.events_to_remediate
+            ),
+            None => {
+                eprintln!("FAIL: fault run measured no MTTR (fault report never tailed)");
+                std::process::exit(1);
+            }
+        }
+    } else if !r.actions.is_empty() {
+        eprintln!(
+            "FAIL: clean run took {} remediation action(s)",
+            r.actions.len()
+        );
+        std::process::exit(1);
+    } else {
+        println!(
+            "OK: clean run — zero remediation actions across {} tailed event(s)",
+            r.events
+        );
+    }
+}
+
 /// One best-of STREAM triad measurement with the recorder off or on.
 fn stream_triad(trace: bool) -> f64 {
     use covirt::config::CovirtConfig;
@@ -387,6 +450,9 @@ fn main() {
     if what == "audit" {
         audit_cmd(args.iter().any(|a| a == "--fault"));
     }
+    if what == "selfheal" {
+        selfheal_cmd(args.iter().any(|a| a == "--fault"));
+    }
     if !all
         && !matches!(
             what,
@@ -404,6 +470,7 @@ fn main() {
                 | "report"
                 | "traceovh"
                 | "audit"
+                | "selfheal"
         )
     {
         usage();

@@ -216,7 +216,7 @@ mod tests {
     #[test]
     fn fmt_pct_prints_na_for_nan() {
         assert_eq!(fmt_pct(f64::NAN), "n/a");
-        assert_eq!(fmt_pct(3.14159), "3.14");
+        assert_eq!(fmt_pct(4.25159), "4.25");
         assert_eq!(fmt_pct(overhead_pct(0.0, 5.0)), "n/a");
     }
 

@@ -4,6 +4,7 @@ use crate::ctrlchan::CtrlChannel;
 use crate::resources::ResourceSpec;
 use covirt_simhw::addr::PhysRange;
 use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Enclave identifier, unique per host.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -53,6 +54,12 @@ pub struct Enclave {
     /// the framework, not part of the co-kernel's general-purpose memory).
     pub mgmt_region: PhysRange,
     ctrl: Mutex<Option<CtrlChannel>>,
+    /// Self-healing control flags, orthogonal to the lifecycle state: a
+    /// remediation policy throttles an enclave whose SLOs degrade and
+    /// quarantines one with a confirmed protection violation. Flags, not
+    /// states — the lifecycle machine keeps its invariants.
+    throttled: AtomicBool,
+    quarantined: AtomicBool,
 }
 
 impl Enclave {
@@ -70,7 +77,32 @@ impl Enclave {
             resources: RwLock::new(resources),
             mgmt_region,
             ctrl: Mutex::new(None),
+            throttled: AtomicBool::new(false),
+            quarantined: AtomicBool::new(false),
         }
+    }
+
+    /// Whether a remediation policy is throttling this enclave.
+    pub fn is_throttled(&self) -> bool {
+        self.throttled.load(Ordering::Acquire)
+    }
+
+    /// Set or clear the throttle flag (the enclave's drivers pace resource
+    /// requests off it). Returns the previous value.
+    pub fn set_throttled(&self, on: bool) -> bool {
+        self.throttled.swap(on, Ordering::AcqRel)
+    }
+
+    /// Whether this enclave has been quarantined.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined.load(Ordering::Acquire)
+    }
+
+    /// Quarantine the enclave: no new resources may be granted to it
+    /// (`PiscesHost::add_memory` refuses). One-way; returns `true` only
+    /// for the transition, so a policy acts exactly once.
+    pub fn quarantine(&self) -> bool {
+        !self.quarantined.swap(true, Ordering::AcqRel)
     }
 
     /// Current state (cloned snapshot).
@@ -147,6 +179,22 @@ mod tests {
         let prev = e.set_state(EnclaveState::Failed("ept violation".into()));
         assert_eq!(prev, EnclaveState::Running);
         assert!(!e.state().is_live());
+    }
+
+    #[test]
+    fn remediation_flags() {
+        let e = enclave();
+        assert!(!e.is_throttled());
+        assert!(!e.is_quarantined());
+        assert!(!e.set_throttled(true));
+        assert!(e.is_throttled());
+        assert!(e.set_throttled(false));
+        // Quarantine reports the transition exactly once.
+        assert!(e.quarantine());
+        assert!(!e.quarantine());
+        assert!(e.is_quarantined());
+        // Flags do not disturb the lifecycle state machine.
+        assert_eq!(e.state(), EnclaveState::Created);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use covirt_simhw::node::SimNode;
 use covirt_simhw::topology::{CoreId, ZoneId};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// First dynamically allocatable IPI vector (below are legacy/exception
@@ -39,6 +39,9 @@ pub struct PiscesHost {
     next_id: AtomicU64,
     assigned_cores: Mutex<HashSet<usize>>,
     vector_pool: Mutex<VecDeque<u8>>,
+    /// When set (by a remediation policy whose observability degraded),
+    /// new enclave admission is refused until the flag clears.
+    admission_shed: AtomicBool,
 }
 
 impl PiscesHost {
@@ -51,7 +54,20 @@ impl PiscesHost {
             next_id: AtomicU64::new(1),
             assigned_cores: Mutex::new(HashSet::from([0])),
             vector_pool: Mutex::new((VECTOR_POOL_FIRST..=VECTOR_POOL_LAST).collect()),
+            admission_shed: AtomicBool::new(false),
         })
+    }
+
+    /// Whether new enclave admission is currently shed.
+    pub fn admission_shed(&self) -> bool {
+        self.admission_shed.load(Ordering::Acquire)
+    }
+
+    /// Shed (or re-open) admission of new enclaves. Returns the previous
+    /// value. Set by remediation when ring-drop rates mark the audit
+    /// evidence too incomplete to vouch for new tenants.
+    pub fn set_admission_shed(&self, on: bool) -> bool {
+        self.admission_shed.swap(on, Ordering::AcqRel)
     }
 
     /// The node this framework manages.
@@ -89,6 +105,11 @@ impl PiscesHost {
     /// allocate IPI vectors, set up the control channel and boot
     /// parameters. The enclave is left in `Loaded` state.
     pub fn create_enclave(&self, name: &str, req: &ResourceRequest) -> PiscesResult<Arc<Enclave>> {
+        if self.admission_shed() {
+            return Err(PiscesError::ResourceBusy(
+                "admission shed: observability degraded",
+            ));
+        }
         // Claim cores.
         {
             let mut assigned = self.assigned_cores.lock();
@@ -264,6 +285,9 @@ impl PiscesHost {
                 enclave: enclave.id.0,
                 op: "add_memory",
             });
+        }
+        if enclave.is_quarantined() {
+            return Err(PiscesError::Vetoed("enclave is quarantined"));
         }
         let range = self.node.mem.alloc_backed(zone, bytes, PAGE_SIZE_2M)?;
         if let Err(e) = self.run_hooks(|h| h.on_mem_add_prepared(enclave, range)) {

@@ -31,12 +31,14 @@ pub mod enclave;
 pub mod hooks;
 pub mod host;
 pub mod ioctl;
+pub mod remediation;
 pub mod resources;
 pub mod ring;
 pub mod wire;
 
 pub use enclave::{Enclave, EnclaveId, EnclaveState};
 pub use host::PiscesHost;
+pub use remediation::{RemediationAction, RemediationConfig, RemediationPolicy};
 pub use resources::ResourceSpec;
 
 /// Errors produced by the framework.

@@ -60,10 +60,31 @@ macro_rules! addr_type {
                 Self(self.0 & !(page_size - 1))
             }
 
-            /// Round up to the next page boundary (saturating).
+            /// Round up to the next page boundary.
+            ///
+            /// Addresses inside the top page of the address space have no
+            /// representable rounded-up boundary: this used to saturate at
+            /// `u64::MAX` and mask, silently rounding *down*. Debug builds
+            /// now panic there; release builds keep the saturating result.
+            /// Use [`Self::checked_align_up`] for untrusted inputs.
             #[inline]
             pub const fn align_up(self, page_size: u64) -> Self {
+                debug_assert!(
+                    self.0 <= u64::MAX - (page_size - 1),
+                    "align_up overflows u64; use checked_align_up"
+                );
                 Self((self.0.saturating_add(page_size - 1)) & !(page_size - 1))
+            }
+
+            /// Round up to the next page boundary, or `None` when the
+            /// boundary would exceed `u64::MAX` (the address lies inside
+            /// the top, partial page of the address space).
+            #[inline]
+            pub const fn checked_align_up(self, page_size: u64) -> Option<Self> {
+                match self.0.checked_add(page_size - 1) {
+                    Some(v) => Some(Self(v & !(page_size - 1))),
+                    None => None,
+                }
             }
 
             /// True if the address is aligned to `page_size`.
@@ -227,6 +248,41 @@ mod tests {
         assert!(outer.covers(&inner));
         assert!(!inner.covers(&outer));
         assert!(outer.covers(&outer));
+    }
+
+    #[test]
+    fn checked_align_up_boundaries() {
+        let top = HostPhysAddr::new(u64::MAX & !(PAGE_SIZE_4K - 1)); // aligned top boundary
+        assert_eq!(top.checked_align_up(PAGE_SIZE_4K), Some(top));
+        assert_eq!(
+            HostPhysAddr::new(top.raw() - 1)
+                .checked_align_up(PAGE_SIZE_4K)
+                .unwrap(),
+            top
+        );
+        // Inside the top partial page: no representable boundary.
+        assert_eq!(
+            HostPhysAddr::new(top.raw() + 1).checked_align_up(PAGE_SIZE_4K),
+            None
+        );
+        assert_eq!(
+            HostPhysAddr::new(u64::MAX).checked_align_up(PAGE_SIZE_4K),
+            None
+        );
+        assert_eq!(
+            GuestVirtAddr::new(1).checked_align_up(PAGE_SIZE_2M),
+            Some(GuestVirtAddr::new(PAGE_SIZE_2M))
+        );
+    }
+
+    /// Regression: near the top of the address space `align_up` saturated
+    /// the add and silently rounded *down* (0xffff_ffff_ffff_fff5 →
+    /// 0xffff_ffff_ffff_f000). It must refuse instead.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "align_up overflows")]
+    fn align_up_overflow_panics_in_debug() {
+        let _ = HostPhysAddr::new(u64::MAX - 10).align_up(PAGE_SIZE_4K);
     }
 
     #[test]

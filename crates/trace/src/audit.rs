@@ -39,7 +39,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Convert simulated-TSC cycles to nanoseconds at `hz` (split to avoid
 /// overflow on large cycle counts).
-fn cycles_to_ns(cycles: u64, hz: u64) -> u64 {
+pub fn cycles_to_ns(cycles: u64, hz: u64) -> u64 {
     if hz == 0 {
         return cycles;
     }
@@ -151,9 +151,14 @@ pub struct CmdLifecycle {
 }
 
 impl CmdLifecycle {
-    /// Whether the command reached its completion acknowledgement.
+    /// Whether the command provably finished: its completion ack was
+    /// observed, or a controller wait for it returned. The second case
+    /// matters for drain-merged and live-tailed captures — the ring can
+    /// overwrite the `CmdComplete` record while the controller-lane
+    /// `CmdWait` (which can only follow the completion) survives, so the
+    /// chain is complete even though `complete_tsc` is `None`.
     pub fn complete(&self) -> bool {
-        self.complete_tsc.is_some()
+        self.complete_tsc.is_some() || self.wait_ns.is_some()
     }
 }
 
@@ -234,6 +239,53 @@ impl EnclaveStats {
     pub fn is_degraded(&self) -> bool {
         !self.degraded.is_empty()
     }
+}
+
+/// What one live-tailed batch changed — the unit of feedback a
+/// remediation policy consumes (see [`AuditEngine::ingest_tail`]).
+#[derive(Clone, Debug, Default)]
+pub struct TailVerdict {
+    /// Violations appended while ingesting this batch. Presence-based
+    /// findings (fault reports, stale-window grants, over-bound
+    /// completions) fire here, live; absence-based findings wait for
+    /// [`AuditEngine::finish`].
+    pub new_violations: Vec<Violation>,
+    /// Enclaves whose p99 currently exceeds a configured SLO budget,
+    /// with the budgets crossed. Recomputed (non-destructively) per
+    /// batch, so an enclave drops off this list when it recovers.
+    pub degraded: Vec<(u64, Vec<String>)>,
+    /// Ring laps the tail reported for this batch.
+    pub dropped_since: u64,
+    /// Events ingested from this batch.
+    pub ingested: u64,
+    /// Whether the capture as a whole has lost events so far — consumers
+    /// should treat absence-based findings in `new_violations` as
+    /// unconfirmed when set.
+    pub evidence_incomplete: bool,
+}
+
+/// The budgets an enclave's current p99s cross (empty = within SLO).
+fn slo_breaches(budgets: &SloBudgets, s: &EnclaveStats) -> Vec<String> {
+    let mut over = Vec::new();
+    let mut check = |label: &str, p99: u64, budget: Option<u64>| {
+        if let Some(b) = budget {
+            if p99 > b {
+                over.push(format!("{label} p99 {p99} > {b} ns"));
+            }
+        }
+    };
+    check("exit", s.exit_ns.quantile(0.99), budgets.exit_p99_ns);
+    check(
+        "shootdown",
+        s.shootdown_rtt_ns.quantile(0.99),
+        budgets.shootdown_p99_ns,
+    );
+    check(
+        "cmd-wait",
+        s.cmd_wait_ns.quantile(0.99),
+        budgets.cmd_wait_p99_ns,
+    );
+    over
 }
 
 /// The engine's final output.
@@ -323,8 +375,12 @@ impl AuditReport {
                 if let Some(nmi) = c.nmi_tsc {
                     post_to_nmi.record(self.ns(nmi.saturating_sub(c.post_tsc)));
                 }
-                post_to_complete
-                    .record(self.ns(c.complete_tsc.unwrap().saturating_sub(c.post_tsc)));
+                // A chain can be complete with no observed ack (a
+                // returned wait proves completion after the ack record
+                // was overwritten) — unwrapping here used to panic.
+                if let Some(t) = c.complete_tsc {
+                    post_to_complete.record(self.ns(t.saturating_sub(c.post_tsc)));
+                }
             }
             out.push_str(&format!(
                 "  post->nmi-ns      p50 {:>8}  p99 {:>8}  max {:>8}  (n={})\n",
@@ -509,7 +565,50 @@ impl AuditEngine {
             }
         }
         self.last_idx.insert(e.lane, e.idx);
+        self.ingest_event(e);
+    }
 
+    /// Ingest one incremental batch from [`crate::Recorder::tail_from`] /
+    /// [`crate::Recorder::tail_all`] and report what this batch changed.
+    ///
+    /// `dropped_since` is the tail's lap count for the batch; the cursor
+    /// protocol already accounts every missing stream index there, so the
+    /// per-lane gap detector is bypassed (it would double-count the same
+    /// gap). Lifecycles stitch across batches — a `Grant` in one batch and
+    /// its `Reclaim` three batches later land on the same
+    /// [`RegionLifecycle`] — and nothing is re-scanned: the verdict is
+    /// computed from the deltas this batch appended. Absence-based
+    /// end-of-trace checks still require [`AuditEngine::finish`].
+    pub fn ingest_tail(&mut self, events: &[TraceEvent], dropped_since: u64) -> TailVerdict {
+        let vstart = self.violations.len();
+        if dropped_since > 0 {
+            self.dropped += dropped_since;
+            self.notes.push(format!(
+                "live tail: {dropped_since} event(s) lapped before delivery"
+            ));
+        }
+        for e in events {
+            self.last_idx.insert(e.lane, e.idx);
+            self.ingest_event(e);
+        }
+        let degraded = self
+            .enclaves
+            .iter()
+            .filter_map(|(&id, s)| {
+                let over = slo_breaches(&self.cfg.budgets, s);
+                (!over.is_empty()).then_some((id, over))
+            })
+            .collect();
+        TailVerdict {
+            new_violations: self.violations[vstart..].to_vec(),
+            degraded,
+            dropped_since,
+            ingested: events.len() as u64,
+            evidence_incomplete: self.dropped > 0,
+        }
+    }
+
+    fn ingest_event(&mut self, e: &TraceEvent) {
         self.window.push_back(*e);
         if self.window.len() > self.cfg.window {
             self.window.pop_front();
@@ -593,7 +692,9 @@ impl AuditEngine {
                 if let Some(s) = self.stats(e.enclave) {
                     s.cmd_wait_ns.record(e.b);
                 }
-                // Attach to the most recent matching completed command.
+                // Attach to the most recent matching command. A returned
+                // wait also proves completion, so close the open entry —
+                // the ack record itself may have been lost to the ring.
                 if let Some(c) = self
                     .cmd_order
                     .iter_mut()
@@ -601,6 +702,8 @@ impl AuditEngine {
                     .find(|c| c.seq == e.a && c.wait_ns.is_none())
                 {
                     c.wait_ns = Some(e.b);
+                    let key = (c.seq, c.core);
+                    self.cmds_open.remove(&key);
                 }
             }
             EventKind::Grant => {
@@ -784,24 +887,7 @@ impl AuditEngine {
         // SLO watchdogs.
         let budgets = self.cfg.budgets;
         for s in self.enclaves.values_mut() {
-            let mut check = |label: &str, p99: u64, budget: Option<u64>| {
-                if let Some(b) = budget {
-                    if p99 > b {
-                        s.degraded.push(format!("{label} p99 {p99} > {b} ns"));
-                    }
-                }
-            };
-            check("exit", s.exit_ns.quantile(0.99), budgets.exit_p99_ns);
-            check(
-                "shootdown",
-                s.shootdown_rtt_ns.quantile(0.99),
-                budgets.shootdown_p99_ns,
-            );
-            check(
-                "cmd-wait",
-                s.cmd_wait_ns.quantile(0.99),
-                budgets.cmd_wait_p99_ns,
-            );
+            s.degraded = slo_breaches(&budgets, s);
         }
 
         AuditReport {
@@ -1068,5 +1154,136 @@ mod tests {
         let text = report.render();
         assert!(text.contains("(none observed)"));
         assert!(text.contains("(no enclave-attributed events)"));
+    }
+
+    /// Regression: `render()` unwrapped `complete_tsc` inside the
+    /// `complete()` filter. A drain-merged chain whose `CmdComplete`
+    /// record was lapped by the ring but whose controller `CmdWait`
+    /// survived is complete (the wait can only follow the ack) yet has no
+    /// `complete_tsc` — rendering such a chain panicked, and the old
+    /// `complete()` miscounted it as unfinished.
+    #[test]
+    fn wait_only_chain_is_complete_and_renders() {
+        let cfg = AuditConfig {
+            drop_threshold: 100,
+            ..AuditConfig::default()
+        };
+        let mut engine = AuditEngine::new(cfg, HZ);
+        let events = [
+            tagged(ev(100, 2, 0, EventKind::CmdPost, 9, 1), 0),
+            // The CmdComplete on lane 1 was overwritten before delivery
+            // (the lap below), but the controller's wait returned:
+            tagged(ev(300, 2, 1, EventKind::CmdWait, 9, 150), 0),
+        ];
+        let verdict = engine.ingest_tail(&events, 1);
+        assert_eq!(verdict.ingested, 2);
+        assert!(verdict.evidence_incomplete);
+        let report = engine.finish();
+        assert_eq!(report.commands.len(), 1);
+        assert!(
+            report.commands[0].complete(),
+            "a returned wait proves completion"
+        );
+        assert!(report.commands[0].complete_tsc.is_none());
+        let text = report.render(); // panicked before the fix
+        assert!(text.contains("1 posted, 1 completed, 0 unfinished"));
+        assert!(!report
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::CommandStall));
+    }
+
+    #[test]
+    fn ingest_tail_stitches_lifecycles_across_partial_batches() {
+        let mut engine = AuditEngine::new(AuditConfig::default(), HZ);
+        let s = clean_stream();
+        for chunk in s.chunks(3) {
+            let verdict = engine.ingest_tail(chunk, 0);
+            assert!(verdict.new_violations.is_empty());
+            assert!(!verdict.evidence_incomplete);
+        }
+        let report = engine.finish();
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(report.regions.len(), 1);
+        assert!(report.regions[0].complete());
+        assert_eq!(report.commands.len(), 1);
+        assert!(report.commands[0].complete());
+        assert_eq!(report.commands[0].wait_ns, Some(150));
+    }
+
+    #[test]
+    fn ingest_tail_fires_presence_violations_live() {
+        let mut engine = AuditEngine::new(AuditConfig::default(), HZ);
+        let clean = engine.ingest_tail(
+            &[tagged(
+                ev(100, 2, 0, EventKind::Grant, 0x20_0000, 0x1000),
+                0,
+            )],
+            0,
+        );
+        assert!(clean.new_violations.is_empty());
+        let verdict =
+            engine.ingest_tail(&[tagged(ev(200, 2, 1, EventKind::FaultReport, 3, 1), 3)], 0);
+        assert_eq!(verdict.new_violations.len(), 1);
+        assert_eq!(
+            verdict.new_violations[0].kind,
+            ViolationKind::ProtectionFault
+        );
+        assert_eq!(verdict.new_violations[0].enclave, Some(3));
+        // The violation is reported exactly once, in the batch it arrived.
+        let quiet = engine.ingest_tail(&[], 0);
+        assert!(quiet.new_violations.is_empty());
+    }
+
+    #[test]
+    fn ingest_tail_recomputes_degradation_per_batch() {
+        let cfg = AuditConfig {
+            budgets: SloBudgets {
+                shootdown_p99_ns: Some(1_000),
+                ..SloBudgets::default()
+            },
+            ..AuditConfig::default()
+        };
+        let mut engine = AuditEngine::new(cfg, HZ);
+        let verdict = engine.ingest_tail(
+            &[tagged(
+                ev(100, 2, 0, EventKind::ShootdownEnd, 1 << 20, 0),
+                0,
+            )],
+            0,
+        );
+        assert_eq!(verdict.degraded.len(), 1);
+        assert_eq!(verdict.degraded[0].0, 0);
+        assert!(verdict.degraded[0].1[0].contains("shootdown"));
+        assert!(
+            verdict.new_violations.is_empty(),
+            "degradation is a budget flag, not a violation"
+        );
+        // Enough fast RTTs pull the p99 back under budget: recovery.
+        let fast: Vec<TraceEvent> = (0..200)
+            .map(|i| tagged(ev(200 + i, 2, 1 + i, EventKind::ShootdownEnd, 100, 0), 0))
+            .collect();
+        let verdict = engine.ingest_tail(&fast, 0);
+        assert!(verdict.degraded.is_empty());
+    }
+
+    #[test]
+    fn ingest_tail_lap_drops_not_double_counted() {
+        let cfg = AuditConfig {
+            drop_threshold: 1_000,
+            ..AuditConfig::default()
+        };
+        let mut engine = AuditEngine::new(cfg, HZ);
+        // Batch 1: first 5 events of lane 0 were lapped before delivery.
+        engine.ingest_tail(&[tagged(ev(100, 0, 5, EventKind::CmdPost, 1, 0), 0)], 5);
+        // Batch 2: 24 more lapped; the delivered index jumps 5 -> 30. The
+        // gap detector must not count those 24 again.
+        engine.ingest_tail(
+            &[tagged(ev(900, 0, 30, EventKind::CmdComplete, 1, 10), 0)],
+            24,
+        );
+        let report = engine.finish();
+        assert_eq!(report.dropped_events, 29);
+        assert!(report.evidence_incomplete);
     }
 }

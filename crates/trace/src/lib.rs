@@ -345,6 +345,76 @@ impl Lane {
         out.sort_by_key(|e| e.idx);
         out
     }
+
+    /// Deliver the committed records at stream indices `cursor..`, oldest
+    /// first, without consuming them: `(events, next_cursor,
+    /// dropped_since)`. The cursor is the next undelivered stream index;
+    /// pass `next_cursor` back in to tail incrementally. `dropped_since`
+    /// counts records in `cursor..next_cursor` the ring overwrote before
+    /// (or while) they could be read. Delivery is a strict prefix of the
+    /// readable range — the walk stops at the first slot whose write is
+    /// still in flight, so a record is never skipped and later delivered
+    /// (no reordering, no double delivery across calls).
+    fn tail_from(&self, cursor: u64) -> (Vec<TraceEvent>, u64, u64) {
+        let cap = self.slots.len() as u64;
+        let next = self.next.load(Ordering::Acquire);
+        if next <= cursor {
+            // Nothing new; a cursor from the future stays put.
+            return (Vec::new(), cursor, 0);
+        }
+        // Everything older than one ring's worth is already overwritten.
+        let start = cursor.max(next.saturating_sub(cap));
+        let mut dropped = start - cursor;
+        let mut out = Vec::with_capacity((next - start) as usize);
+        let mut pos = start;
+        while pos < next {
+            let want = pos * 2 + 2;
+            let slot = &self.slots[(pos as usize) & (self.slots.len() - 1)];
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 < want {
+                // The slot still holds older content or an in-flight
+                // write for `pos` (the writer reserves the index before
+                // committing). Stop so delivery stays a strict prefix;
+                // the next call resumes here.
+                break;
+            }
+            if s1 > want {
+                // The ring lapped `pos` after the `next` load.
+                dropped += 1;
+                pos += 1;
+                continue;
+            }
+            let tsc = slot.tsc.load(Ordering::Relaxed);
+            let meta = slot.meta.load(Ordering::Relaxed);
+            let a = slot.a.load(Ordering::Relaxed);
+            let b = slot.b.load(Ordering::Relaxed);
+            // Same seqlock re-check as `snapshot`: unchanged seq means no
+            // writer touched the slot across the payload loads.
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != want {
+                dropped += 1; // overwritten mid-read — the record is gone
+                pos += 1;
+                continue;
+            }
+            match EventKind::from_u8(meta as u8) {
+                Some(kind) => {
+                    let tag = meta >> 40;
+                    out.push(TraceEvent {
+                        tsc,
+                        lane: (meta >> 8) as u32,
+                        idx: pos,
+                        kind,
+                        enclave: (tag != 0).then(|| tag - 1),
+                        a,
+                        b,
+                    });
+                }
+                None => dropped += 1, // undecodable — count as lost
+            }
+            pos += 1;
+        }
+        (out, pos, dropped)
+    }
 }
 
 /// The flight recorder: one ring per lane plus the metrics registry, so a
@@ -437,6 +507,39 @@ impl Recorder {
         all
     }
 
+    /// Live-tail one lane from a cursor: `(events, next_cursor,
+    /// dropped_since)`. The cursor is the next undelivered stream index
+    /// (start at 0); feed `next_cursor` back in to stream the lane
+    /// incrementally while writers are still emitting. `dropped_since`
+    /// counts records in the cursor window the ring overwrote before they
+    /// could be delivered. Unknown lanes return an empty batch with the
+    /// cursor unchanged.
+    pub fn tail_from(&self, lane: u32, cursor: u64) -> (Vec<TraceEvent>, u64, u64) {
+        self.lanes
+            .get(lane as usize)
+            .map(|l| l.tail_from(cursor))
+            .unwrap_or((Vec::new(), cursor, 0))
+    }
+
+    /// Live-tail every lane at once, merging the batches chronologically.
+    /// `cursors` is resized to the lane count (new lanes start at 0) and
+    /// advanced in place; returns `(events, dropped_since)` summed across
+    /// lanes. Within a lane the merged batch preserves stream order, so
+    /// incremental consumers (the audit engine) see each lane gap-free.
+    pub fn tail_all(&self, cursors: &mut Vec<u64>) -> (Vec<TraceEvent>, u64) {
+        cursors.resize(self.lanes.len(), 0);
+        let mut all = Vec::new();
+        let mut dropped = 0;
+        for (lane, cursor) in cursors.iter_mut().enumerate() {
+            let (events, next, d) = self.lanes[lane].tail_from(*cursor);
+            all.extend(events);
+            *cursor = next;
+            dropped += d;
+        }
+        all.sort_by_key(|e| (e.tsc, e.lane, e.idx));
+        (all, dropped)
+    }
+
     /// Total events ever emitted (including overwritten ones).
     pub fn emitted(&self) -> u64 {
         self.lanes
@@ -445,9 +548,10 @@ impl Recorder {
             .sum()
     }
 
-    /// Events per lane ring (all lanes share one capacity).
+    /// Events per lane ring (all lanes share one capacity; 0 if the
+    /// recorder somehow has no lanes — `drop` accounting must not panic).
     pub fn lane_capacity(&self) -> u64 {
-        self.lanes[0].slots.len() as u64
+        self.lanes.first().map_or(0, |l| l.slots.len() as u64)
     }
 
     /// Events ever emitted on one lane (including overwritten ones).
@@ -748,5 +852,111 @@ mod tests {
         assert_eq!(r.lane_dropped(1), 0);
         assert_eq!(r.dropped(), 24);
         assert_eq!(r.drops_per_lane(), vec![24, 0, 0]);
+    }
+
+    /// Regression: `lane_capacity` indexed `lanes[0]` unconditionally and
+    /// panicked on a recorder with no lanes, taking `dropped()` and
+    /// `drops_per_lane()` down with it. The constructor clamps to one
+    /// lane, so build the degenerate value directly.
+    #[test]
+    fn zero_lane_recorder_does_not_panic() {
+        let r = Recorder {
+            enabled: AtomicBool::new(true),
+            lanes: Vec::new(),
+            metrics: MetricsRegistry::new(0),
+        };
+        assert_eq!(r.lane_capacity(), 0);
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.drops_per_lane(), Vec::<u64>::new());
+        assert!(r.drain().is_empty());
+        let (events, next, dropped) = r.tail_from(0, 0);
+        assert!(events.is_empty());
+        assert_eq!((next, dropped), (0, 0));
+    }
+
+    #[test]
+    fn constructor_clamps_degenerate_shapes() {
+        let r = Recorder::new(0, 0);
+        assert_eq!(r.lane_count(), 1);
+        assert_eq!(r.lane_capacity(), 2);
+        assert_eq!(r.controller_lane(), 0);
+        r.set_enabled(true);
+        r.emit(0, EventKind::Grant, 1, 2, 3);
+        assert_eq!(r.drain().len(), 1);
+    }
+
+    #[test]
+    fn tail_from_is_incremental_without_double_delivery() {
+        let r = recorder();
+        for i in 0..5u64 {
+            r.emit(0, EventKind::CmdPost, 100 + i, i, 0);
+        }
+        let (batch1, cur, d1) = r.tail_from(0, 0);
+        assert_eq!(batch1.len(), 5);
+        assert_eq!((cur, d1), (5, 0));
+
+        // Nothing new: cursor stays put, nothing re-delivered.
+        let (empty, cur2, d2) = r.tail_from(0, cur);
+        assert!(empty.is_empty());
+        assert_eq!((cur2, d2), (5, 0));
+
+        for i in 5..8u64 {
+            r.emit(0, EventKind::CmdPost, 100 + i, i, 0);
+        }
+        let (batch2, cur3, d3) = r.tail_from(0, cur2);
+        assert_eq!(
+            batch2.iter().map(|e| e.idx).collect::<Vec<_>>(),
+            vec![5, 6, 7]
+        );
+        assert_eq!((cur3, d3), (8, 0));
+    }
+
+    #[test]
+    fn tail_from_counts_lapped_records_as_dropped() {
+        let r = recorder(); // capacity 16 per lane
+        for i in 0..40u64 {
+            r.emit(0, EventKind::CmdPost, 100 + i, i, 0);
+        }
+        let (events, cur, dropped) = r.tail_from(0, 0);
+        assert_eq!(events.len(), 16);
+        assert_eq!(events.first().unwrap().idx, 24);
+        assert_eq!(cur, 40);
+        assert_eq!(dropped, 24);
+        // Accounting invariant: delivered + dropped == emitted.
+        assert_eq!(events.len() as u64 + dropped, r.lane_emitted(0));
+        // A stale cursor mid-ring only loses the overwritten prefix.
+        let (tail, cur2, d2) = r.tail_from(0, 30);
+        assert_eq!(tail.first().unwrap().idx, 30);
+        assert_eq!((cur2, d2), (40, 0));
+    }
+
+    #[test]
+    fn tail_from_future_cursor_stays_put() {
+        let r = recorder();
+        r.emit(0, EventKind::Grant, 1, 0, 0);
+        let (events, cur, dropped) = r.tail_from(0, 99);
+        assert!(events.is_empty());
+        assert_eq!((cur, dropped), (99, 0));
+    }
+
+    #[test]
+    fn tail_all_merges_lanes_and_advances_cursors() {
+        let r = recorder();
+        r.emit(1, EventKind::CmdPost, 30, 7, 1);
+        r.emit(0, EventKind::Grant, 10, 0x1000, 0x2000);
+        r.emit(2, EventKind::CmdComplete, 20, 7, 900);
+        let mut cursors = Vec::new();
+        let (events, dropped) = r.tail_all(&mut cursors);
+        assert_eq!(dropped, 0);
+        assert_eq!(
+            events.iter().map(|e| e.tsc).collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
+        assert_eq!(cursors, vec![1, 1, 1]);
+        r.emit(0, EventKind::Reclaim, 40, 0x1000, 0x2000);
+        let (events, _) = r.tail_all(&mut cursors);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::Reclaim);
+        assert_eq!(cursors, vec![2, 1, 1]);
     }
 }

@@ -29,6 +29,7 @@ pub mod md;
 pub mod minife;
 pub mod randomaccess;
 pub mod scaling;
+pub mod selfheal;
 pub mod selfish;
 pub mod sparse;
 pub mod stream;

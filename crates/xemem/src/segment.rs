@@ -32,8 +32,16 @@ impl SegmentInfo {
     /// control path.
     pub fn page_frame_list(&self) -> Vec<u64> {
         let start = self.range.start.align_down(PAGE_SIZE_4K).raw();
-        let end = self.range.end().align_up(PAGE_SIZE_4K).raw();
-        (start..end).step_by(PAGE_SIZE_4K as usize).collect()
+        match self.range.end().checked_align_up(PAGE_SIZE_4K) {
+            Some(end) => (start..end.raw()).step_by(PAGE_SIZE_4K as usize).collect(),
+            None => {
+                // The range reaches into the top page of the address
+                // space: the rounded-up end (2^64) is unrepresentable, so
+                // count frames instead of iterating to a boundary.
+                let pages = (self.range.end().raw() - start).div_ceil(PAGE_SIZE_4K);
+                (0..pages).map(|i| start + i * PAGE_SIZE_4K).collect()
+            }
+        }
     }
 
     /// Number of 4 KiB pages in the segment.
@@ -69,6 +77,27 @@ mod tests {
             range: PhysRange::new(HostPhysAddr::new(0x10_0800), 0x1000),
         };
         // Straddles two pages.
+        assert_eq!(s.page_count(), 2);
+    }
+
+    /// Regression: a segment reaching into the top page of the address
+    /// space used to lose that page — `align_up` saturated and rounded
+    /// the end *down* past the segment's last byte.
+    #[test]
+    fn page_frame_list_at_top_of_address_space() {
+        let top_page = u64::MAX & !(PAGE_SIZE_4K - 1);
+        let s = SegmentInfo {
+            segid: SegmentId(3),
+            name: "top".into(),
+            owner: 1,
+            // Ends at u64::MAX: covers the last full page and all of the
+            // top partial page.
+            range: PhysRange::new(
+                HostPhysAddr::new(top_page - PAGE_SIZE_4K),
+                2 * PAGE_SIZE_4K - 1,
+            ),
+        };
+        assert_eq!(s.page_frame_list(), vec![top_page - PAGE_SIZE_4K, top_page]);
         assert_eq!(s.page_count(), 2);
     }
 }

@@ -1,0 +1,5 @@
+//! Offline stand-in for `bytes`.
+//!
+//! Declared by `crates/core` but not used in code; this placeholder lets
+//! the manifest resolve offline. Grow it if a future change actually
+//! needs `Bytes`/`BytesMut`.

@@ -1,0 +1,84 @@
+//! Offline stand-in for `crossbeam`, backed by `std::thread::scope`.
+//!
+//! Only `crossbeam::thread::scope` / `Scope::spawn` are provided — the
+//! single entry point the workspace uses for fork-join workloads. Like
+//! the real crate, `scope` returns `Err` (instead of unwinding) when the
+//! scope body or an unjoined child panics.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Error carried out of a panicked scope: the panic payload.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// Scope handle passed to `scope`'s closure and to every spawned
+    /// thread's closure (crossbeam lets children spawn siblings).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope that joins all spawned threads before
+    /// returning. A panic anywhere inside surfaces as `Err(payload)`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let mut out = [0u64; 4];
+        let r = super::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (i, slot) in out.iter_mut().enumerate() {
+                handles.push(s.spawn(move |_| *slot = i as u64 + 1));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            7u32
+        });
+        assert_eq!(r.unwrap(), 7);
+        assert_eq!(out, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn panicking_child_surfaces_as_err() {
+        let r = super::thread::scope(|s| {
+            let h = s.spawn(|_| panic!("child failed"));
+            // Propagate like the workloads harness does.
+            h.join().expect("child panicked");
+        });
+        assert!(r.is_err());
+    }
+}

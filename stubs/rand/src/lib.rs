@@ -1,0 +1,49 @@
+//! Offline stand-in for `rand`.
+//!
+//! The workspace declares `rand` but does not currently use it in code;
+//! this stub exists so the manifests resolve offline. A minimal seeded
+//! splitmix64 generator is provided for future use.
+
+/// Deterministic splitmix64 generator.
+#[derive(Clone, Debug)]
+pub struct SmallRng(u64);
+
+impl SmallRng {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; returns 0 when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_bounded() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let x = a.next_u64();
+            assert_eq!(x, b.next_u64());
+            assert!(a.below(10) < 10);
+            b.below(10);
+        }
+    }
+}

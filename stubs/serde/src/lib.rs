@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of config
+//! and address types but never serializes through the traits (the wire
+//! codec is hand-rolled). This stub keeps those annotations compiling
+//! offline: marker traits with blanket impls plus no-op derive macros.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}

@@ -1,0 +1,17 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde stand-in. The workspace only *annotates* types with the
+//! derives (no code actually serializes through serde traits), so the
+//! derives expand to nothing; the stub `serde` crate's blanket impls
+//! satisfy any bound.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
