@@ -8,6 +8,9 @@
 //! * `cmdqueue`        — the asynchronous controller-side reconfiguration
 //!   protocol: EPT unmap + TlbFlush command + NMI + completion wait, with
 //!   a live guest polling — the cost the paper claims is minimal;
+//! * `exitless`        — single-command post→complete round trip, NMI
+//!   delivery (one VM exit per command) vs doorbell-first posted-
+//!   interrupt delivery (harvested in guest mode, zero exits);
 //! * `exit_cost`       — per-exit-reason hypervisor handling cost;
 //! * `shootdown`       — broadcast-shootdown wall clock vs live-core count
 //!   (two-phase post-all-then-wait-all must stay ~flat 1→8 cores);
@@ -152,6 +155,47 @@ fn ablate_cmdqueue(c: &mut Criterion) {
 
     stop.store(true, Ordering::Release);
     poller.join().unwrap();
+    group.finish();
+}
+
+/// Exitless command delivery (DESIGN.md "Exitless command delivery"):
+/// single-command post→complete round-trip under NMI-only delivery (every
+/// command exits) vs doorbell-first (harvested at a guest safe point, no
+/// exit). Controller and guest interleave on one thread so the measured
+/// span is the delivery mechanism, not host-scheduler wakeup latency.
+fn ablate_exitless(c: &mut Criterion) {
+    use covirt::controller::CmdDelivery;
+    let mut group = c.benchmark_group("ablate_exitless");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for (name, delivery) in [
+        ("nmi-only-roundtrip", CmdDelivery::NmiOnly),
+        ("doorbell-first-roundtrip", CmdDelivery::DoorbellFirst),
+    ] {
+        let world = World::build(
+            ExecMode::Covirt(CovirtConfig::MEM),
+            HwLayout { cores: 1, zones: 1 },
+            96 * 1024 * 1024,
+        );
+        let ctl = world.controller.as_ref().unwrap();
+        ctl.set_delivery(delivery);
+        let vctx = ctl.context(world.enclave.id.0).unwrap();
+        let core = world.cores[0];
+        let q = vctx.cmdq(core).unwrap().clone();
+        let mut guest = world.guest_core(core).unwrap();
+
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let seq = ctl.post_sync(&vctx, core).unwrap();
+                while q.completed() < seq {
+                    guest.poll().unwrap();
+                }
+            })
+        });
+        guest.shutdown();
+    }
     group.finish();
 }
 
@@ -358,6 +402,7 @@ criterion_group!(
     ablate_ept_coalescing,
     ablate_ipi_mode,
     ablate_cmdqueue,
+    ablate_exitless,
     ablate_exit_cost,
     ablate_shootdown,
     ablate_walk_cache,

@@ -20,7 +20,7 @@ use workloads::{scaling, table1};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8|scaling|shootdown|trace|report|traceovh|audit|selfheal|all> [--full] [--fault]\n\
+        "usage: figures <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8|scaling|shootdown|trace|report|traceovh|audit|selfheal|exitless|all> [--full] [--fault]\n\
          \n  table1  benchmark versions/parameters (Table I)\
          \n  fig3    Selfish-Detour noise profile\
          \n  fig4    XEMEM attach delay vs region size\
@@ -47,7 +47,13 @@ fn usage() -> ! {
          \n          injected violation must be detected live, the enclave\
          \n          quarantined, and the detection->remediation latency (MTTR)\
          \n          printed; exits 1 when either expectation fails\
-         \n  all     everything above (trace/report/traceovh/audit/selfheal run separately)\
+         \n  exitless  command-delivery comparison: NMI-only vs doorbell-first\
+         \n          round-trips plus a parked-core fallback run; exits 1 unless\
+         \n          the doorbell path is exitless (zero command-path VM exits,\
+         \n          zero NMI escalations) with post->complete p99 at least 5x\
+         \n          below the NMI baseline, and the parked run escalates to an\
+         \n          NMI only after the configured bound\
+         \n  all     everything above (trace/report/traceovh/audit/selfheal/exitless run separately)\
          \n  --full  paper-scale parameters (slow; needs several GiB)\
          \n  --fault audit/selfheal: fault-injected run instead of the clean one"
     );
@@ -330,6 +336,112 @@ fn selfheal_cmd(fault: bool) {
     }
 }
 
+/// `exitless` subcommand: compare NMI-only vs doorbell-first command
+/// delivery on the same workload, then prove the parked-core fallback.
+/// Gates (exit 1 on any miss): the doorbell arm must be exitless — zero
+/// command-path VM exits, zero escalations, every command harvested in
+/// guest mode — with post→complete p99 ≥5x below the NMI baseline, and
+/// the parked run must escalate to an NMI, only after the bound, and
+/// still complete.
+fn exitless_cmd() {
+    use workloads::exitless;
+
+    const ROUNDS: u64 = 8192;
+    const BARRIER_ROUNDS: u64 = 64;
+    const PARKED_BOUND_NS: u64 = 200_000;
+
+    eprintln!("[exitless] steady state: {ROUNDS} command round-trips per arm...");
+    let (nmi, doorbell) = exitless::steady_state(ROUNDS);
+    println!("steady-state command delivery ({ROUNDS} single-command round-trips per arm):");
+    println!(
+        "  {:<15} {:>9} {:>12} {:>12} {:>10} {:>10} {:>11}",
+        "arm", "commands", "p50-ns", "p99-ns", "cmd-exits", "exits/cmd", "escalations"
+    );
+    for a in [&nmi, &doorbell] {
+        println!(
+            "  {:<15} {:>9} {:>12} {:>12} {:>10} {:>10.3} {:>11}",
+            a.label,
+            a.commands,
+            a.p50_ns,
+            a.p99_ns,
+            a.cmd_exits,
+            a.exits_per_cmd(),
+            a.escalations
+        );
+    }
+    let ratio = nmi.p99_ns as f64 / doorbell.p99_ns.max(1) as f64;
+    println!("  post->complete p99 ratio (nmi-only / doorbell-first): {ratio:.1}x");
+
+    eprintln!("[exitless] concurrent barrier: {BARRIER_ROUNDS} doorbell-first rounds...");
+    let conc = exitless::concurrent_barrier(BARRIER_ROUNDS);
+    println!(
+        "concurrent barrier ({} rounds, 2 live cores): {} command-path exit(s), \
+         {} harvested in guest mode, {} escalation(s)",
+        conc.rounds, conc.cmd_exits, conc.harvested, conc.escalations
+    );
+
+    eprintln!("[exitless] parked-core fallback, bound {PARKED_BOUND_NS} ns...");
+    let parked = exitless::parked_fallback(PARKED_BOUND_NS);
+    println!(
+        "parked-core fallback: {} escalation(s), first after {} ns (bound {} ns), completed: {}",
+        parked.escalations, parked.time_to_escalation_ns, parked.bound_ns, parked.completed
+    );
+
+    let fail = |msg: &str| -> ! {
+        eprintln!("FAIL: {msg}");
+        std::process::exit(1);
+    };
+    if doorbell.cmd_exits != 0 {
+        fail(&format!(
+            "doorbell arm took {} command-path VM exit(s); steady state must be exitless",
+            doorbell.cmd_exits
+        ));
+    }
+    if doorbell.escalations != 0 {
+        fail(&format!(
+            "doorbell arm escalated to NMI {} time(s) in steady state",
+            doorbell.escalations
+        ));
+    }
+    if doorbell.harvested != doorbell.commands {
+        fail(&format!(
+            "doorbell arm harvested {} of {} commands in guest mode",
+            doorbell.harvested, doorbell.commands
+        ));
+    }
+    if ratio < 5.0 {
+        fail(&format!(
+            "post->complete p99 only {ratio:.1}x below the NMI baseline (need >=5x)"
+        ));
+    }
+    if conc.cmd_exits != 0 {
+        fail(&format!(
+            "concurrent barrier took {} command-path VM exit(s)",
+            conc.cmd_exits
+        ));
+    }
+    if conc.escalations != 0 {
+        fail(&format!(
+            "concurrent barrier escalated to NMI {} time(s) against live cores",
+            conc.escalations
+        ));
+    }
+    if parked.escalations == 0 {
+        fail("parked-core run never escalated to an NMI");
+    }
+    if parked.time_to_escalation_ns < parked.bound_ns {
+        fail("parked-core run escalated before the configured bound");
+    }
+    if !parked.completed {
+        fail("parked-core run never completed its command");
+    }
+    println!(
+        "OK: doorbell path exitless ({} commands, 0 exits, 0 escalations), p99 {ratio:.1}x \
+         below NMI; parked core escalated after {} ns (bound {} ns) and completed",
+        doorbell.commands, parked.time_to_escalation_ns, parked.bound_ns
+    );
+}
+
 /// One best-of STREAM triad measurement with the recorder off or on.
 fn stream_triad(trace: bool) -> f64 {
     use covirt::config::CovirtConfig;
@@ -453,6 +565,9 @@ fn main() {
     if what == "selfheal" {
         selfheal_cmd(args.iter().any(|a| a == "--fault"));
     }
+    if what == "exitless" {
+        exitless_cmd();
+    }
     if !all
         && !matches!(
             what,
@@ -471,6 +586,7 @@ fn main() {
                 | "traceovh"
                 | "audit"
                 | "selfheal"
+                | "exitless"
         )
     {
         usage();

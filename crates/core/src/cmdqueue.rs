@@ -171,9 +171,17 @@ impl std::error::Error for FlushTimeout {}
 /// controller and hypervisor each hold a handle onto the same region.
 #[derive(Clone)]
 pub struct CmdQueue {
-    mem: Arc<PhysMemory>,
     base: HostPhysAddr,
     ring: SharedRing,
+    /// Resolved backing + offset of the completion counter, cached at
+    /// construction: `completed()` sits in every completion-wait spin and
+    /// every harvest, and the queue's region lives as long as the enclave,
+    /// so re-resolving per read (snapshot + binary search + `Arc` churn)
+    /// is pure overhead on the hottest path of command delivery.
+    completion: (Arc<covirt_simhw::backing::Backing>, usize),
+    /// Resolved backing + offset of the next-sequence word (same
+    /// rationale: `alloc_seq` runs once per post).
+    next_seq: (Arc<covirt_simhw::backing::Backing>, usize),
     /// The core this queue serves (diagnostic only; carried into
     /// [`FlushTimeout`] errors).
     core: u64,
@@ -202,22 +210,31 @@ impl CmdQueue {
             CMD_SLOTS,
             CMD_SLOT,
         )?;
-        Ok(CmdQueue {
-            mem: Arc::clone(mem),
-            base: range.start,
-            ring,
-            core: 0,
-            tracer: None,
-        })
+        Self::with_cached_words(Arc::clone(mem), range.start, ring)
     }
 
     /// Attach to an existing queue (hypervisor side, from boot parameters).
     pub fn attach(mem: &Arc<PhysMemory>, base: HostPhysAddr) -> Result<Self, RingError> {
         let ring = SharedRing::attach(mem, base.add(OFF_RING))?;
+        Self::with_cached_words(Arc::clone(mem), base, ring)
+    }
+
+    fn with_cached_words(
+        mem: Arc<PhysMemory>,
+        base: HostPhysAddr,
+        ring: SharedRing,
+    ) -> Result<Self, RingError> {
+        let completion = mem
+            .resolve(base.add(OFF_COMPLETION), 8)
+            .map_err(|_| RingError::Corrupt)?;
+        let next_seq = mem
+            .resolve(base.add(OFF_NEXT_SEQ), 8)
+            .map_err(|_| RingError::Corrupt)?;
         Ok(CmdQueue {
-            mem: Arc::clone(mem),
             base,
             ring,
+            completion,
+            next_seq,
             core: 0,
             tracer: None,
         })
@@ -248,13 +265,10 @@ impl CmdQueue {
     fn alloc_seq(&self) -> Result<u64, RingError> {
         // Sequence numbers live in shared memory so any controller thread
         // allocates them consistently.
-        let (backing, off) = self
-            .mem
-            .resolve(self.base.add(OFF_NEXT_SEQ), 8)
-            .map_err(|_| RingError::Corrupt)?;
+        let (backing, off) = &self.next_seq;
         loop {
-            let cur = backing.read_u64_acquire(off);
-            if backing.cas_u64(off, cur, cur + 1).is_ok() {
+            let cur = backing.read_u64_acquire(*off);
+            if backing.cas_u64(*off, cur, cur + 1).is_ok() {
                 return Ok(cur);
             }
         }
@@ -356,23 +370,22 @@ impl CmdQueue {
 
     /// Hypervisor: mark `seq` (and everything before it) complete.
     pub fn complete(&self, seq: u64) {
-        if let Ok((backing, off)) = self.mem.resolve(self.base.add(OFF_COMPLETION), 8) {
-            // Monotonic max — completions may be recorded out of order if a
-            // drain batch is processed back-to-front.
-            loop {
-                let cur = backing.read_u64_acquire(off);
-                if seq <= cur || backing.cas_u64(off, cur, seq).is_ok() {
-                    break;
-                }
+        let (backing, off) = &self.completion;
+        // Monotonic max — completions may be recorded out of order if a
+        // drain batch is processed back-to-front.
+        loop {
+            let cur = backing.read_u64_acquire(*off);
+            if seq <= cur || backing.cas_u64(*off, cur, seq).is_ok() {
+                break;
             }
         }
     }
 
     /// Highest completed sequence number.
+    #[inline]
     pub fn completed(&self) -> u64 {
-        self.mem
-            .read_u64(self.base.add(OFF_COMPLETION))
-            .unwrap_or(0)
+        let (backing, off) = &self.completion;
+        backing.read_u64_acquire(*off)
     }
 
     /// Controller: wait until `seq` completes or `spins` polls elapse.

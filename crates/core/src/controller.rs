@@ -9,18 +9,19 @@
 //!
 //! * memory grant   → EPT map, then return immediately (asynchronous —
 //!   the enclave keeps running while the mapping is installed);
-//! * memory reclaim → EPT unmap, then a `TlbFlush` command + NMI to every
-//!   live enclave core, blocking until each completes;
+//! * memory reclaim → EPT unmap, then a `TlbFlush` command + doorbell
+//!   (NMI under the legacy delivery mode, or on escalation) to every live
+//!   enclave core, blocking until each completes;
 //! * vector alloc/free → whitelist edit, **no** hypervisor coordination
 //!   (the hypervisor reads the whitelist fresh on every trap — only state
 //!   the CPU may cache needs the command queue);
 //! * XEMEM attach/detach → same as grant/reclaim, via the Hobbes hooks.
 
 use crate::boot::{cmdq_addr, CovirtBootParams, COVIRT_BOOT_MAGIC, COVIRT_PARAMS_OFFSET};
-use crate::cmdqueue::{CmdQueue, Command};
+use crate::cmdqueue::{CmdQueue, Command, FlushTimeout};
 use crate::config::CovirtConfig;
 use crate::fault::{FaultLog, FaultReport};
-use crate::vctx::VirtContext;
+use crate::vctx::{VirtContext, CMD_DOORBELL_VECTOR};
 use crate::{CovirtError, CovirtResult};
 use covirt_simhw::addr::{PhysRange, PAGE_SIZE_4K};
 use covirt_simhw::ept::Ept;
@@ -28,7 +29,7 @@ use covirt_simhw::interconnect::{DeliveryMode, IpiDest};
 use covirt_simhw::node::SimNode;
 use covirt_simhw::paging::FramePool;
 use covirt_simhw::topology::ZoneId;
-use covirt_trace::{EventKind, Hist, Tracer};
+use covirt_trace::{Counter, EventKind, Hist, Tracer};
 use hobbes::events::HobbesHooks;
 use hobbes::MasterControl;
 use parking_lot::{Mutex, RwLock};
@@ -54,6 +55,26 @@ const DEFAULT_RANGE_FLUSH_THRESHOLD: u64 = 16 * 1024 * 1024;
 /// 32 slots; leave headroom for unrelated commands).
 const MAX_RANGE_FLUSH_CMDS: usize = 8;
 
+/// Default time a core gets to acknowledge a doorbell-delivered command
+/// before the controller escalates to an NMI kick. Generous relative to a
+/// polling core's harvest latency (microseconds) so host-scheduler hiccups
+/// never trigger spurious escalations, yet bounded so a core parked
+/// outside any safe point is kicked promptly.
+pub const DEFAULT_ESCALATION_BOUND_NS: u64 = 10_000_000;
+
+/// How commands are signalled to enclave cores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmdDelivery {
+    /// Post the doorbell vector into the core's posted-interrupt
+    /// descriptor; the guest harvests and drains in guest mode with no VM
+    /// exit. NMI is sent only if the completion counter fails to advance
+    /// within the escalation bound.
+    DoorbellFirst,
+    /// Legacy behaviour: unconditional NMI kick per post (every command
+    /// costs the target core a VM exit). Kept as the ablation baseline.
+    NmiOnly,
+}
+
 /// The controller module. One instance manages every Covirt-protected
 /// enclave on the node.
 pub struct CovirtController {
@@ -72,6 +93,13 @@ pub struct CovirtController {
     pending_reclaims: Mutex<HashMap<u64, Vec<PhysRange>>>,
     /// Broadcast shootdowns issued (instrumentation).
     shootdowns: RwLock<u64>,
+    /// How commands are signalled to cores (doorbell-first by default).
+    delivery: RwLock<CmdDelivery>,
+    /// Nanoseconds a core gets to acknowledge a doorbell before the
+    /// controller escalates to an NMI kick.
+    escalation_bound_ns: RwLock<u64>,
+    /// Doorbell deliveries that timed out and escalated to an NMI.
+    nmi_escalations: RwLock<u64>,
     /// Flight-recorder handle on the controller lane.
     tracer: Tracer,
 }
@@ -93,6 +121,9 @@ impl CovirtController {
             range_flush_threshold: RwLock::new(DEFAULT_RANGE_FLUSH_THRESHOLD),
             pending_reclaims: Mutex::new(HashMap::new()),
             shootdowns: RwLock::new(0),
+            delivery: RwLock::new(CmdDelivery::DoorbellFirst),
+            escalation_bound_ns: RwLock::new(DEFAULT_ESCALATION_BOUND_NS),
+            nmi_escalations: RwLock::new(0),
             tracer,
         })
     }
@@ -139,6 +170,133 @@ impl CovirtController {
     /// How many broadcast shootdowns this controller has issued.
     pub fn shootdown_count(&self) -> u64 {
         *self.shootdowns.read()
+    }
+
+    /// Select the command-delivery mode (ablation knob; doorbell-first by
+    /// default).
+    pub fn set_delivery(&self, delivery: CmdDelivery) {
+        *self.delivery.write() = delivery;
+    }
+
+    /// The current command-delivery mode.
+    pub fn delivery(&self) -> CmdDelivery {
+        *self.delivery.read()
+    }
+
+    /// Bound the doorbell-acknowledgement window: a core that has not
+    /// advanced its completion counter within `ns` is escalated to an NMI
+    /// kick.
+    pub fn set_escalation_bound_ns(&self, ns: u64) {
+        *self.escalation_bound_ns.write() = ns;
+    }
+
+    /// The configured doorbell-escalation bound in nanoseconds.
+    pub fn escalation_bound_ns(&self) -> u64 {
+        *self.escalation_bound_ns.read()
+    }
+
+    /// How many doorbell deliveries escalated to an NMI kick.
+    pub fn nmi_escalation_count(&self) -> u64 {
+        *self.nmi_escalations.read()
+    }
+
+    /// Signal `core` that its command queue has pending work for `seq`.
+    ///
+    /// Doorbell-first: post the doorbell vector into the core's descriptor
+    /// and send the physical notification IPI only when `post()` reports
+    /// none outstanding. NMI-only (or a missing descriptor): the legacy
+    /// unconditional NMI kick.
+    fn signal_core(&self, vctx: &VirtContext, core: usize, seq: u64) -> Result<(), String> {
+        if self.delivery() == CmdDelivery::DoorbellFirst {
+            if let Some(desc) = vctx.cmd_doorbell(core) {
+                let notify = desc.post(CMD_DOORBELL_VECTOR);
+                self.tracer
+                    .emit_for(vctx.enclave_id, EventKind::CmdDoorbell, seq, core as u64);
+                self.tracer.count(Counter::CmdDoorbells, 1);
+                if notify {
+                    self.node
+                        .interconnect
+                        .send(
+                            0,
+                            IpiDest::Core(core),
+                            DeliveryMode::Fixed(CMD_DOORBELL_VECTOR),
+                        )
+                        .map_err(|e| e.to_string())?;
+                }
+                return Ok(());
+            }
+        }
+        self.node
+            .interconnect
+            .send(0, IpiDest::Core(core), DeliveryMode::Nmi)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Post a single `Sync` command to `core` under the configured
+    /// delivery protocol and return its sequence number — the caller owns
+    /// the completion wait (poll `vctx.cmdq(core)`). Takes the prefetched
+    /// context (see [`Self::context`]) so the per-command span contains no
+    /// map lookup or queue clone. Benchmarks drive this to measure pure
+    /// per-command delivery latency (post → signal → drain → complete)
+    /// with the guest polled from the same thread, excluding scheduler
+    /// noise the blocking barrier wait would add.
+    pub fn post_sync(&self, vctx: &VirtContext, core: usize) -> Result<u64, String> {
+        let q = vctx
+            .cmdq(core)
+            .ok_or_else(|| format!("core {core} has no command queue"))?;
+        let stamp = if self.tracer.enabled() {
+            self.node.clock.rdtsc()
+        } else {
+            0
+        };
+        let seq = q.post_at(Command::Sync, stamp).map_err(|e| e.to_string())?;
+        self.signal_core(vctx, core, seq)?;
+        Ok(seq)
+    }
+
+    /// Wait for `seq` to complete on `core`'s queue. Under doorbell-first
+    /// delivery, a core that fails to acknowledge within the escalation
+    /// bound is kicked with the legacy NMI (and the escalation counted)
+    /// before the full-budget wait resumes — so a core parked outside any
+    /// harvest safe point still converges.
+    fn await_completion(
+        &self,
+        q: &CmdQueue,
+        core: usize,
+        seq: u64,
+        spins: u64,
+    ) -> Result<(), FlushTimeout> {
+        if self.delivery() == CmdDelivery::DoorbellFirst {
+            const SPIN_POLLS: u64 = 128;
+            let bound = self.escalation_bound_ns();
+            let t0 = self.node.clock.rdtsc();
+            let mut i = 0u64;
+            while q.completed() < seq {
+                let waited = self
+                    .node
+                    .clock
+                    .cycles_to_ns(self.node.clock.rdtsc().saturating_sub(t0));
+                if waited >= bound {
+                    // The doorbell went unanswered: demote to the legacy
+                    // NMI kick (the interconnect emits NmiKick for the
+                    // audit trail) and fall through to the normal wait.
+                    *self.nmi_escalations.write() += 1;
+                    self.tracer.count(Counter::NmiEscalations, 1);
+                    let _ = self
+                        .node
+                        .interconnect
+                        .send(0, IpiDest::Core(core), DeliveryMode::Nmi);
+                    break;
+                }
+                if i < SPIN_POLLS {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+                i += 1;
+            }
+        }
+        q.wait(seq, spins)
     }
 
     /// Build the full virtualization context for an enclave about to boot.
@@ -252,11 +410,12 @@ impl CovirtController {
 
     /// Two-phase broadcast TLB shootdown.
     ///
-    /// Phase 1 posts flush commands to *every* live core and fires all the
-    /// NMIs before waiting on anything, so the per-core flushes execute
-    /// concurrently; phase 2 collects the completions in a single pass.
-    /// Total latency is therefore max(per-core flush) + one NMI delivery,
-    /// not the sum over cores the old post-wait-per-core loop paid.
+    /// Phase 1 posts flush commands to *every* live core and signals them
+    /// all (doorbell posts, or NMIs in the legacy mode) before waiting on
+    /// anything, so the per-core flushes execute concurrently; phase 2
+    /// collects the completions in a single pass. Total latency is
+    /// therefore max(per-core flush) + one signal delivery, not the sum
+    /// over cores the old post-wait-per-core loop paid.
     ///
     /// Command selection: if every range fits under the range-flush
     /// threshold (and there are few enough to leave ring headroom), each
@@ -309,17 +468,14 @@ impl CovirtController {
                     q.post_at(Command::TlbFlushAll, stamp)
                         .map_err(|e| e.to_string())?
                 };
-                self.node
-                    .interconnect
-                    .send(0, IpiDest::Core(core), DeliveryMode::Nmi)
-                    .map_err(|e| e.to_string())?;
-                waits.push((q.clone(), seq));
+                self.signal_core(vctx, core, seq)?;
+                waits.push((q.clone(), core, seq));
             }
         }
 
         // Phase 2: wait on all completions in one pass.
-        for (q, seq) in waits {
-            q.wait(seq, spins)
+        for (q, core, seq) in waits {
+            self.await_completion(&q, core, seq, spins)
                 .map_err(|e| format!("TLB shootdown failed: {e}"))?;
         }
         *self.shootdowns.write() += 1;
@@ -366,7 +522,7 @@ impl CovirtController {
     }
 
     /// Run one broadcast round-trip (post a `Sync` to every live core,
-    /// NMI, wait for all acks) without touching any state. This is the
+    /// signal it, wait for all acks) without touching any state. This is the
     /// pure synchronization cost of a shootdown — benchmarks use it to
     /// measure how latency scales with core count.
     pub fn shootdown_barrier(&self, enclave: u64) -> Result<(), String> {
@@ -383,15 +539,12 @@ impl CovirtController {
                     0
                 };
                 let seq = q.post_at(Command::Sync, stamp).map_err(|e| e.to_string())?;
-                self.node
-                    .interconnect
-                    .send(0, IpiDest::Core(core), DeliveryMode::Nmi)
-                    .map_err(|e| e.to_string())?;
-                waits.push((q.clone(), seq));
+                self.signal_core(&vctx, core, seq)?;
+                waits.push((q.clone(), core, seq));
             }
         }
-        for (q, seq) in waits {
-            q.wait(seq, spins)
+        for (q, core, seq) in waits {
+            self.await_completion(&q, core, seq, spins)
                 .map_err(|e| format!("shootdown barrier failed: {e}"))?;
         }
         Ok(())

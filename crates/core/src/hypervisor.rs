@@ -244,12 +244,27 @@ impl Hypervisor {
             return ExitAction::Resume;
         };
         let q = q.clone();
-        let mut action = ExitAction::Resume;
         let drained = q.drain();
         if self.tracer.enabled() && !drained.is_empty() {
             self.tracer
                 .emit(EventKind::CmdDrain, drained.len() as u64, 0);
         }
+        self.execute_commands(&q, drained, tlb)
+    }
+
+    /// Execute an already-drained command batch against this core. Shared
+    /// by the NMI exit path and the guest-mode doorbell harvest (which
+    /// pays no VM exit). On both paths the completion counter advances
+    /// only *after* a command's effect has been applied — that ordering is
+    /// what lets the controller's completion wait enforce
+    /// unmap-before-reclaim.
+    pub fn execute_commands(
+        &mut self,
+        q: &crate::cmdqueue::CmdQueue,
+        drained: Vec<crate::cmdqueue::SeqCommand>,
+        tlb: &mut Tlb,
+    ) -> ExitAction {
+        let mut action = ExitAction::Resume;
         for sc in drained {
             self.commands += 1;
             match sc.cmd {

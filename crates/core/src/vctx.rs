@@ -25,6 +25,12 @@ use std::sync::Arc;
 /// legacy spurious vector, outside the guest-allocatable pool).
 pub const PIV_NOTIFICATION_VECTOR: u8 = 0xf2;
 
+/// The doorbell vector the controller posts to signal pending command-queue
+/// work (exitless command delivery). Also outside the guest-allocatable
+/// pool; distinct from [`PIV_NOTIFICATION_VECTOR`] so command doorbells and
+/// guest-to-guest posted IPIs never alias.
+pub const CMD_DOORBELL_VECTOR: u8 = 0xf3;
+
 /// Per-enclave virtualization state.
 pub struct VirtContext {
     /// The enclave this context protects.
@@ -46,6 +52,10 @@ pub struct VirtContext {
     cmdq: HashMap<usize, CmdQueue>,
     /// Per-core posted-interrupt descriptors (posted IPI mode only).
     posted: HashMap<usize, Arc<PostedIntDescriptor>>,
+    /// Per-core command-doorbell descriptors. Unlike `posted`, these exist
+    /// in *every* Covirt configuration: the exitless command path does not
+    /// depend on the enclave opting into posted-IPI protection.
+    cmd_doorbell: HashMap<usize, Arc<PostedIntDescriptor>>,
     /// Cores currently executing in guest mode (their TLBs may cache
     /// stale state; flush synchronization must wait for them).
     live: RwLock<HashSet<usize>>,
@@ -98,7 +108,12 @@ impl VirtContext {
 
         let mut vmcs = HashMap::new();
         let mut posted = HashMap::new();
+        let mut cmd_doorbell = HashMap::new();
         for &core in cores {
+            cmd_doorbell.insert(
+                core,
+                Arc::new(PostedIntDescriptor::new(CMD_DOORBELL_VECTOR)),
+            );
             let handle = new_vmcs();
             {
                 let mut v = handle.write();
@@ -130,6 +145,7 @@ impl VirtContext {
             vmcs,
             cmdq: HashMap::new(),
             posted,
+            cmd_doorbell,
             live: RwLock::new(HashSet::new()),
             terminated: RwLock::new(None),
             violations: AtomicU64::new(0),
@@ -161,6 +177,11 @@ impl VirtContext {
     /// A core's posted-interrupt descriptor (posted mode only).
     pub fn posted(&self, core: usize) -> Option<&Arc<PostedIntDescriptor>> {
         self.posted.get(&core)
+    }
+
+    /// A core's command-doorbell descriptor (present in every config).
+    pub fn cmd_doorbell(&self, core: usize) -> Option<&Arc<PostedIntDescriptor>> {
+        self.cmd_doorbell.get(&core)
     }
 
     /// Mark a core as executing in guest mode.
@@ -272,6 +293,26 @@ mod tests {
             v.posted(1).unwrap().notification_vector(),
             PIV_NOTIFICATION_VECTOR
         );
+    }
+
+    #[test]
+    fn cmd_doorbell_built_for_every_config() {
+        // The exitless command path must not depend on posted-IPI mode:
+        // every config gets a per-core doorbell descriptor.
+        let none = VirtContext::new(1, CovirtConfig::NONE, &[1, 2], &[], None);
+        let piv = VirtContext::new(2, CovirtConfig::MEM_IPI_PIV, &[1], &[0x40], Some(ept()));
+        for v in [&none, &piv] {
+            let d = v.cmd_doorbell(1).expect("doorbell descriptor missing");
+            assert_eq!(d.notification_vector(), CMD_DOORBELL_VECTOR);
+        }
+        assert!(none.cmd_doorbell(2).is_some());
+        assert!(none.cmd_doorbell(9).is_none(), "only enclave cores");
+        // Distinct from the posted-IPI descriptor and its vector.
+        assert_eq!(
+            piv.posted(1).unwrap().notification_vector(),
+            PIV_NOTIFICATION_VECTOR
+        );
+        assert_ne!(CMD_DOORBELL_VECTOR, PIV_NOTIFICATION_VECTOR);
     }
 
     #[test]

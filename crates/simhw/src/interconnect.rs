@@ -72,6 +72,16 @@ impl VectorBitmap {
         v
     }
 
+    /// Clear every pending bit without materialising the vector list
+    /// (unlike `drain`, no allocation). Bits set by a racing `set` after
+    /// the wipe survive; callers that pair this with an outstanding-
+    /// notification protocol (see `PostedIntDescriptor`) stay lossless.
+    pub fn clear_all(&self) {
+        for w in &self.words {
+            w.store(0, Ordering::Release);
+        }
+    }
+
     /// True if no vector is pending.
     pub fn is_empty(&self) -> bool {
         self.words.iter().all(|w| w.load(Ordering::Acquire) == 0)

@@ -125,8 +125,14 @@ impl RegionLifecycle {
     }
 }
 
-/// One command's lifecycle, stitched from `CmdPost` → `NmiKick` →
-/// `CmdDrain` → `CmdComplete` → `CmdWait`, keyed by (seq, core).
+/// One command's lifecycle, stitched from `CmdPost` → delivery →
+/// `CmdComplete` → `CmdWait`, keyed by (seq, core). Delivery is one of
+/// two valid shapes: the NMI path (`NmiKick` → `CmdDrain`, the guest
+/// takes a VM exit to drain) or the exitless path (`CmdDoorbell` →
+/// `CmdHarvest`, the guest harvests the posted-interrupt descriptor at
+/// a safe point and drains in guest mode). `NmiKick` is therefore
+/// *optional*: an exitless chain with no kick is complete, and a kick
+/// on a doorbell chain records a bounded-fallback escalation.
 #[derive(Clone, Debug)]
 pub struct CmdLifecycle {
     /// Command sequence number.
@@ -137,8 +143,15 @@ pub struct CmdLifecycle {
     pub enclave: Option<u64>,
     /// TSC of the post.
     pub post_tsc: u64,
-    /// TSC of the first NMI kick to the core after the post.
+    /// TSC of the first NMI kick to the core after the post. `None` on
+    /// exitless chains that never escalated.
     pub nmi_tsc: Option<u64>,
+    /// TSC of the doorbell post into the core's posted-interrupt
+    /// descriptor, when the controller ran doorbell-first.
+    pub doorbell_tsc: Option<u64>,
+    /// TSC of the guest-mode harvest that drained the command without a
+    /// VM exit.
+    pub harvest_tsc: Option<u64>,
     /// TSC of the hypervisor's queue drain that picked the command up.
     pub drain_tsc: Option<u64>,
     /// TSC of the completion acknowledgement.
@@ -159,6 +172,12 @@ impl CmdLifecycle {
     /// chain is complete even though `complete_tsc` is `None`.
     pub fn complete(&self) -> bool {
         self.complete_tsc.is_some() || self.wait_ns.is_some()
+    }
+
+    /// Whether the chain was delivered exitlessly: a doorbell or a
+    /// guest-mode harvest was observed and no NMI kick ever was.
+    pub fn exitless(&self) -> bool {
+        self.nmi_tsc.is_none() && (self.doorbell_tsc.is_some() || self.harvest_tsc.is_some())
     }
 }
 
@@ -362,40 +381,63 @@ impl AuditReport {
         }
 
         let completed = self.commands.iter().filter(|c| c.complete()).count();
+        let exitless = self
+            .commands
+            .iter()
+            .filter(|c| c.complete() && c.exitless())
+            .count();
         out.push_str(&format!(
-            "\ncommand chains: {} posted, {} completed, {} unfinished\n",
+            "\ncommand chains: {} posted, {} completed ({} exitless), {} unfinished\n",
             self.commands.len(),
             completed,
+            exitless,
             self.commands.len() - completed
         ));
         if completed > 0 {
             let mut post_to_nmi = HistSnapshot::default();
+            let mut post_to_doorbell = HistSnapshot::default();
+            let mut post_to_harvest = HistSnapshot::default();
             let mut post_to_complete = HistSnapshot::default();
+            let mut exitless_complete = HistSnapshot::default();
             for c in self.commands.iter().filter(|c| c.complete()) {
                 if let Some(nmi) = c.nmi_tsc {
                     post_to_nmi.record(self.ns(nmi.saturating_sub(c.post_tsc)));
+                }
+                if let Some(db) = c.doorbell_tsc {
+                    post_to_doorbell.record(self.ns(db.saturating_sub(c.post_tsc)));
+                }
+                if let Some(h) = c.harvest_tsc {
+                    post_to_harvest.record(self.ns(h.saturating_sub(c.post_tsc)));
                 }
                 // A chain can be complete with no observed ack (a
                 // returned wait proves completion after the ack record
                 // was overwritten) — unwrapping here used to panic.
                 if let Some(t) = c.complete_tsc {
-                    post_to_complete.record(self.ns(t.saturating_sub(c.post_tsc)));
+                    let ns = self.ns(t.saturating_sub(c.post_tsc));
+                    post_to_complete.record(ns);
+                    if c.exitless() {
+                        exitless_complete.record(ns);
+                    }
                 }
             }
-            out.push_str(&format!(
-                "  post->nmi-ns      p50 {:>8}  p99 {:>8}  max {:>8}  (n={})\n",
-                post_to_nmi.quantile(0.5),
-                post_to_nmi.quantile(0.99),
-                post_to_nmi.max,
-                post_to_nmi.count
-            ));
-            out.push_str(&format!(
-                "  post->complete-ns p50 {:>8}  p99 {:>8}  max {:>8}  (n={})\n",
-                post_to_complete.quantile(0.5),
-                post_to_complete.quantile(0.99),
-                post_to_complete.max,
-                post_to_complete.count
-            ));
+            for (label, h) in [
+                ("post->nmi-ns     ", &post_to_nmi),
+                ("post->doorbell-ns", &post_to_doorbell),
+                ("post->harvest-ns ", &post_to_harvest),
+                ("post->complete-ns", &post_to_complete),
+                ("exitless-cplt-ns ", &exitless_complete),
+            ] {
+                if h.count == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "  {label} p50 {:>8}  p99 {:>8}  max {:>8}  (n={})\n",
+                    h.quantile(0.5),
+                    h.quantile(0.99),
+                    h.max,
+                    h.count
+                ));
+            }
         }
 
         out.push_str(&format!("\nviolations: {}\n", self.violations.len()));
@@ -634,6 +676,8 @@ impl AuditEngine {
                     enclave: e.enclave,
                     post_tsc: e.tsc,
                     nmi_tsc: None,
+                    doorbell_tsc: None,
+                    harvest_tsc: None,
                     drain_tsc: None,
                     complete_tsc: None,
                     complete_ns: 0,
@@ -654,6 +698,24 @@ impl AuditEngine {
                 for (&(_seq, core), &i) in self.cmds_open.iter() {
                     if core == e.lane as u64 && self.cmd_order[i].drain_tsc.is_none() {
                         self.cmd_order[i].drain_tsc = Some(e.tsc);
+                    }
+                }
+            }
+            EventKind::CmdDoorbell => {
+                // Doorbells carry the exact (seq, dest core) key, so the
+                // stitch is precise rather than first-kick-after-post.
+                if let Some(&i) = self.cmds_open.get(&(e.a, e.b)) {
+                    if self.cmd_order[i].doorbell_tsc.is_none() {
+                        self.cmd_order[i].doorbell_tsc = Some(e.tsc);
+                    }
+                }
+            }
+            EventKind::CmdHarvest => {
+                // Guest-mode drain on the emitting core: attribute to
+                // every command still open on that core, like CmdDrain.
+                for (&(_seq, core), &i) in self.cmds_open.iter() {
+                    if core == e.lane as u64 && self.cmd_order[i].harvest_tsc.is_none() {
+                        self.cmd_order[i].harvest_tsc = Some(e.tsc);
                     }
                 }
             }
@@ -979,6 +1041,57 @@ mod tests {
         assert!(text.contains("synced"));
     }
 
+    /// Exitless delivery: CmdPost → CmdDoorbell → CmdHarvest →
+    /// CmdComplete → CmdWait, with no NmiKick and no VM exit anywhere in
+    /// the chain, must stitch to a complete, violation-free lifecycle.
+    #[test]
+    fn exitless_chain_without_nmi_is_complete() {
+        let events = vec![
+            tagged(ev(200, 2, 0, EventKind::CmdPost, 7, 0), 0),
+            tagged(ev(205, 2, 1, EventKind::CmdDoorbell, 7, 0), 0),
+            // Guest core 0 harvests in guest mode (lane = core).
+            tagged(ev(240, 0, 0, EventKind::CmdHarvest, 1, 0), 0),
+            tagged(ev(260, 0, 1, EventKind::CmdComplete, 7, 60), 0),
+            tagged(ev(300, 2, 2, EventKind::CmdWait, 7, 100), 0),
+        ];
+        let report = audit_events(AuditConfig::default(), HZ, &events, &[0, 0, 0]);
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(report.commands.len(), 1);
+        let c = &report.commands[0];
+        assert!(c.complete());
+        assert!(c.exitless());
+        assert_eq!(c.nmi_tsc, None);
+        assert_eq!(c.doorbell_tsc, Some(205));
+        assert_eq!(c.harvest_tsc, Some(240));
+        assert_eq!(c.complete_tsc, Some(260));
+        let text = report.render();
+        assert!(text.contains("1 completed (1 exitless)"), "{text}");
+        assert!(text.contains("post->doorbell-ns"), "{text}");
+        assert!(text.contains("post->harvest-ns"), "{text}");
+        assert!(!text.contains("post->nmi-ns"), "{text}");
+    }
+
+    /// A doorbell chain that escalated (NmiKick present) is still valid
+    /// but no longer counts as exitless.
+    #[test]
+    fn escalated_doorbell_chain_is_not_exitless() {
+        let events = vec![
+            tagged(ev(200, 2, 0, EventKind::CmdPost, 7, 0), 0),
+            tagged(ev(205, 2, 1, EventKind::CmdDoorbell, 7, 0), 0),
+            ev(1000, 2, 2, EventKind::NmiKick, 0, 0),
+            tagged(ev(1050, 0, 0, EventKind::CmdDrain, 1, 0), 0),
+            tagged(ev(1080, 0, 1, EventKind::CmdComplete, 7, 880), 0),
+        ];
+        let report = audit_events(AuditConfig::default(), HZ, &events, &[0, 0, 0]);
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        let c = &report.commands[0];
+        assert!(c.complete());
+        assert!(!c.exitless());
+        assert_eq!(c.doorbell_tsc, Some(205));
+        assert_eq!(c.nmi_tsc, Some(1000));
+        assert!(report.render().contains("1 completed (0 exitless)"));
+    }
+
     #[test]
     fn fault_report_is_an_attributed_violation() {
         let events = vec![
@@ -1186,7 +1299,7 @@ mod tests {
         );
         assert!(report.commands[0].complete_tsc.is_none());
         let text = report.render(); // panicked before the fix
-        assert!(text.contains("1 posted, 1 completed, 0 unfinished"));
+        assert!(text.contains("1 posted, 1 completed (0 exitless), 0 unfinished"));
         assert!(!report
             .violations
             .iter()

@@ -272,6 +272,22 @@ mod tests {
         assert!(lines[0].contains("\"ts_ns\":1000"));
     }
 
+    /// The exitless-delivery events must come out of both exporters with
+    /// their stable labels (tooling greps for these names).
+    #[test]
+    fn doorbell_events_are_labelled_in_both_exporters() {
+        let events = vec![
+            ev(1000, 2, 0, EventKind::CmdDoorbell, 7, 1),
+            ev(2000, 1, 0, EventKind::CmdHarvest, 1, 0),
+        ];
+        let jsonl = to_jsonl(&events, 1_000_000_000);
+        assert!(jsonl.contains("\"kind\":\"cmd_doorbell\""));
+        assert!(jsonl.contains("\"kind\":\"cmd_harvest\""));
+        let chrome = to_chrome_trace(&events, 1_000_000_000);
+        assert!(chrome.contains("\"name\":\"cmd_doorbell\""));
+        assert!(chrome.contains("\"name\":\"cmd_harvest\""));
+    }
+
     #[test]
     fn chrome_trace_pairs_spans() {
         let (a, b) = pack_str("msr_read");

@@ -112,11 +112,18 @@ pub enum EventKind {
     /// Posted-interrupt vectors harvested exit-lessly. `a`: count,
     /// `b`: unused (0).
     PostedHarvest = 27,
+    /// Command doorbell posted into a core's posted-interrupt descriptor
+    /// (exitless delivery; no NMI sent). `a`: sequence number of the
+    /// command the doorbell signals, `b`: destination core.
+    CmdDoorbell = 28,
+    /// Command queue drained in guest mode after a doorbell harvest — no
+    /// VM exit involved. `a`: commands drained, `b`: unused (0).
+    CmdHarvest = 29,
 }
 
 impl EventKind {
     /// Every kind, for decoders and summaries.
-    pub const ALL: [EventKind; 27] = [
+    pub const ALL: [EventKind; 29] = [
         EventKind::ExitEnter,
         EventKind::ExitLeave,
         EventKind::CmdPost,
@@ -144,6 +151,8 @@ impl EventKind {
         EventKind::CtrlSend,
         EventKind::CtrlRecv,
         EventKind::PostedHarvest,
+        EventKind::CmdDoorbell,
+        EventKind::CmdHarvest,
     ];
 
     /// Stable wire/display name.
@@ -176,6 +185,8 @@ impl EventKind {
             EventKind::CtrlSend => "ctrl_send",
             EventKind::CtrlRecv => "ctrl_recv",
             EventKind::PostedHarvest => "posted_harvest",
+            EventKind::CmdDoorbell => "cmd_doorbell",
+            EventKind::CmdHarvest => "cmd_harvest",
         }
     }
 

@@ -43,11 +43,17 @@ pub enum Counter {
     Shootdowns,
     SnapshotPublishes,
     CtrlMsgs,
+    /// Command doorbells posted into posted-interrupt descriptors.
+    CmdDoorbells,
+    /// Commands drained in guest mode via doorbell harvest (no VM exit).
+    CmdHarvested,
+    /// Doorbell deliveries that timed out and escalated to an NMI kick.
+    NmiEscalations,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 27] = [
         Counter::Reads,
         Counter::Writes,
         Counter::Walks,
@@ -72,6 +78,9 @@ impl Counter {
         Counter::Shootdowns,
         Counter::SnapshotPublishes,
         Counter::CtrlMsgs,
+        Counter::CmdDoorbells,
+        Counter::CmdHarvested,
+        Counter::NmiEscalations,
     ];
 
     /// Stable display name.
@@ -101,6 +110,9 @@ impl Counter {
             Counter::Shootdowns => "shootdowns",
             Counter::SnapshotPublishes => "snapshot_publishes",
             Counter::CtrlMsgs => "ctrl_msgs",
+            Counter::CmdDoorbells => "cmd_doorbells",
+            Counter::CmdHarvested => "cmd_harvested",
+            Counter::NmiEscalations => "nmi_escalations",
         }
     }
 }

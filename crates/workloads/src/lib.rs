@@ -23,6 +23,7 @@
 
 pub mod audit;
 pub mod env;
+pub mod exitless;
 pub mod figures;
 pub mod hpcg;
 pub mod md;
