@@ -19,7 +19,11 @@
 //! * `scaling`         — concurrent per-core STREAM triad at 1/2/4/8
 //!   cores, Native vs Covirt (the lock-free resolve path must keep
 //!   per-core throughput flat), plus the per-core region cache on vs off
-//!   under TLB-fill pressure.
+//!   under TLB-fill pressure;
+//! * `numa_shard`      — zone-local resolve latency with the remote zone
+//!   quiet vs under publish churn (sharding must keep them identical),
+//!   plus the writer-side publish cost with a sustained reader holding
+//!   epoch sections open (bounded reclamation must keep it flat).
 
 use covirt::cmdqueue::Command;
 use covirt::config::CovirtConfig;
@@ -353,6 +357,72 @@ fn ablate_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn ablate_numa_shard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_numa_shard");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let mem = Arc::new(PhysMemory::new(&[64 * 1024 * 1024, 64 * 1024 * 1024]));
+    let local = mem
+        .alloc_backed(ZoneId(0), PAGE_SIZE_2M, PAGE_SIZE_2M)
+        .unwrap();
+
+    // Zone-local resolve with the remote zone quiet.
+    group.bench_function("local-resolve-quiet", |b| {
+        b.iter(|| criterion::black_box(mem.resolve(local.start, 8).unwrap().1))
+    });
+
+    // Same resolve while zone 1 is republished continuously — per-zone
+    // sharding must keep the latency indistinguishable from quiet.
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let churn = {
+            let mem = Arc::clone(&mem);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    let r = mem
+                        .alloc_backed(ZoneId(1), PAGE_SIZE_2M, PAGE_SIZE_2M)
+                        .unwrap();
+                    mem.free(r).unwrap();
+                }
+            })
+        };
+        group.bench_function("local-resolve-remote-churn", |b| {
+            b.iter(|| criterion::black_box(mem.resolve(local.start, 8).unwrap().1))
+        });
+        stop.store(true, Ordering::Release);
+        churn.join().unwrap();
+    }
+
+    // Writer-side cost: one grant/reclaim publish cycle while a sustained
+    // reader keeps epoch sections opening and closing on the same shard —
+    // the bounded-reclamation path must not turn publishes into waits.
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let mem = Arc::clone(&mem);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    criterion::black_box(mem.resolve(local.start, 8).unwrap().1);
+                    std::hint::spin_loop();
+                }
+            })
+        };
+        group.bench_function("publish-under-sustained-reader", |b| {
+            b.iter(|| {
+                let r = mem
+                    .alloc_backed(ZoneId(0), PAGE_SIZE_2M, PAGE_SIZE_2M)
+                    .unwrap();
+                mem.free(r).unwrap();
+            })
+        });
+        stop.store(true, Ordering::Release);
+        reader.join().unwrap();
+    }
+    group.finish();
+}
+
 type GuestOp = Box<dyn Fn(&mut covirt::GuestCore)>;
 
 fn ablate_exit_cost(c: &mut Criterion) {
@@ -406,6 +476,7 @@ criterion_group!(
     ablate_exit_cost,
     ablate_shootdown,
     ablate_walk_cache,
-    ablate_scaling
+    ablate_scaling,
+    ablate_numa_shard
 );
 criterion_main!(benches);

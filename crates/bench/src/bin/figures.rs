@@ -10,8 +10,8 @@
 //! paper-scale parameters from Table I instead of the scaled defaults.
 
 use covirt_bench::{
-    fmt_pct, render_fig3, render_fig4, render_fig5a, render_fig5b, render_fig8, render_scaling,
-    render_scaling_points,
+    fmt_pct, render_churn_isolation, render_fig3, render_fig4, render_fig5a, render_fig5b,
+    render_fig8, render_frag_points, render_numa_points, render_scaling, render_scaling_points,
 };
 use covirt_simhw::node::SimNode;
 use std::sync::Arc;
@@ -20,7 +20,7 @@ use workloads::{scaling, table1};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8|scaling|shootdown|trace|report|traceovh|audit|selfheal|exitless|all> [--full] [--fault]\n\
+        "usage: figures <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8|scaling|numa|shootdown|trace|report|traceovh|audit|selfheal|exitless|all> [--full] [--fault]\n\
          \n  table1  benchmark versions/parameters (Table I)\
          \n  fig3    Selfish-Detour noise profile\
          \n  fig4    XEMEM attach delay vs region size\
@@ -29,7 +29,13 @@ fn usage() -> ! {
          \n  fig6    MiniFE scaling over core/NUMA layouts\
          \n  fig7    HPCG scaling over core/NUMA layouts\
          \n  fig8    LAMMPS loop times (lj/chain/eam/chute)\
-         \n  scaling data-plane per-core scaling (STREAM+GUPS, 1..8 cores) with resolve stats\
+         \n  scaling data-plane per-core scaling (STREAM+GUPS, 1..8 cores) with resolve\
+         \n          stats, plus the multi-zone weak-scaling arm (arrays pinned per zone)\
+         \n  numa    NUMA-sharded resolution gates: cross-zone churn isolation (zone-0\
+         \n          hit rate under zone-1 churn must stay within 2% of the quiet\
+         \n          baseline, retired backlog bounded) and the many-grants\
+         \n          fragmentation rung (region-cache ways vs search depth); exits 1\
+         \n          when a gate misses\
          \n  shootdown  coalesced reclaim-epoch demo with TLB flush stats\
          \n  trace   shootdown demo with the flight recorder on; writes covirt-trace.json\
          \n          (chrome://tracing / ui.perfetto.dev) and covirt-trace.jsonl\
@@ -442,6 +448,73 @@ fn exitless_cmd() {
     );
 }
 
+/// `numa` subcommand: run the sharded-resolution experiments and gate on
+/// the isolation claims. Cross-zone churn must not dent the zone-local
+/// resolve hit rate by more than 2% (relative), the remote zone's retired
+/// backlog must stay bounded under a sustained reader, and the 4-way
+/// region cache must beat direct-mapped on the fragmented enclave.
+fn numa_cmd(scale: Scale) {
+    use workloads::scaling;
+
+    const BACKLOG_BOUND: u64 = 32;
+
+    eprintln!("[numa] multi-zone weak scaling (arrays pinned per zone)...");
+    println!("{}", render_numa_points(&scaling::run_numa(scale)));
+
+    eprintln!("[numa] cross-zone churn isolation...");
+    let iso = scaling::run_churn_isolation(scaling::ScalingParams::for_scale(scale));
+    println!("{}", render_churn_isolation(&iso));
+
+    eprintln!("[numa] many-grants fragmentation...");
+    let frag = scaling::run_frag(scale);
+    println!("{}", render_frag_points(&frag));
+
+    let fail = |msg: &str| -> ! {
+        eprintln!("FAIL: {msg}");
+        std::process::exit(1);
+    };
+    if iso.remote_publishes == 0 {
+        fail("churn arm published no zone-1 snapshots — the stressor never ran");
+    }
+    if iso.churn_hit_rate < 0.98 * iso.baseline_hit_rate {
+        fail(&format!(
+            "zone-0 resolve hit rate {:.2}% under zone-1 churn is more than 2% below the \
+             quiet baseline {:.2}%",
+            iso.churn_hit_rate * 100.0,
+            iso.baseline_hit_rate * 100.0
+        ));
+    }
+    if iso.remote_backlog_high_water > BACKLOG_BOUND {
+        fail(&format!(
+            "zone-1 retired backlog high water {} exceeded the bound {} under a sustained reader",
+            iso.remote_backlog_high_water, BACKLOG_BOUND
+        ));
+    }
+    let direct = frag.iter().find(|f| f.ways == 1).expect("ways=1 row");
+    let assoc = frag.iter().find(|f| f.ways > 1).expect("ways>1 row");
+    if assoc.hit_rate <= direct.hit_rate {
+        fail(&format!(
+            "{}-way region cache hit rate {:.2}% does not beat direct-mapped {:.2}% on the \
+             fragmented enclave",
+            assoc.ways,
+            assoc.hit_rate * 100.0,
+            direct.hit_rate * 100.0
+        ));
+    }
+    println!(
+        "OK: zone-0 hit rate {:.2}% under remote churn (baseline {:.2}%, {} remote publishes), \
+         remote backlog high water {} <= {}, {}-way cache {:.1}% vs direct {:.1}%",
+        iso.churn_hit_rate * 100.0,
+        iso.baseline_hit_rate * 100.0,
+        iso.remote_publishes,
+        iso.remote_backlog_high_water,
+        BACKLOG_BOUND,
+        assoc.ways,
+        assoc.hit_rate * 100.0,
+        direct.hit_rate * 100.0,
+    );
+}
+
 /// One best-of STREAM triad measurement with the recorder off or on.
 fn stream_triad(trace: bool) -> f64 {
     use covirt::config::CovirtConfig;
@@ -546,6 +619,10 @@ fn main() {
     }
     if all || what == "scaling" {
         println!("{}", render_scaling_points(&scaling::run(scale)));
+        println!("{}", render_numa_points(&scaling::run_numa(scale)));
+    }
+    if what == "numa" {
+        numa_cmd(scale);
     }
     if all || what == "shootdown" {
         shootdown_demo(false);
@@ -580,6 +657,7 @@ fn main() {
                 | "fig7"
                 | "fig8"
                 | "scaling"
+                | "numa"
                 | "shootdown"
                 | "trace"
                 | "report"

@@ -16,7 +16,7 @@
 
 use covirt::stats::overhead_pct;
 use workloads::figures::{Fig3Row, Fig4Row, Fig5aRow, Fig5bRow, Fig8Row, ScalingRow};
-use workloads::scaling::ScalingPoint;
+use workloads::scaling::{ChurnIsolation, FragPoint, NumaPoint, ScalingPoint};
 
 /// Format an overhead percentage for a table cell: two decimals, or
 /// `"n/a"` when the baseline was zero (`overhead_pct` yields NaN then).
@@ -183,6 +183,82 @@ pub fn render_scaling_points(rows: &[ScalingPoint]) -> String {
     out
 }
 
+/// Render the multi-zone weak-scaling arm: per-core throughput with each
+/// core's arrays pinned to its local zone, plus per-zone shard hit rates.
+pub fn render_numa_points(rows: &[NumaPoint]) -> String {
+    let mut out = String::from(
+        "Multi-zone weak scaling — arrays pinned per local zone\n\
+         cores zones config              triad-MB/s/core  ovh-%  resolve-hit%  zone-hit%          snap-swaps\n",
+    );
+    let mut core_counts: Vec<usize> = rows.iter().map(|r| r.cores).collect();
+    core_counts.dedup();
+    for &cores in &core_counts {
+        let native = rows
+            .iter()
+            .find(|r| r.cores == cores && r.mode == "native")
+            .expect("native row");
+        for r in rows.iter().filter(|r| r.cores == cores) {
+            let zone_hits: Vec<String> = r
+                .per_zone_hit_rate
+                .iter()
+                .map(|h| format!("{:.1}", h * 100.0))
+                .collect();
+            out.push_str(&format!(
+                "{:<5} {:<5} {:<18} {:>15.0} {:>6} {:>12.1}  {:<17} {:>10}\n",
+                r.cores,
+                r.zones,
+                r.mode,
+                r.stream_mbs_per_core,
+                fmt_pct(overhead_pct(
+                    r.stream_mbs_per_core,
+                    native.stream_mbs_per_core
+                )),
+                r.resolve_hit_rate * 100.0,
+                zone_hits.join("/"),
+                r.snapshot_swaps,
+            ));
+        }
+    }
+    out
+}
+
+/// Render the cross-zone churn-isolation comparison.
+pub fn render_churn_isolation(iso: &ChurnIsolation) -> String {
+    format!(
+        "Cross-zone publish isolation — zone-0 enclave vs zone-1 churn\n\
+         arm                     resolve-hit%   remote-publishes   remote-backlog-hw\n\
+         {:<23} {:>12.2} {:>18} {:>19}\n\
+         {:<23} {:>12.2} {:>18} {:>19}\n",
+        "zone-1 quiet",
+        iso.baseline_hit_rate * 100.0,
+        0,
+        "-",
+        "zone-1 churn+reader",
+        iso.churn_hit_rate * 100.0,
+        iso.remote_publishes,
+        iso.remote_backlog_high_water,
+    )
+}
+
+/// Render the many-grants fragmentation rung (region-cache associativity
+/// vs snapshot binary-search depth).
+pub fn render_frag_points(rows: &[FragPoint]) -> String {
+    let mut out = String::from(
+        "Many-grants fragmentation — region-cache associativity\n\
+         ways  regions  hit-rate%  avg-search-depth\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<5} {:<8} {:>9.1} {:>17.2}\n",
+            r.ways,
+            r.regions,
+            r.hit_rate * 100.0,
+            r.avg_search_depth,
+        ));
+    }
+    out
+}
+
 /// Render Figure 8 (LAMMPS loop times, lower is better).
 pub fn render_fig8(rows: &[Fig8Row]) -> String {
     let mut out = String::from(
@@ -270,6 +346,75 @@ mod tests {
         let s = render_scaling("Fig. 7 — HPCG", "GFLOP/s", &rows);
         assert!(s.contains("1c/1z"));
         assert!(s.contains("4c/2z"));
+    }
+
+    #[test]
+    fn numa_render_lists_zone_hit_rates() {
+        let rows = vec![
+            NumaPoint {
+                mode: "native".into(),
+                cores: 2,
+                zones: 2,
+                stream_mbs_per_core: 1000.0,
+                resolve_hit_rate: 0.99,
+                per_zone_hit_rate: vec![0.991, 0.987],
+                snapshot_swaps: 0,
+            },
+            NumaPoint {
+                mode: "covirt-mem".into(),
+                cores: 2,
+                zones: 2,
+                stream_mbs_per_core: 990.0,
+                resolve_hit_rate: 0.98,
+                per_zone_hit_rate: vec![0.981, 0.979],
+                snapshot_swaps: 2,
+            },
+        ];
+        let s = render_numa_points(&rows);
+        assert!(s.contains("covirt-mem"));
+        assert!(s.contains("99.1/98.7"));
+        assert!(s.contains("98.1/97.9"));
+        // covirt is ~1% slower than native on this rung.
+        assert!(s.contains("1.0"));
+    }
+
+    #[test]
+    fn churn_render_shows_both_arms() {
+        let iso = ChurnIsolation {
+            baseline_hit_rate: 0.991,
+            churn_hit_rate: 0.989,
+            remote_publishes: 400,
+            remote_backlog_high_water: 3,
+        };
+        let s = render_churn_isolation(&iso);
+        assert!(s.contains("zone-1 quiet"));
+        assert!(s.contains("zone-1 churn+reader"));
+        assert!(s.contains("400"));
+        assert!(s.contains("99.10"));
+        assert!(s.contains("98.90"));
+    }
+
+    #[test]
+    fn frag_render_lists_ways() {
+        let rows = vec![
+            FragPoint {
+                ways: 1,
+                regions: 256,
+                hit_rate: 0.52,
+                avg_search_depth: 8.1,
+            },
+            FragPoint {
+                ways: 4,
+                regions: 256,
+                hit_rate: 0.97,
+                avg_search_depth: 8.0,
+            },
+        ];
+        let s = render_frag_points(&rows);
+        assert!(s.contains("256"));
+        assert!(s.contains("52.0"));
+        assert!(s.contains("97.0"));
+        assert!(s.contains("8.10"));
     }
 
     #[test]

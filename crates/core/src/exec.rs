@@ -250,6 +250,11 @@ impl GuestCore {
             d.set_suppress(true);
         }
         let cmdq = vctx.cmdq(core).cloned();
+        // Tag this core's region cache with the enclave's view: sibling
+        // enclaves' grant/reclaim churn leaves it hot, and the controller
+        // bumps the view after any unmap affecting this enclave.
+        let region_cache = RegionCache::new();
+        region_cache.set_view(Some(Arc::clone(&vctx.region_view)));
         let gc = GuestCore {
             core,
             node,
@@ -263,7 +268,7 @@ impl GuestCore {
             tlb,
             walk_cache: WalkCache::new(WalkCache::DEFAULT_ENTRIES),
             walk_cache_enabled: true,
-            region_cache: RegionCache::new(),
+            region_cache,
             counters: CoreCounters::default(),
             tracer,
             terminated: None,
@@ -366,6 +371,12 @@ impl GuestCore {
     /// Enable or disable the region cache (ablation knob; on by default).
     pub fn set_region_cache_enabled(&mut self, enabled: bool) {
         self.region_cache.set_enabled(enabled);
+    }
+
+    /// Restrict the region cache's associativity (ablation knob; full
+    /// associativity by default).
+    pub fn set_region_cache_ways(&mut self, ways: usize) {
+        self.region_cache.set_ways(ways);
     }
 
     /// If the enclave was terminated on this core, why.

@@ -13,6 +13,7 @@ use crate::config::{CovirtConfig, IpiMode};
 use crate::whitelist::IpiWhitelist;
 use covirt_simhw::ept::Ept;
 use covirt_simhw::ioport::IoBitmap;
+use covirt_simhw::memory::RegionView;
 use covirt_simhw::msr::{MsrBitmap, IA32_MC0_CTL};
 use covirt_simhw::posted::PostedIntDescriptor;
 use covirt_simhw::vmcs::{new_vmcs, ApicVirtMode, VmcsHandle};
@@ -63,6 +64,12 @@ pub struct VirtContext {
     terminated: RwLock<Option<String>>,
     /// EPT violations caught (instrumentation).
     pub violations: AtomicU64,
+    /// This enclave's region-view generation. The cores' region caches
+    /// tag entries with it; the controller bumps it after every unmap
+    /// affecting the enclave (memory remove, XEMEM detach), so sibling
+    /// enclaves' grant/reclaim churn never invalidates this enclave's
+    /// caches.
+    pub region_view: Arc<RegionView>,
 }
 
 impl VirtContext {
@@ -149,6 +156,7 @@ impl VirtContext {
             live: RwLock::new(HashSet::new()),
             terminated: RwLock::new(None),
             violations: AtomicU64::new(0),
+            region_view: Arc::new(RegionView::new()),
         }
     }
 

@@ -881,7 +881,10 @@ impl AuditEngine {
             | EventKind::XememDetach
             | EventKind::VectorAlloc
             | EventKind::VectorFree
-            | EventKind::PostedHarvest => {}
+            | EventKind::PostedHarvest
+            | EventKind::ZonePublish
+            | EventKind::ZoneRetire
+            | EventKind::RetireBacklog => {}
         }
     }
 

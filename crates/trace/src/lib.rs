@@ -119,11 +119,19 @@ pub enum EventKind {
     /// Command queue drained in guest mode after a doorbell harvest — no
     /// VM exit involved. `a`: commands drained, `b`: unused (0).
     CmdHarvest = 29,
+    /// Zone-sharded snapshot published. `a`: zone, `b`: zone generation.
+    ZonePublish = 30,
+    /// Retired zone snapshots freed at an epoch advance. `a`: zone,
+    /// `b`: count freed.
+    ZoneRetire = 31,
+    /// Retired-snapshot backlog reached a new high-water mark. `a`: zone,
+    /// `b`: new high-water (snapshots awaiting a grace period).
+    RetireBacklog = 32,
 }
 
 impl EventKind {
     /// Every kind, for decoders and summaries.
-    pub const ALL: [EventKind; 29] = [
+    pub const ALL: [EventKind; 32] = [
         EventKind::ExitEnter,
         EventKind::ExitLeave,
         EventKind::CmdPost,
@@ -153,6 +161,9 @@ impl EventKind {
         EventKind::PostedHarvest,
         EventKind::CmdDoorbell,
         EventKind::CmdHarvest,
+        EventKind::ZonePublish,
+        EventKind::ZoneRetire,
+        EventKind::RetireBacklog,
     ];
 
     /// Stable wire/display name.
@@ -187,6 +198,9 @@ impl EventKind {
             EventKind::PostedHarvest => "posted_harvest",
             EventKind::CmdDoorbell => "cmd_doorbell",
             EventKind::CmdHarvest => "cmd_harvest",
+            EventKind::ZonePublish => "zone_publish",
+            EventKind::ZoneRetire => "zone_retire",
+            EventKind::RetireBacklog => "retire_backlog",
         }
     }
 

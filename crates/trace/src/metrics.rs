@@ -49,11 +49,13 @@ pub enum Counter {
     CmdHarvested,
     /// Doorbell deliveries that timed out and escalated to an NMI kick.
     NmiEscalations,
+    /// Retired region snapshots freed after their epoch grace period.
+    RetiredFreed,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 27] = [
+    pub const ALL: [Counter; 28] = [
         Counter::Reads,
         Counter::Writes,
         Counter::Walks,
@@ -81,6 +83,7 @@ impl Counter {
         Counter::CmdDoorbells,
         Counter::CmdHarvested,
         Counter::NmiEscalations,
+        Counter::RetiredFreed,
     ];
 
     /// Stable display name.
@@ -113,6 +116,7 @@ impl Counter {
             Counter::CmdDoorbells => "cmd_doorbells",
             Counter::CmdHarvested => "cmd_harvested",
             Counter::NmiEscalations => "nmi_escalations",
+            Counter::RetiredFreed => "retired_freed",
         }
     }
 }

@@ -3,13 +3,17 @@
 
 use covirt::controller::CovirtController;
 use covirt::{CovirtResult, ExecMode, GuestCore};
+use covirt_simhw::addr::PAGE_SIZE_2M;
+use covirt_simhw::memory::ZONE_SPAN;
 use covirt_simhw::node::{NodeConfig, SimNode};
 use covirt_simhw::tlb::TlbParams;
 use covirt_simhw::topology::{HwLayout, Topology};
 use hobbes::MasterControl;
+use kitten::memmap::RegionKind;
 use kitten::KittenKernel;
 use parking_lot::Mutex;
 use pisces::resources::ResourceRequest;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Default enclave memory for workload worlds. The paper uses 14 GiB; the
@@ -37,7 +41,23 @@ pub struct World {
     pub cores: Vec<usize>,
     /// TLB geometry used by every guest core.
     pub tlb: TlbParams,
-    alloc_cursor: Mutex<u64>,
+    alloc: Mutex<AllocPolicy>,
+}
+
+/// Zone-aware allocation state behind [`World::alloc_array`]. The default
+/// policy (zone `None`) delegates to the kernel's bump allocator over the
+/// *first* boot region, which lives in zone 0; pinning to a higher zone
+/// carves from that zone's own boot region with its own cursor, so
+/// workload setup code (which only ever calls `alloc_array`) can be
+/// NUMA-placed without signature changes.
+#[derive(Default)]
+struct AllocPolicy {
+    /// Zone subsequent allocations are pinned to (`None` = kernel default).
+    zone: Option<usize>,
+    /// Cursor for the kernel's default (first-boot-region) allocator.
+    cursor0: u64,
+    /// Bump cursor per explicitly pinned zone.
+    zone_cursors: BTreeMap<usize, u64>,
 }
 
 impl World {
@@ -78,7 +98,7 @@ impl World {
             mode,
             cores,
             tlb: TlbParams::default(),
-            alloc_cursor: Mutex::new(0),
+            alloc: Mutex::new(AllocPolicy::default()),
         }
     }
 
@@ -101,13 +121,49 @@ impl World {
         }
     }
 
+    /// Pin subsequent [`World::alloc_array`] calls to a NUMA zone. `None`
+    /// (the default) restores the kernel's bump allocator over the first
+    /// boot region; `Some(z)` carves from the boot region the enclave was
+    /// assigned in zone `z`, so a multi-zone layout can place each core's
+    /// working set in that core's local zone.
+    pub fn set_alloc_zone(&self, zone: Option<usize>) {
+        self.alloc.lock().zone = zone;
+    }
+
     /// Allocate a contiguous, 2 MiB-aligned guest array of `bytes` from the
-    /// enclave's memory; returns its (identity) virtual address.
+    /// enclave's memory; returns its (identity) virtual address. Honours
+    /// the zone pin set by [`World::set_alloc_zone`].
     pub fn alloc_array(&self, bytes: u64) -> u64 {
-        let mut cursor = self.alloc_cursor.lock();
-        self.kernel
-            .alloc_contiguous(bytes, &mut cursor)
-            .expect("enclave memory exhausted — shrink the workload")
+        let mut st = self.alloc.lock();
+        match st.zone {
+            // Zone 0 is where the kernel's first boot region (and its
+            // page-table pool) lives; the kernel allocator already skips
+            // the pool, so both unpinned and zone-0-pinned requests share
+            // one cursor and never overlap.
+            None | Some(0) => self
+                .kernel
+                .alloc_contiguous(bytes, &mut st.cursor0)
+                .expect("enclave memory exhausted — shrink the workload"),
+            Some(z) => {
+                let boot = self
+                    .kernel
+                    .memmap()
+                    .by_kind(RegionKind::Boot)
+                    .into_iter()
+                    .find(|r| (r.range.start.raw() / ZONE_SPAN) as usize == z)
+                    .unwrap_or_else(|| panic!("enclave has no boot region in zone {z}"));
+                let cursor = st.zone_cursors.entry(z).or_insert(0);
+                let base = boot.range.start.raw().div_ceil(PAGE_SIZE_2M) * PAGE_SIZE_2M;
+                let aligned = (base + *cursor).div_ceil(PAGE_SIZE_2M) * PAGE_SIZE_2M;
+                let len = bytes.div_ceil(PAGE_SIZE_2M) * PAGE_SIZE_2M;
+                assert!(
+                    aligned + len <= boot.range.end().raw(),
+                    "zone {z} enclave memory exhausted — shrink the workload"
+                );
+                *cursor = aligned + len - base;
+                aligned
+            }
+        }
     }
 
     /// Run `f(rank, guest_core)` on every enclave core concurrently, one
@@ -239,6 +295,42 @@ mod tests {
         let b = w.alloc_array(1024 * 1024);
         assert_ne!(a, b);
         assert!(b >= a + 1024 * 1024);
+    }
+
+    #[test]
+    fn alloc_array_zone_pinning() {
+        use covirt_simhw::addr::HostPhysAddr;
+        let topo = Topology {
+            sockets: 2,
+            cores_per_socket: 2,
+            zones: 2,
+            mem_per_zone: 128 * 1024 * 1024,
+            tsc_hz: 1_000_000_000,
+        };
+        let w = World::build_on(
+            topo,
+            ExecMode::Native,
+            HwLayout { cores: 2, zones: 2 },
+            64 * 1024 * 1024,
+        );
+        let a0 = w.alloc_array(1024 * 1024);
+        w.set_alloc_zone(Some(1));
+        let a1 = w.alloc_array(1024 * 1024);
+        let a1b = w.alloc_array(1024 * 1024);
+        w.set_alloc_zone(None);
+        let a2 = w.alloc_array(1024 * 1024);
+        let zone = |a: u64| w.node.mem.zone_of(HostPhysAddr::new(a)).0;
+        assert_eq!(zone(a0), 0);
+        assert_eq!(zone(a1), 1);
+        assert_eq!(zone(a1b), 1);
+        assert_eq!(zone(a2), 0);
+        assert_ne!(a1, a1b);
+        // Unpinning resumes the zone-0 cursor rather than re-handing a0.
+        assert_ne!(a0, a2);
+        // The pinned array is live, mapped guest memory like any other.
+        let mut g = w.guest_core(w.cores[0]).unwrap();
+        g.write_u64(a1, 7).unwrap();
+        assert_eq!(g.read_u64(a1).unwrap(), 7);
     }
 
     #[test]

@@ -16,8 +16,12 @@ use crate::figures::Scale;
 use crate::{randomaccess, stream};
 use covirt::config::CovirtConfig;
 use covirt::ExecMode;
+use covirt_simhw::addr::{PhysRange, PAGE_SIZE_2M, PAGE_SIZE_4K};
+use covirt_simhw::memory::ZoneStats;
 use covirt_simhw::node::SimNode;
-use covirt_simhw::topology::{HwLayout, Topology};
+use covirt_simhw::tlb::TlbParams;
+use covirt_simhw::topology::{CoreId, HwLayout, Topology, ZoneId};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Core counts the sweep runs (the paper's 1→8 ladder).
@@ -82,10 +86,11 @@ impl ScalingParams {
     }
 }
 
-/// Build the world one scaling point runs in: a single NUMA zone (so the
-/// enclave's workload data is one grant region — the configuration the
-/// per-core region cache is built for; NUMA-aware zone sharding is an open
-/// item, see ROADMAP) on a node wide enough for the 8-core rung.
+/// Build the world one scaling point runs in: a single NUMA zone (the
+/// enclave's workload data is one grant region — the baseline the per-core
+/// region cache is built for; the multi-zone arm lives in
+/// [`build_numa_world`]/[`run_numa_point`]) on a node wide enough for the
+/// 8-core rung.
 ///
 /// The paper testbed has 6 cores per socket, so an 8-core single-zone
 /// enclave does not fit; the sweep runs on a wider single-socket node
@@ -186,6 +191,315 @@ pub fn run(scale: Scale) -> Vec<ScalingPoint> {
     out
 }
 
+/// One multi-zone weak-scaling measurement: cores split across NUMA zones,
+/// each core's STREAM arrays pinned to its local zone, per-zone resolve
+/// stats read from the sharded memory.
+#[derive(Clone, Debug)]
+pub struct NumaPoint {
+    /// Configuration label.
+    pub mode: String,
+    /// Enclave cores driven concurrently (split evenly across zones).
+    pub cores: usize,
+    /// NUMA zones the cores and their arrays span.
+    pub zones: usize,
+    /// Median per-core STREAM triad bandwidth (MB/s).
+    pub stream_mbs_per_core: f64,
+    /// Region-cache hit rate over all resolves, aggregated across cores.
+    pub resolve_hit_rate: f64,
+    /// Per-zone resolve hit rate (shard counters), indexed by zone.
+    pub per_zone_hit_rate: Vec<f64>,
+    /// Snapshots published while the point ran, summed over zones.
+    pub snapshot_swaps: u64,
+}
+
+/// Build a multi-zone world: one socket per zone, cores split evenly, the
+/// enclave's memory split evenly (this is the `zones: 1` pin of
+/// [`build_world`], lifted).
+pub fn build_numa_world(mode: ExecMode, cores: usize, zones: usize, p: ScalingParams) -> World {
+    assert!(
+        zones >= 1 && cores.is_multiple_of(zones),
+        "cores must split evenly"
+    );
+    let per_core = p.stream_n as u64 * 8 * 3 + (8u64 << p.ra_log2_n);
+    let mem = (per_core * cores as u64 + 96 * 1024 * 1024).max(DEFAULT_ENCLAVE_MEM);
+    let topo = Topology {
+        sockets: zones,
+        cores_per_socket: 1 + CORE_COUNTS[CORE_COUNTS.len() - 1],
+        zones,
+        mem_per_zone: mem / zones as u64 + 256 * 1024 * 1024,
+        tsc_hz: Topology::paper_testbed().tsc_hz,
+    };
+    World::build_on(topo, mode, HwLayout { cores, zones }, mem)
+}
+
+/// Run one multi-zone point: every core streams arrays allocated in its
+/// *local* zone, concurrently. Per-zone shard stats show each zone serving
+/// its own resolves; the region-cache hit rate must match the single-zone
+/// arm — locality is free, not a new cost.
+pub fn run_numa_point(mode: ExecMode, cores: usize, zones: usize, p: ScalingParams) -> NumaPoint {
+    let world = build_numa_world(mode, cores, zones, p);
+    let streams: Vec<stream::Stream> = world
+        .cores
+        .iter()
+        .map(|&c| {
+            let z = world.node.topology.zone_of_core(CoreId(c)).0;
+            world.set_alloc_zone(Some(z));
+            stream::Stream::setup(&world, p.stream_n)
+        })
+        .collect();
+    world.set_alloc_zone(None);
+    let zone_before: Vec<ZoneStats> = (0..zones)
+        .map(|z| world.node.mem.zone_stats(ZoneId(z)).unwrap())
+        .collect();
+    let swaps_before = world.node.mem.snapshot_swaps();
+    let results = world.run_on_cores(|rank, g| {
+        let s = &streams[rank];
+        s.init(g).expect("stream init");
+        let mut triad: f64 = 0.0;
+        for _ in 0..p.trials {
+            triad = triad.max(s.run_once(g).expect("stream kernel").triad_mbs);
+        }
+        g.publish_metrics();
+        let c = g.counters();
+        (triad, c.resolve_hits, c.resolve_misses)
+    });
+    let snapshot_swaps = world.node.mem.snapshot_swaps() - swaps_before;
+    let triads: Vec<f64> = results.iter().map(|r| r.0).collect();
+    let hits: u64 = results.iter().map(|r| r.1).sum();
+    let misses: u64 = results.iter().map(|r| r.2).sum();
+    let per_zone_hit_rate = (0..zones)
+        .map(|z| {
+            let after = world.node.mem.zone_stats(ZoneId(z)).unwrap();
+            let h = after.resolve_hits - zone_before[z].resolve_hits;
+            let m = after.resolve_misses - zone_before[z].resolve_misses;
+            covirt::stats::ratio(h, h + m)
+        })
+        .collect();
+    NumaPoint {
+        mode: mode.label(),
+        cores,
+        zones,
+        stream_mbs_per_core: covirt::stats::median(&triads),
+        resolve_hit_rate: covirt::stats::ratio(hits, hits + misses),
+        per_zone_hit_rate,
+        snapshot_swaps,
+    }
+}
+
+/// The multi-zone weak-scaling sweep (2 zones, 2/4/8 cores, both modes).
+pub fn run_numa(scale: Scale) -> Vec<NumaPoint> {
+    let p = ScalingParams::for_scale(scale);
+    let mut out = Vec::new();
+    for &cores in &[2usize, 4, 8] {
+        for mode in modes() {
+            out.push(run_numa_point(mode, cores, 2, p));
+        }
+    }
+    out
+}
+
+/// Cross-zone publish-isolation measurement: a zone-0 enclave's resolve
+/// hit rate with zone 1 quiet vs with zone 1 under sustained host
+/// grant/reclaim churn plus a sustained reader (the epoch-reclamation
+/// stressor). Sharded resolution makes the two statistically identical;
+/// a shared snapshot or a global generation would dent the churn arm.
+#[derive(Clone, Debug)]
+pub struct ChurnIsolation {
+    /// Zone-0 enclave resolve hit rate, zone 1 quiet.
+    pub baseline_hit_rate: f64,
+    /// Same measurement with zone-1 churn + a sustained zone-1 reader.
+    pub churn_hit_rate: f64,
+    /// Snapshots the churn published into zone 1 during the churn arm.
+    pub remote_publishes: u64,
+    /// Zone-1 retired-snapshot backlog high water during the churn arm
+    /// (bounded-reclamation gauge: must stay small despite the reader).
+    pub remote_backlog_high_water: u64,
+}
+
+/// Run the churn-isolation experiment at `p`'s STREAM sizing.
+pub fn run_churn_isolation(p: ScalingParams) -> ChurnIsolation {
+    // A 2-zone node whose enclave (cores and memory) lives wholly in
+    // zone 0; zone 1 stays host-owned churn fodder.
+    let per_core = p.stream_n as u64 * 8 * 3;
+    let mem = (per_core * 2 + 96 * 1024 * 1024).max(DEFAULT_ENCLAVE_MEM);
+    let topo = Topology {
+        sockets: 2,
+        cores_per_socket: 4,
+        zones: 2,
+        mem_per_zone: mem + 256 * 1024 * 1024,
+        tsc_hz: Topology::paper_testbed().tsc_hz,
+    };
+    let world = World::build_on(
+        topo,
+        ExecMode::Covirt(CovirtConfig::MEM),
+        HwLayout { cores: 2, zones: 1 },
+        mem,
+    );
+    let streams: Vec<stream::Stream> = (0..2)
+        .map(|_| stream::Stream::setup(&world, p.stream_n))
+        .collect();
+
+    let measure = |churn: bool| -> (f64, u64, u64) {
+        let mem = Arc::clone(&world.node.mem);
+        let z1_before = mem.zone_stats(ZoneId(1)).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+        if churn {
+            // A long-lived zone-1 region gives the sustained reader a
+            // stable target while grant/reclaim cycles churn around it.
+            let pin = mem
+                .alloc_backed(ZoneId(1), PAGE_SIZE_2M, PAGE_SIZE_2M)
+                .unwrap();
+            {
+                let mem = Arc::clone(&mem);
+                let stop = Arc::clone(&stop);
+                threads.push(std::thread::spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        let _ = mem.resolve(pin.start, 8).unwrap();
+                        std::hint::spin_loop();
+                    }
+                    mem.free(pin).unwrap();
+                }));
+            }
+            {
+                let mem = Arc::clone(&mem);
+                let stop = Arc::clone(&stop);
+                threads.push(std::thread::spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        let r = mem
+                            .alloc_backed(ZoneId(1), PAGE_SIZE_2M, PAGE_SIZE_2M)
+                            .unwrap();
+                        mem.free(r).unwrap();
+                    }
+                }));
+            }
+        }
+        let results = world.run_on_cores(|rank, g| {
+            let s = &streams[rank];
+            s.init(g).expect("stream init");
+            for _ in 0..p.trials {
+                let _ = s.run_once(g).expect("stream kernel");
+            }
+            let c = g.counters();
+            (c.resolve_hits, c.resolve_misses)
+        });
+        stop.store(true, Ordering::Release);
+        for t in threads {
+            t.join().unwrap();
+        }
+        let hits: u64 = results.iter().map(|r| r.0).sum();
+        let misses: u64 = results.iter().map(|r| r.1).sum();
+        let z1_after = mem.zone_stats(ZoneId(1)).unwrap();
+        (
+            covirt::stats::ratio(hits, hits + misses),
+            z1_after.snapshot_swaps - z1_before.snapshot_swaps,
+            z1_after.retired_backlog_high_water,
+        )
+    };
+
+    let (baseline_hit_rate, _, _) = measure(false);
+    let (churn_hit_rate, remote_publishes, remote_backlog_high_water) = measure(true);
+    ChurnIsolation {
+        baseline_hit_rate,
+        churn_hit_rate,
+        remote_publishes,
+        remote_backlog_high_water,
+    }
+}
+
+/// One many-grants fragmentation measurement: an enclave fragmented across
+/// hundreds of small grant regions, accessed over a working set wider than
+/// one region, with the per-core region cache at a given associativity.
+#[derive(Clone, Debug)]
+pub struct FragPoint {
+    /// Region-cache ways the guest core ran with.
+    pub ways: usize,
+    /// Small grant regions the enclave was fragmented across.
+    pub regions: usize,
+    /// Region-cache hit rate over the access run.
+    pub hit_rate: f64,
+    /// Average snapshot binary-search probe depth per cache miss.
+    pub avg_search_depth: f64,
+}
+
+/// Working-set width of the fragmentation access pattern; sized to the
+/// full region-cache associativity so `ways >=` this captures it and
+/// `ways = 1` thrashes.
+pub const FRAG_WORKING_SET: usize = 4;
+
+/// Run one fragmentation point: grant `regions` 64 KiB regions one at a
+/// time (each lands as its own populated region in the zone snapshot),
+/// shrink the TLB so fills dominate, then round-robin a
+/// [`FRAG_WORKING_SET`]-region working set touching every 4 KiB page.
+pub fn run_frag_point(ways: usize, regions: usize, rounds: usize) -> FragPoint {
+    const GRANT_BYTES: u64 = 64 * 1024;
+    let mut world = World::build(
+        ExecMode::Covirt(CovirtConfig::MEM),
+        HwLayout { cores: 1, zones: 1 },
+        96 * 1024 * 1024,
+    );
+    world.tlb = TlbParams {
+        entries_4k: 16,
+        entries_2m: 2,
+        entries_1g: 1,
+    };
+    let pisces = world.master.pisces();
+    let mut grants: Vec<PhysRange> = Vec::with_capacity(regions);
+    for _ in 0..regions {
+        let r = pisces
+            .add_memory(&world.enclave, ZoneId(0), GRANT_BYTES)
+            .unwrap();
+        world.kernel.poll_ctrl().unwrap();
+        pisces.process_acks(&world.enclave).unwrap();
+        grants.push(r);
+    }
+    let mut g = world.guest_core(world.cores[0]).unwrap();
+    g.set_region_cache_ways(ways);
+    let before = world.node.mem.zone_stats(ZoneId(0)).unwrap();
+    // Spread the working set across the grant list so its members sit far
+    // apart in the sorted snapshot (deep, distinct search paths).
+    let ws: Vec<PhysRange> = (0..FRAG_WORKING_SET)
+        .map(|i| grants[i * grants.len() / FRAG_WORKING_SET])
+        .collect();
+    let hits0 = g.counters().resolve_hits;
+    let misses0 = g.counters().resolve_misses;
+    for _ in 0..rounds {
+        for r in &ws {
+            for page in 0..(r.len / PAGE_SIZE_4K) {
+                g.read_u64(r.start.raw() + page * PAGE_SIZE_4K).unwrap();
+            }
+        }
+    }
+    let hits = g.counters().resolve_hits - hits0;
+    let misses = g.counters().resolve_misses - misses0;
+    let after = world.node.mem.zone_stats(ZoneId(0)).unwrap();
+    let searches = after.resolve_misses - before.resolve_misses;
+    let depth = after.search_depth_total - before.search_depth_total;
+    FragPoint {
+        ways,
+        regions,
+        hit_rate: covirt::stats::ratio(hits, hits + misses),
+        avg_search_depth: if searches == 0 {
+            0.0
+        } else {
+            depth as f64 / searches as f64
+        },
+    }
+}
+
+/// The fragmentation sweep: direct-mapped vs fully associative region
+/// cache over the same fragmented enclave.
+pub fn run_frag(scale: Scale) -> Vec<FragPoint> {
+    let (regions, rounds) = match scale {
+        Scale::Quick => (128, 8),
+        Scale::Paper => (512, 16),
+    };
+    [1usize, 4]
+        .iter()
+        .map(|&w| run_frag_point(w, regions, rounds))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +517,67 @@ mod tests {
         assert!(pt.stream_mbs_per_core > 0.0);
         assert!(pt.gups_per_core > 0.0);
         assert!(pt.resolve_hit_rate > 0.0 && pt.resolve_hit_rate <= 1.0);
+    }
+
+    #[test]
+    fn numa_point_spreads_resolves_across_zones() {
+        let p = ScalingParams {
+            stream_n: 1 << 14,
+            ra_log2_n: 10,
+            ra_updates: 0,
+            trials: 1,
+        };
+        let pt = run_numa_point(ExecMode::Covirt(CovirtConfig::MEM), 2, 2, p);
+        assert_eq!(pt.cores, 2);
+        assert_eq!(pt.zones, 2);
+        assert_eq!(pt.per_zone_hit_rate.len(), 2);
+        assert!(pt.stream_mbs_per_core > 0.0);
+        // Each core's arrays landed in its local zone, so *both* shards
+        // must have served resolves — the lifted `zones: 1` pin.
+        for (z, &hr) in pt.per_zone_hit_rate.iter().enumerate() {
+            assert!(hr > 0.0, "zone {z} served no cached resolves");
+        }
+    }
+
+    #[test]
+    fn churn_isolation_reports_remote_activity() {
+        let p = ScalingParams {
+            stream_n: 1 << 16,
+            ra_log2_n: 10,
+            ra_updates: 0,
+            trials: 2,
+        };
+        let iso = run_churn_isolation(p);
+        assert!(iso.remote_publishes > 0, "churn arm published nothing");
+        assert!(iso.baseline_hit_rate > 0.5);
+        // The hard 2% gate runs in `figures numa`; here just require the
+        // churn arm to be in the same regime, not collapsed.
+        assert!(
+            iso.churn_hit_rate > 0.9 * iso.baseline_hit_rate,
+            "churn hit rate {:.3} collapsed vs baseline {:.3}",
+            iso.churn_hit_rate,
+            iso.baseline_hit_rate
+        );
+        assert!(iso.remote_backlog_high_water <= 32);
+    }
+
+    #[test]
+    fn frag_associativity_covers_working_set() {
+        let direct = run_frag_point(1, 64, 2);
+        let assoc = run_frag_point(4, 64, 2);
+        assert_eq!(direct.regions, 64);
+        // 64 sorted regions: any miss path probes several levels deep.
+        assert!(
+            direct.avg_search_depth > 1.0,
+            "search depth {:.2} too shallow for 64 regions",
+            direct.avg_search_depth
+        );
+        assert!(
+            assoc.hit_rate > direct.hit_rate,
+            "4-way hit rate {:.3} not above direct-mapped {:.3}",
+            assoc.hit_rate,
+            direct.hit_rate
+        );
     }
 
     #[test]
