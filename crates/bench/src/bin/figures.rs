@@ -18,51 +18,244 @@ use std::sync::Arc;
 use workloads::figures::{self, Scale};
 use workloads::{scaling, table1};
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: figures <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8|scaling|numa|shootdown|trace|report|traceovh|audit|selfheal|exitless|all> [--full] [--fault]\n\
-         \n  table1  benchmark versions/parameters (Table I)\
-         \n  fig3    Selfish-Detour noise profile\
-         \n  fig4    XEMEM attach delay vs region size\
-         \n  fig5a   STREAM bandwidth\
-         \n  fig5b   RandomAccess GUPS\
-         \n  fig6    MiniFE scaling over core/NUMA layouts\
-         \n  fig7    HPCG scaling over core/NUMA layouts\
-         \n  fig8    LAMMPS loop times (lj/chain/eam/chute)\
-         \n  scaling data-plane per-core scaling (STREAM+GUPS, 1..8 cores) with resolve\
-         \n          stats, plus the multi-zone weak-scaling arm (arrays pinned per zone)\
-         \n  numa    NUMA-sharded resolution gates: cross-zone churn isolation (zone-0\
-         \n          hit rate under zone-1 churn must stay within 2% of the quiet\
-         \n          baseline, retired backlog bounded) and the many-grants\
-         \n          fragmentation rung (region-cache ways vs search depth); exits 1\
-         \n          when a gate misses\
-         \n  shootdown  coalesced reclaim-epoch demo with TLB flush stats\
-         \n  trace   shootdown demo with the flight recorder on; writes covirt-trace.json\
-         \n          (chrome://tracing / ui.perfetto.dev) and covirt-trace.jsonl\
-         \n  report  shootdown demo with metrics on; prints the registry and the\
-         \n          slowest command completions\
-         \n  traceovh  STREAM with the recorder disabled vs enabled; exits 1 if the\
-         \n          disabled path regresses >2%\
-         \n  audit   protection audit: run a clean lifecycle workload through the\
-         \n          audit engine and print lifecycles, violations (expected: zero)\
-         \n          and the per-enclave budget report; exits 1 on any violation.\
-         \n          With --fault, inject a contained fault instead and exit 1\
-         \n          unless the engine attributes >=1 violation to the enclave\
-         \n  selfheal  live audit tail with self-healing control feedback: a clean\
-         \n          run must take zero remediation actions; with --fault, the\
-         \n          injected violation must be detected live, the enclave\
-         \n          quarantined, and the detection->remediation latency (MTTR)\
-         \n          printed; exits 1 when either expectation fails\
-         \n  exitless  command-delivery comparison: NMI-only vs doorbell-first\
-         \n          round-trips plus a parked-core fallback run; exits 1 unless\
-         \n          the doorbell path is exitless (zero command-path VM exits,\
-         \n          zero NMI escalations) with post->complete p99 at least 5x\
-         \n          below the NMI baseline, and the parked run escalates to an\
-         \n          NMI only after the configured bound\
-         \n  all     everything above (trace/report/traceovh/audit/selfheal/exitless run separately)\
-         \n  --full  paper-scale parameters (slow; needs several GiB)\
-         \n  --fault audit/selfheal: fault-injected run instead of the clean one"
+/// Options every subcommand receives.
+#[derive(Clone, Copy)]
+struct Opts {
+    scale: Scale,
+    fault: bool,
+}
+
+/// One dispatchable subcommand. The usage text and the dispatcher both
+/// iterate this table, so the two can no longer drift apart.
+struct Subcommand {
+    name: &'static str,
+    /// Help text; continuation lines are newline-separated and indented
+    /// by `usage`.
+    help: &'static str,
+    /// Whether `figures all` includes this command (the gated/exporting
+    /// commands run separately).
+    in_all: bool,
+    run: fn(Opts),
+}
+
+const SUBCOMMANDS: &[Subcommand] = &[
+    Subcommand {
+        name: "table1",
+        help: "benchmark versions/parameters (Table I)",
+        in_all: true,
+        run: table1_cmd,
+    },
+    Subcommand {
+        name: "fig3",
+        help: "Selfish-Detour noise profile",
+        in_all: true,
+        run: fig3_cmd,
+    },
+    Subcommand {
+        name: "fig4",
+        help: "XEMEM attach delay vs region size",
+        in_all: true,
+        run: fig4_cmd,
+    },
+    Subcommand {
+        name: "fig5a",
+        help: "STREAM bandwidth",
+        in_all: true,
+        run: fig5a_cmd,
+    },
+    Subcommand {
+        name: "fig5b",
+        help: "RandomAccess GUPS",
+        in_all: true,
+        run: fig5b_cmd,
+    },
+    Subcommand {
+        name: "fig6",
+        help: "MiniFE scaling over core/NUMA layouts",
+        in_all: true,
+        run: fig6_cmd,
+    },
+    Subcommand {
+        name: "fig7",
+        help: "HPCG scaling over core/NUMA layouts",
+        in_all: true,
+        run: fig7_cmd,
+    },
+    Subcommand {
+        name: "fig8",
+        help: "LAMMPS loop times (lj/chain/eam/chute)",
+        in_all: true,
+        run: fig8_cmd,
+    },
+    Subcommand {
+        name: "scaling",
+        help: "data-plane per-core scaling (STREAM+GUPS, 1..8 cores) with resolve\n\
+               stats, plus the multi-zone weak-scaling arm (arrays pinned per zone)",
+        in_all: true,
+        run: scaling_cmd,
+    },
+    Subcommand {
+        name: "numa",
+        help: "NUMA-sharded resolution gates: cross-zone churn isolation (zone-0\n\
+               hit rate under zone-1 churn must stay within 2% of the quiet\n\
+               baseline, retired backlog bounded) and the many-grants\n\
+               fragmentation rung (region-cache ways vs search depth); exits 1\n\
+               when a gate misses",
+        in_all: false,
+        run: |o| numa_cmd(o.scale),
+    },
+    Subcommand {
+        name: "shootdown",
+        help: "coalesced reclaim-epoch demo with TLB flush stats",
+        in_all: true,
+        run: |_| {
+            shootdown_demo(false);
+        },
+    },
+    Subcommand {
+        name: "trace",
+        help: "shootdown demo with the flight recorder on; writes covirt-trace.json\n\
+               (chrome://tracing / ui.perfetto.dev) and covirt-trace.jsonl",
+        in_all: false,
+        run: |_| trace_cmd(),
+    },
+    Subcommand {
+        name: "report",
+        help: "shootdown demo with metrics on; prints the registry, the per-zone\n\
+               snapshot/resolve statistics and the slowest command completions",
+        in_all: false,
+        run: |_| report_cmd(),
+    },
+    Subcommand {
+        name: "traceovh",
+        help: "STREAM with the recorder disabled vs enabled; exits 1 if the\n\
+               disabled path regresses >2%",
+        in_all: false,
+        run: |_| traceovh_cmd(),
+    },
+    Subcommand {
+        name: "audit",
+        help: "protection audit: run a clean lifecycle workload through the\n\
+               audit engine and print lifecycles, violations (expected: zero)\n\
+               and the per-enclave budget report; exits 1 on any violation.\n\
+               With --fault, inject a contained fault instead and exit 1\n\
+               unless the engine attributes >=1 violation to the enclave",
+        in_all: false,
+        run: |o| audit_cmd(o.fault),
+    },
+    Subcommand {
+        name: "selfheal",
+        help: "live audit tail with self-healing control feedback: a clean\n\
+               run must take zero remediation actions; with --fault, the\n\
+               injected violation must be detected live, the enclave\n\
+               quarantined, and the detection->remediation latency (MTTR)\n\
+               printed; exits 1 when either expectation fails",
+        in_all: false,
+        run: |o| selfheal_cmd(o.fault),
+    },
+    Subcommand {
+        name: "exitless",
+        help: "command-delivery comparison: NMI-only vs doorbell-first\n\
+               round-trips plus a parked-core fallback run; exits 1 unless\n\
+               the doorbell path is exitless (zero command-path VM exits,\n\
+               zero NMI escalations) with post->complete p99 at least 5x\n\
+               below the NMI baseline, and the parked run escalates to an\n\
+               NMI only after the configured bound",
+        in_all: false,
+        run: |o| selfheal_exitless(o),
+    },
+    Subcommand {
+        name: "profile",
+        help: "always-on cycle accounting: STREAM + reclaim churn with the\n\
+               phase profiler on, per-enclave phase breakdown, live window\n\
+               tail, flamegraph (covirt-profile.folded) and counter-track\n\
+               (covirt-profile.json) exports; exits 1 unless accounted\n\
+               cycles match wall-clock TSC within 1% per core and the\n\
+               profiler-off STREAM path stays within 2% of the enabled one.\n\
+               With --fault, a bystander enclave runs beside a misbehaving\n\
+               one (SLO-throttled, then fault-quarantined); exits 1 unless\n\
+               the ShootdownWait/Throttled spike lands on the misbehaving\n\
+               enclave and the bystander stays clean",
+        in_all: false,
+        run: |o| profile_cmd(o.fault),
+    },
+];
+
+// `exitless` ignores its options but the table needs a uniform signature.
+fn selfheal_exitless(_o: Opts) {
+    exitless_cmd()
+}
+
+fn table1_cmd(_o: Opts) {
+    println!(
+        "TABLE I: Benchmark Versions and Parameters\n{}",
+        table1::format_table1()
     );
+}
+
+fn fig3_cmd(o: Opts) {
+    println!("{}", render_fig3(&figures::fig3(o.scale)));
+}
+
+fn fig4_cmd(o: Opts) {
+    println!("{}", render_fig4(&figures::fig4(o.scale)));
+}
+
+fn fig5a_cmd(o: Opts) {
+    println!("{}", render_fig5a(&figures::fig5a(o.scale)));
+}
+
+fn fig5b_cmd(o: Opts) {
+    println!("{}", render_fig5b(&figures::fig5b(o.scale)));
+}
+
+fn fig6_cmd(o: Opts) {
+    println!(
+        "{}",
+        render_scaling(
+            "Fig. 6 — MiniFE scaling",
+            "MFLOP/s",
+            &figures::fig6(o.scale)
+        )
+    );
+}
+
+fn fig7_cmd(o: Opts) {
+    println!(
+        "{}",
+        render_scaling("Fig. 7 — HPCG scaling", "GFLOP/s", &figures::fig7(o.scale))
+    );
+}
+
+fn fig8_cmd(o: Opts) {
+    println!("{}", render_fig8(&figures::fig8(o.scale)));
+}
+
+fn scaling_cmd(o: Opts) {
+    println!("{}", render_scaling_points(&scaling::run(o.scale)));
+    println!("{}", render_numa_points(&scaling::run_numa(o.scale)));
+}
+
+fn usage() -> ! {
+    let names: Vec<&str> = SUBCOMMANDS.iter().map(|s| s.name).collect();
+    let mut out = format!(
+        "usage: figures <{}|all> [--full] [--fault]\n",
+        names.join("|")
+    );
+    for s in SUBCOMMANDS {
+        let mut lines = s.help.lines();
+        out.push_str(&format!("\n  {:<9} {}", s.name, lines.next().unwrap_or("")));
+        for l in lines {
+            out.push_str(&format!("\n            {}", l.trim_start()));
+        }
+    }
+    out.push_str(
+        "\n  all       every command marked for the combined run (gated/exporting\
+         \n            commands run separately)\
+         \n  --full    paper-scale parameters (slow; needs several GiB)\
+         \n  --fault   audit/selfheal/profile: fault-injected run instead of the clean one",
+    );
+    eprintln!("{out}");
     std::process::exit(2)
 }
 
@@ -209,6 +402,28 @@ fn report_cmd() {
     let node = shootdown_demo(true);
     let (events, drops) = node.drain_trace();
     println!("\n{}", node.recorder().metrics().render());
+    println!("per-zone snapshot/resolve statistics:");
+    println!(
+        "  {:<5} {:>6} {:>9} {:>10} {:>8} {:>11} {:>6} {:>10}",
+        "zone", "swaps", "res-hits", "res-misses", "backlog", "backlog-hw", "freed", "avg-depth"
+    );
+    for z in 0..node.topology.zones {
+        let s = node
+            .mem
+            .zone_stats(covirt_simhw::topology::ZoneId(z))
+            .expect("zone stats");
+        println!(
+            "  {:<5} {:>6} {:>9} {:>10} {:>8} {:>11} {:>6} {:>10.2}",
+            z,
+            s.snapshot_swaps,
+            s.resolve_hits,
+            s.resolve_misses,
+            s.retired_backlog,
+            s.retired_backlog_high_water,
+            s.retired_freed,
+            s.avg_search_depth()
+        );
+    }
     let total_drops: u64 = drops.iter().sum();
     let per_lane: Vec<String> = drops.iter().map(u64::to_string).collect();
     println!(
@@ -570,104 +785,227 @@ fn traceovh_cmd() {
     println!("OK: tracing-disabled overhead within 2%");
 }
 
+/// One best-of STREAM triad with the phase profiler off or on. Both arms
+/// bracket the session (the brackets are always compiled in); only the
+/// enabled flag differs, so the delta is exactly the off-path cost the
+/// gate bounds: one cached-bool branch per transition site.
+fn stream_triad_prof(on: bool) -> f64 {
+    use covirt::config::CovirtConfig;
+    use covirt::ExecMode;
+    use covirt_simhw::topology::HwLayout;
+    use workloads::{stream, World};
+
+    let world = World::build(
+        ExecMode::Covirt(CovirtConfig::MEM),
+        HwLayout { cores: 1, zones: 1 },
+        96 * 1024 * 1024,
+    );
+    world.node.recorder().profiler().set_enabled(on);
+    let s = stream::Stream::setup(&world, 200_000);
+    let mut g = world.guest_core(world.cores[0]).unwrap();
+    g.profile_begin();
+    s.init(&mut g).expect("stream init");
+    let mut best: f64 = 0.0;
+    for _ in 0..5 {
+        best = best.max(s.run_once(&mut g).expect("stream kernel").triad_mbs);
+    }
+    g.profile_finish();
+    best
+}
+
+/// Render the per-enclave × per-phase cycle table of a profile report.
+fn render_profile_breakdown(r: &workloads::profile::ProfileReport) -> String {
+    use covirt_trace::Phase;
+
+    let mut out = String::from("per-enclave phase breakdown (cycles):\n");
+    out.push_str(&format!("  {:<10}", "enclave"));
+    for p in Phase::ALL {
+        out.push_str(&format!(" {:>14}", p.name()));
+    }
+    out.push('\n');
+    for e in r.snapshot.by_enclave() {
+        let label = e.enclave.map_or("native".to_string(), |id| id.to_string());
+        out.push_str(&format!("  {label:<10}"));
+        for p in Phase::ALL {
+            out.push_str(&format!(" {:>14}", e.cycles[p as usize]));
+        }
+        out.push('\n');
+    }
+    out.push_str("per-core conservation (accounted vs wall TSC):\n");
+    for l in r.snapshot.lanes.iter().filter(|l| l.wall > 0) {
+        out.push_str(&format!(
+            "  core{:<3} wall {:>14}  accounted {:>14}  err {:.4}%\n",
+            l.lane,
+            l.wall,
+            l.accounted,
+            l.conservation_error() * 100.0
+        ));
+    }
+    out
+}
+
+/// `profile` subcommand: run the cycle-accounting harness, print the
+/// breakdown, export the flamegraph + counter tracks, and gate.
+fn profile_cmd(fault: bool) {
+    use covirt_trace::{export, Phase};
+    use workloads::profile as drivers;
+
+    let r = if fault {
+        eprintln!("[profile] fault run: bystander + misbehaving enclave...");
+        drivers::fault_run()
+    } else {
+        eprintln!("[profile] clean run: STREAM + reclaim churn, profiler on...");
+        drivers::clean_run()
+    };
+    println!("{}", render_profile_breakdown(&r));
+    println!(
+        "live window tail: {} sealed window(s) across {} lane(s), {} cycles/window",
+        r.window_count(),
+        r.windows.iter().filter(|(_, w)| !w.is_empty()).count(),
+        r.window_cycles
+    );
+
+    let folded = export::to_folded(&r.snapshot);
+    let counters = export::to_chrome_counter_trace(&r.windows, r.window_cycles, r.hz);
+    std::fs::write("covirt-profile.folded", &folded).expect("write covirt-profile.folded");
+    std::fs::write("covirt-profile.json", &counters).expect("write covirt-profile.json");
+    println!(
+        "wrote covirt-profile.folded ({} lines; flamegraph.pl / speedscope folded format)",
+        folded.lines().count()
+    );
+    println!(
+        "wrote covirt-profile.json ({} bytes; chrome://tracing counter tracks)",
+        counters.len()
+    );
+
+    let fail = |msg: &str| -> ! {
+        eprintln!("FAIL: {msg}");
+        std::process::exit(1);
+    };
+    let err = r.max_conservation_error();
+    if err > 0.01 {
+        fail(&format!(
+            "cycle conservation error {:.4}% exceeds 1% — accounted cycles must match wall TSC",
+            err * 100.0
+        ));
+    }
+    if r.window_count() == 0 {
+        fail("live tail sealed no windows");
+    }
+
+    if fault {
+        let bystander = r.bystander.expect("fault run has a bystander");
+        let spike = |e| {
+            r.enclave_phase_cycles(e, Phase::ShootdownWait)
+                + r.enclave_phase_cycles(e, Phase::Throttled)
+        };
+        if !r
+            .actions
+            .iter()
+            .any(|a| matches!(a, pisces::RemediationAction::Throttle { enclave, .. } if *enclave == r.enclave))
+        {
+            fail("the degraded enclave was never throttled");
+        }
+        if spike(r.enclave) == 0 {
+            fail("no ShootdownWait/Throttled cycles attributed to the misbehaving enclave");
+        }
+        if spike(bystander) != 0 {
+            fail(&format!(
+                "bystander enclave {} was charged {} controller-side cycle(s)",
+                bystander,
+                spike(bystander)
+            ));
+        }
+        println!(
+            "OK: enclave {} owns the spike (shootdown-wait {} + throttled {} cycles); \
+             bystander {} clean ({} guest-exec cycles), conservation err {:.4}%",
+            r.enclave,
+            r.enclave_phase_cycles(r.enclave, Phase::ShootdownWait),
+            r.enclave_phase_cycles(r.enclave, Phase::Throttled),
+            bystander,
+            r.enclave_phase_cycles(bystander, Phase::GuestExec),
+            err * 100.0
+        );
+    } else {
+        // Profiler-off overhead gate, mirroring traceovh: warm once,
+        // best-of-four interleaved.
+        eprintln!("[profile] profiler-off overhead arm...");
+        let _ = stream_triad_prof(false);
+        let mut off: f64 = 0.0;
+        let mut on: f64 = 0.0;
+        for _ in 0..4 {
+            off = off.max(stream_triad_prof(false));
+            on = on.max(stream_triad_prof(true));
+        }
+        println!("STREAM triad, profiler off: {off:.0} MB/s");
+        println!("STREAM triad, profiler on:  {on:.0} MB/s");
+        if off < 0.98 * on {
+            fail("profiler-off data plane is >2% slower than the enabled one");
+        }
+        println!(
+            "OK: conservation err {:.4}% <= 1%, profiler-off overhead within 2%",
+            err * 100.0
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
     }
-    let scale = if args.iter().any(|a| a == "--full") {
-        Scale::Paper
-    } else {
-        Scale::Quick
+    let opts = Opts {
+        scale: if args.iter().any(|a| a == "--full") {
+            Scale::Paper
+        } else {
+            Scale::Quick
+        },
+        fault: args.iter().any(|a| a == "--fault"),
     };
     let what = args[0].as_str();
-    let all = what == "all";
 
     let t0 = std::time::Instant::now();
-    if all || what == "table1" {
-        println!(
-            "TABLE I: Benchmark Versions and Parameters\n{}",
-            table1::format_table1()
-        );
-    }
-    if all || what == "fig3" {
-        println!("{}", render_fig3(&figures::fig3(scale)));
-    }
-    if all || what == "fig4" {
-        println!("{}", render_fig4(&figures::fig4(scale)));
-    }
-    if all || what == "fig5a" {
-        println!("{}", render_fig5a(&figures::fig5a(scale)));
-    }
-    if all || what == "fig5b" {
-        println!("{}", render_fig5b(&figures::fig5b(scale)));
-    }
-    if all || what == "fig6" {
-        println!(
-            "{}",
-            render_scaling("Fig. 6 — MiniFE scaling", "MFLOP/s", &figures::fig6(scale))
-        );
-    }
-    if all || what == "fig7" {
-        println!(
-            "{}",
-            render_scaling("Fig. 7 — HPCG scaling", "GFLOP/s", &figures::fig7(scale))
-        );
-    }
-    if all || what == "fig8" {
-        println!("{}", render_fig8(&figures::fig8(scale)));
-    }
-    if all || what == "scaling" {
-        println!("{}", render_scaling_points(&scaling::run(scale)));
-        println!("{}", render_numa_points(&scaling::run_numa(scale)));
-    }
-    if what == "numa" {
-        numa_cmd(scale);
-    }
-    if all || what == "shootdown" {
-        shootdown_demo(false);
-    }
-    if what == "trace" {
-        trace_cmd();
-    }
-    if what == "report" {
-        report_cmd();
-    }
-    if what == "traceovh" {
-        traceovh_cmd();
-    }
-    if what == "audit" {
-        audit_cmd(args.iter().any(|a| a == "--fault"));
-    }
-    if what == "selfheal" {
-        selfheal_cmd(args.iter().any(|a| a == "--fault"));
-    }
-    if what == "exitless" {
-        exitless_cmd();
-    }
-    if !all
-        && !matches!(
-            what,
-            "table1"
-                | "fig3"
-                | "fig4"
-                | "fig5a"
-                | "fig5b"
-                | "fig6"
-                | "fig7"
-                | "fig8"
-                | "scaling"
-                | "numa"
-                | "shootdown"
-                | "trace"
-                | "report"
-                | "traceovh"
-                | "audit"
-                | "selfheal"
-                | "exitless"
-        )
-    {
-        usage();
+    if what == "all" {
+        for s in SUBCOMMANDS.iter().filter(|s| s.in_all) {
+            (s.run)(opts);
+        }
+    } else {
+        match SUBCOMMANDS.iter().find(|s| s.name == what) {
+            Some(s) => (s.run)(opts),
+            None => usage(),
+        }
     }
     eprintln!("[figures] done in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is the single source of truth for both the usage
+    /// string and the dispatcher; this pins the properties that keep the
+    /// two in agreement.
+    #[test]
+    fn subcommand_registry_is_consistent() {
+        let names: Vec<&str> = SUBCOMMANDS.iter().map(|s| s.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate subcommand names");
+        for s in SUBCOMMANDS {
+            assert!(!s.name.is_empty());
+            assert!(
+                !s.help.trim().is_empty(),
+                "subcommand {} has no help text",
+                s.name
+            );
+            assert_ne!(s.name, "all", "'all' is the dispatcher's keyword");
+        }
+        // Every command the roadmap gates on must be dispatchable.
+        for required in [
+            "trace", "report", "traceovh", "audit", "selfheal", "exitless", "numa", "profile",
+        ] {
+            assert!(names.contains(&required), "{required} not in the registry");
+        }
+    }
 }

@@ -29,7 +29,7 @@ use covirt_simhw::interconnect::{DeliveryMode, IpiDest};
 use covirt_simhw::node::SimNode;
 use covirt_simhw::paging::FramePool;
 use covirt_simhw::topology::ZoneId;
-use covirt_trace::{Counter, EventKind, Hist, Tracer};
+use covirt_trace::{Counter, EventKind, Hist, Phase, Tracer};
 use hobbes::events::HobbesHooks;
 use hobbes::MasterControl;
 use parking_lot::{Mutex, RwLock};
@@ -473,10 +473,22 @@ impl CovirtController {
             }
         }
 
-        // Phase 2: wait on all completions in one pass.
+        // Phase 2: wait on all completions in one pass. The wait is
+        // control-plane time forced by *this* enclave's reclaim, so
+        // covirt-prof attributes it to the enclave on the overlay (the
+        // calling thread has no per-core timeline to conserve against).
+        let prof = self.node.recorder().profiler();
+        let w0 = prof.enabled().then(|| self.node.clock.rdtsc());
         for (q, core, seq) in waits {
             self.await_completion(&q, core, seq, spins)
                 .map_err(|e| format!("TLB shootdown failed: {e}"))?;
+        }
+        if let Some(w0) = w0 {
+            prof.attribute(
+                vctx.enclave_id,
+                Phase::ShootdownWait,
+                self.node.clock.rdtsc().saturating_sub(w0),
+            );
         }
         *self.shootdowns.write() += 1;
         if traced {
@@ -543,9 +555,18 @@ impl CovirtController {
                 waits.push((q.clone(), core, seq));
             }
         }
+        let prof = self.node.recorder().profiler();
+        let w0 = prof.enabled().then(|| self.node.clock.rdtsc());
         for (q, core, seq) in waits {
             self.await_completion(&q, core, seq, spins)
                 .map_err(|e| format!("shootdown barrier failed: {e}"))?;
+        }
+        if let Some(w0) = w0 {
+            prof.attribute(
+                enclave,
+                Phase::ShootdownWait,
+                self.node.clock.rdtsc().saturating_sub(w0),
+            );
         }
         Ok(())
     }

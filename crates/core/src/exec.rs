@@ -31,7 +31,7 @@ use covirt_simhw::memory::{PhysMemory, RegionCache};
 use covirt_simhw::node::SimNode;
 use covirt_simhw::paging::{Access, CachedLoad, TableLoad};
 use covirt_simhw::tlb::{Tlb, TlbParams};
-use covirt_trace::{Counter, EventKind, Hist, Tracer};
+use covirt_trace::{Counter, EventKind, Hist, Phase, PhaseTracker, Tracer};
 use kitten::faults::InjectedFault;
 use kitten::KittenKernel;
 use std::cell::Cell;
@@ -187,6 +187,10 @@ pub struct GuestCore {
     pub counters: CoreCounters,
     /// Flight-recorder handle for this core's lane.
     tracer: Tracer,
+    /// covirt-prof phase state machine for this core's lane. Dormant (one
+    /// cached-bool branch per transition) until a harness arms it with
+    /// [`GuestCore::profile_begin`].
+    phase: PhaseTracker,
     terminated: Option<String>,
 }
 
@@ -200,6 +204,7 @@ impl GuestCore {
     ) -> CovirtResult<Self> {
         let cpu = Arc::clone(node.cpu(covirt_simhw::topology::CoreId(core))?);
         let tracer = node.tracer(core as u32);
+        let phase = PhaseTracker::new(Arc::clone(node.recorder().profiler()), core as u32);
         let mut tlb = Tlb::new(tlb);
         tlb.set_tracer(tracer.clone());
         let gc = GuestCore {
@@ -218,6 +223,7 @@ impl GuestCore {
             region_cache: RegionCache::new(),
             counters: CoreCounters::default(),
             tracer,
+            phase,
             terminated: None,
         };
         gc.arm_timer();
@@ -238,6 +244,8 @@ impl GuestCore {
         let cpu = Arc::clone(node.cpu(covirt_simhw::topology::CoreId(core))?);
         let hv = Hypervisor::launch(Arc::clone(&node), Arc::clone(&vctx), core)?;
         let tracer = node.tracer(core as u32).with_enclave(vctx.enclave_id);
+        let mut phase = PhaseTracker::new(Arc::clone(node.recorder().profiler()), core as u32);
+        phase.set_enclave(vctx.enclave_id);
         let mut tlb = Tlb::new(tlb);
         tlb.set_tracer(tracer.clone());
         let doorbell = vctx.cmd_doorbell(core).cloned();
@@ -271,6 +279,7 @@ impl GuestCore {
             region_cache,
             counters: CoreCounters::default(),
             tracer,
+            phase,
             terminated: None,
         };
         gc.arm_timer();
@@ -305,6 +314,47 @@ impl GuestCore {
     /// The node clock.
     pub fn clock(&self) -> &Arc<covirt_simhw::clock::TscClock> {
         &self.node.clock
+    }
+
+    /// Arm the covirt-prof phase state machine for this core, entering
+    /// [`Phase::GuestExec`] now. Samples the profiler's enabled flag once:
+    /// when the profiler is off, every subsequent transition is a single
+    /// cached-bool branch.
+    pub fn profile_begin(&mut self) {
+        let t = self.node.clock.rdtsc();
+        self.phase.begin(t);
+    }
+
+    /// Disarm the phase state machine, attributing the trailing cycles and
+    /// closing the conservation interval (`wall == accounted` exactly for
+    /// a bracketed session).
+    pub fn profile_finish(&mut self) {
+        let t = self.node.clock.rdtsc();
+        self.phase.finish(t);
+    }
+
+    /// Dispatch one VM exit through the hypervisor with the phase state
+    /// machine bracketing it: [`Phase::RootExit`] for the dispatch, then
+    /// back to the interrupted phase (guest context or safe-point
+    /// servicing) — or [`Phase::Idle`] when the exit terminated the
+    /// enclave. Associated fn so call sites can borrow `hv`, `tlb` and
+    /// the tracker disjointly.
+    fn dispatch_exit(
+        phase: &mut PhaseTracker,
+        clock: &covirt_simhw::clock::TscClock,
+        hv: &mut Hypervisor,
+        tlb: &mut Tlb,
+        reason: ExitReason,
+    ) -> ExitAction {
+        let prev = phase.phase();
+        phase.transition_now(Phase::RootExit, || clock.rdtsc());
+        let action = hv.handle_exit(reason, tlb);
+        let next = match action {
+            ExitAction::Resume => prev,
+            ExitAction::Terminate(_) => Phase::Idle,
+        };
+        phase.transition_now(next, || clock.rdtsc());
+        action
     }
 
     /// TLB statistics snapshot.
@@ -390,6 +440,8 @@ impl GuestCore {
     }
 
     fn die(&mut self, reason: String) -> CovirtError {
+        self.phase
+            .transition_now(Phase::Idle, || self.node.clock.rdtsc());
         self.terminated = Some(reason.clone());
         if let (Some(ctl), Some(vctx)) = (&self.controller, &self.vctx) {
             ctl.report_fault(vctx.enclave_id, self.core, &reason);
@@ -417,6 +469,9 @@ impl GuestCore {
     #[cold]
     fn translate_slow(&mut self, gva: u64, access: Access) -> CovirtResult<(*mut u8, u64)> {
         self.counters.walks += 1;
+        let prev = self.phase.phase();
+        self.phase
+            .transition_now(Phase::RegionResolve, || self.node.clock.rdtsc());
         let t0 = self.tracer.enabled().then(std::time::Instant::now);
         let mem = &self.node.mem;
         let ept = self.vctx.as_ref().and_then(|v| v.ept.clone());
@@ -497,6 +552,7 @@ impl GuestCore {
             self.tracer
                 .observe(Hist::ResolveMissNs, t0.elapsed().as_nanos() as u64);
         }
+        self.phase.transition_now(prev, || self.node.clock.rdtsc());
         // SAFETY: in_page < page_size, and the resolve covered the page.
         Ok(unsafe { (base_ptr.add(in_page as usize), t.page_size - in_page) })
     }
@@ -508,7 +564,7 @@ impl GuestCore {
     ) -> CovirtResult<(*mut u8, u64)> {
         let reason = ExitReason::EptViolation(covirt_simhw::ept::EptViolationInfo { gpa, access });
         let hv = self.hv.as_mut().expect("EPT violation without hypervisor");
-        match hv.handle_exit(reason, &mut self.tlb) {
+        match Self::dispatch_exit(&mut self.phase, &self.node.clock, hv, &mut self.tlb, reason) {
             ExitAction::Terminate(r) => Err(self.die(r)),
             ExitAction::Resume => unreachable!("EPT violations are abort-class"),
         }
@@ -635,7 +691,13 @@ impl GuestCore {
         let protected = self.vctx.as_ref().is_some_and(|v| v.config.ipi.is_some());
         if protected {
             let hv = self.hv.as_mut().expect("covirt mode without hypervisor");
-            match hv.handle_exit(ExitReason::IcrWrite { value: icr }, &mut self.tlb) {
+            match Self::dispatch_exit(
+                &mut self.phase,
+                &self.node.clock,
+                hv,
+                &mut self.tlb,
+                ExitReason::IcrWrite { value: icr },
+            ) {
                 ExitAction::Terminate(r) => return Err(self.die(r)),
                 ExitAction::Resume => {}
             }
@@ -648,7 +710,13 @@ impl GuestCore {
     /// Execute CPUID (always exits under any hypervisor).
     pub fn cpuid(&mut self, leaf: u32) -> CovirtResult<()> {
         if let Some(hv) = self.hv.as_mut() {
-            match hv.handle_exit(ExitReason::Cpuid { leaf }, &mut self.tlb) {
+            match Self::dispatch_exit(
+                &mut self.phase,
+                &self.node.clock,
+                hv,
+                &mut self.tlb,
+                ExitReason::Cpuid { leaf },
+            ) {
                 ExitAction::Terminate(r) => return Err(self.die(r)),
                 ExitAction::Resume => {}
             }
@@ -664,7 +732,13 @@ impl GuestCore {
         };
         if exits {
             let hv = self.hv.as_mut().expect("covirt mode without hypervisor");
-            match hv.handle_exit(ExitReason::MsrWrite { index, value }, &mut self.tlb) {
+            match Self::dispatch_exit(
+                &mut self.phase,
+                &self.node.clock,
+                hv,
+                &mut self.tlb,
+                ExitReason::MsrWrite { index, value },
+            ) {
                 ExitAction::Terminate(r) => return Err(self.die(r)),
                 ExitAction::Resume => {}
             }
@@ -682,7 +756,13 @@ impl GuestCore {
         };
         if exits {
             let hv = self.hv.as_mut().expect("covirt mode without hypervisor");
-            match hv.handle_exit(ExitReason::IoWrite { port, value }, &mut self.tlb) {
+            match Self::dispatch_exit(
+                &mut self.phase,
+                &self.node.clock,
+                hv,
+                &mut self.tlb,
+                ExitReason::IoWrite { port, value },
+            ) {
                 ExitAction::Terminate(r) => return Err(self.die(r)),
                 ExitAction::Resume => {}
             }
@@ -699,13 +779,21 @@ impl GuestCore {
             return Err(CovirtError::EnclaveTerminated(reason.clone()));
         }
         self.counters.polls += 1;
+        self.phase
+            .transition_now(Phase::SafePoint, || self.node.clock.rdtsc());
         self.cpu.apic.poll_timer();
         let mailbox = self.node.interconnect.mailbox(self.core)?;
 
         // NMIs first (they are never maskable and always exit under VMX).
         while mailbox.take_nmi() {
             if let Some(hv) = self.hv.as_mut() {
-                match hv.handle_exit(ExitReason::Nmi, &mut self.tlb) {
+                match Self::dispatch_exit(
+                    &mut self.phase,
+                    &self.node.clock,
+                    hv,
+                    &mut self.tlb,
+                    ExitReason::Nmi,
+                ) {
                     ExitAction::Terminate(r) => return Err(self.die(r)),
                     ExitAction::Resume => {}
                 }
@@ -783,13 +871,21 @@ impl GuestCore {
             }
             if ext_exits {
                 let hv = self.hv.as_mut().expect("covirt mode without hypervisor");
-                match hv.handle_exit(ExitReason::ExternalInterrupt { vector }, &mut self.tlb) {
+                match Self::dispatch_exit(
+                    &mut self.phase,
+                    &self.node.clock,
+                    hv,
+                    &mut self.tlb,
+                    ExitReason::ExternalInterrupt { vector },
+                ) {
                     ExitAction::Terminate(r) => return Err(self.die(r)),
                     ExitAction::Resume => {}
                 }
             }
             self.deliver(vector);
         }
+        self.phase
+            .transition_now(Phase::GuestExec, || self.node.clock.rdtsc());
         Ok(())
     }
 
@@ -813,11 +909,18 @@ impl GuestCore {
             self.tracer
                 .emit(EventKind::CmdHarvest, drained.len() as u64, 0);
         }
+        // Phase accounting: the drain + [`Hypervisor::execute_commands`]
+        // batch is command-harvest work; return to safe-point servicing
+        // once the batch is applied (poll's tail flips back to guest).
+        let prev = self.phase.phase();
+        self.phase
+            .transition_now(Phase::CmdHarvest, || self.node.clock.rdtsc());
         let action = {
             let q = self.cmdq.as_ref().expect("drained from this queue");
             let hv = self.hv.as_mut().expect("covirt mode without hypervisor");
             hv.execute_commands(q, drained, &mut self.tlb)
         };
+        self.phase.transition_now(prev, || self.node.clock.rdtsc());
         match action {
             ExitAction::Terminate(r) => Err(self.die(r)),
             ExitAction::Resume => Ok(()),

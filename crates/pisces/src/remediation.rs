@@ -26,7 +26,8 @@
 use crate::enclave::EnclaveId;
 use crate::host::PiscesHost;
 use covirt_trace::audit::{TailVerdict, ViolationKind};
-use std::collections::HashSet;
+use covirt_trace::{Phase, PhaseProfiler};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -101,6 +102,9 @@ impl fmt::Display for RemediationAction {
     }
 }
 
+/// Shared TSC source the policy samples when timing throttle intervals.
+pub type TscSource = Arc<dyn Fn() -> u64 + Send + Sync>;
+
 /// Feeds [`TailVerdict`]s back into the host. One policy instance per
 /// tailing loop; it remembers what it already did so each condition is
 /// acted on exactly once per transition.
@@ -113,6 +117,11 @@ pub struct RemediationPolicy {
     dropped_total: u64,
     /// Every action taken, in order.
     log: Vec<RemediationAction>,
+    /// Optional cycle profiler: time spent throttled is attributed to
+    /// the enclave as [`Phase::Throttled`] overlay cycles.
+    profiler: Option<(Arc<PhaseProfiler>, TscSource)>,
+    /// TSC at which each currently-throttled enclave entered throttle.
+    throttle_started: HashMap<u64, u64>,
 }
 
 impl RemediationPolicy {
@@ -124,6 +133,43 @@ impl RemediationPolicy {
             throttled: HashSet::new(),
             dropped_total: 0,
             log: Vec::new(),
+            profiler: None,
+            throttle_started: HashMap::new(),
+        }
+    }
+
+    /// Attach a cycle profiler. Every throttle interval this policy
+    /// imposes is attributed to the throttled enclave as
+    /// [`Phase::Throttled`] overlay cycles, stamped with `now` (a TSC
+    /// source — the policy runs off-core, so it cannot read a core's
+    /// own clock).
+    pub fn attach_profiler(&mut self, profiler: Arc<PhaseProfiler>, now: TscSource) {
+        self.profiler = Some((profiler, now));
+    }
+
+    fn throttle_mark(&mut self, enclave: u64) {
+        if let Some((_, now)) = &self.profiler {
+            self.throttle_started.insert(enclave, now());
+        }
+    }
+
+    fn throttle_close(&mut self, enclave: u64) {
+        let Some((prof, now)) = &self.profiler else {
+            return;
+        };
+        if let Some(start) = self.throttle_started.remove(&enclave) {
+            prof.attribute(enclave, Phase::Throttled, now().saturating_sub(start));
+        }
+    }
+
+    /// Close every open throttle interval, attributing cycles up to
+    /// now. Call before snapshotting the profiler; intervals for
+    /// still-throttled enclaves restart from the flush point.
+    pub fn flush_throttle_intervals(&mut self) {
+        let open: Vec<u64> = self.throttle_started.keys().copied().collect();
+        for id in open {
+            self.throttle_close(id);
+            self.throttle_mark(id);
         }
     }
 
@@ -152,6 +198,9 @@ impl RemediationPolicy {
                 continue;
             };
             if enclave.quarantine() {
+                // A quarantined enclave is being torn down; close any
+                // open throttle interval so its cycles are not lost.
+                self.throttle_close(id);
                 actions.push(RemediationAction::Quarantine {
                     enclave: id,
                     why: format!("{}: {}", v.kind.name(), v.detail),
@@ -176,6 +225,7 @@ impl RemediationPolicy {
                 if let Ok(e) = self.host.enclave(EnclaveId(*id)) {
                     self.throttled.insert(*id);
                     e.set_throttled(true);
+                    self.throttle_mark(*id);
                     actions.push(RemediationAction::Throttle {
                         enclave: *id,
                         why: budgets.join(", "),
@@ -194,6 +244,7 @@ impl RemediationPolicy {
             if let Ok(e) = self.host.enclave(EnclaveId(id)) {
                 e.set_throttled(false);
             }
+            self.throttle_close(id);
             actions.push(RemediationAction::Unthrottle { enclave: id });
         }
 

@@ -2,6 +2,7 @@
 //! crate stays dependency-free. Timestamps convert from sim-TSC cycles to
 //! microseconds with the caller-supplied clock frequency.
 
+use crate::profile::{Phase, ProfileSnapshot, WindowSnapshot};
 use crate::{unpack_str, EventKind, TraceEvent};
 
 fn escape(s: &str, out: &mut String) {
@@ -188,6 +189,95 @@ pub fn to_chrome_trace(events: &[TraceEvent], hz: u64) -> String {
                 args
             ),
         );
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+fn enclave_frame(enclave: Option<u64>) -> String {
+    match enclave {
+        Some(e) => format!("enclave{e}"),
+        None => "native".to_string(),
+    }
+}
+
+/// Folded-stack flamegraph lines from a profile snapshot:
+/// `phase;enclave;detail cycles`, one line per non-zero cell, suitable
+/// for `flamegraph.pl` / speedscope "folded" import. Per-core cycles get
+/// a `coreN` leaf; controller-side overlay attribution (shootdown waits,
+/// throttle intervals) gets a `controller` leaf so off-core costs stay
+/// distinguishable from on-core phase time.
+pub fn to_folded(snap: &ProfileSnapshot) -> String {
+    let mut out = String::new();
+    for lane in &snap.lanes {
+        for ep in &lane.enclaves {
+            for phase in Phase::ALL {
+                let cycles = ep.cycles[phase as usize];
+                if cycles == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "{};{};core{} {}\n",
+                    phase.name(),
+                    enclave_frame(ep.enclave),
+                    lane.lane,
+                    cycles
+                ));
+            }
+        }
+    }
+    for ep in &snap.overlay {
+        for phase in Phase::ALL {
+            let cycles = ep.cycles[phase as usize];
+            if cycles == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{};{};controller {}\n",
+                phase.name(),
+                enclave_frame(ep.enclave),
+                cycles
+            ));
+        }
+    }
+    out
+}
+
+/// chrome://tracing counter tracks from per-lane window streams: one
+/// "C" event per sealed window per lane, with each phase's cycles as a
+/// stacked series. `tracks` pairs a lane with its tailed windows;
+/// `window_cycles` positions each window on the timeline. Loadable
+/// standalone or merged into a [`to_chrome_trace`] document.
+pub fn to_chrome_counter_trace(
+    tracks: &[(u32, Vec<WindowSnapshot>)],
+    window_cycles: u64,
+    hz: u64,
+) -> String {
+    let mut out = String::with_capacity(tracks.len() * 256 + 64);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (lane, windows) in tracks {
+        for w in windows {
+            let ts = ts_us(w.index.saturating_mul(window_cycles), 0, hz);
+            let mut args = String::new();
+            for phase in Phase::ALL {
+                if !args.is_empty() {
+                    args.push(',');
+                }
+                args.push_str(&format!(
+                    "\"{}\":{}",
+                    phase.name(),
+                    w.phase_cycles[phase as usize]
+                ));
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"phase cycles core{lane}\",\"cat\":\"profile\",\"ph\":\"C\",\"pid\":0,\"tid\":{lane},\"ts\":{ts:.3},\"args\":{{{args}}}}}"
+            ));
+        }
     }
     out.push_str("],\"displayTimeUnit\":\"ns\"}");
     out
@@ -395,5 +485,76 @@ mod tests {
         let mut s = String::new();
         escape("a\"b\\c\nd", &mut s);
         assert_eq!(s, "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn folded_stacks_cover_lanes_and_overlay() {
+        use crate::profile::{EnclavePhases, LaneProfile, Phase, ProfileSnapshot, NUM_PHASES};
+        let mut on_core = EnclavePhases {
+            enclave: Some(3),
+            cycles: [0; NUM_PHASES],
+        };
+        on_core.cycles[Phase::GuestExec as usize] = 9000;
+        on_core.cycles[Phase::RootExit as usize] = 1000;
+        let mut native = EnclavePhases {
+            enclave: None,
+            cycles: [0; NUM_PHASES],
+        };
+        native.cycles[Phase::Idle as usize] = 500;
+        let mut overlay = EnclavePhases {
+            enclave: Some(3),
+            cycles: [0; NUM_PHASES],
+        };
+        overlay.cycles[Phase::ShootdownWait as usize] = 250;
+        let snap = ProfileSnapshot {
+            lanes: vec![LaneProfile {
+                lane: 0,
+                wall: 10_500,
+                accounted: 10_500,
+                enclaves: vec![on_core, native],
+                dwell: Vec::new(),
+            }],
+            overlay: vec![overlay],
+        };
+        let folded = to_folded(&snap);
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.contains(&"guest_exec;enclave3;core0 9000"));
+        assert!(lines.contains(&"root_exit;enclave3;core0 1000"));
+        assert!(lines.contains(&"idle;native;core0 500"));
+        assert!(lines.contains(&"shootdown_wait;enclave3;controller 250"));
+    }
+
+    #[test]
+    fn folded_stacks_empty_snapshot_is_empty() {
+        let snap = ProfileSnapshot {
+            lanes: Vec::new(),
+            overlay: Vec::new(),
+        };
+        assert_eq!(to_folded(&snap), "");
+    }
+
+    #[test]
+    fn counter_trace_positions_windows_on_the_timeline() {
+        use crate::profile::{Phase, WindowSnapshot, NUM_PHASES};
+        let mut w = WindowSnapshot {
+            index: 2,
+            phase_cycles: [0; NUM_PHASES],
+            dwell_p50: [0; NUM_PHASES],
+            dwell_p99: [0; NUM_PHASES],
+        };
+        w.phase_cycles[Phase::GuestExec as usize] = 800;
+        w.phase_cycles[Phase::RootExit as usize] = 200;
+        let text = to_chrome_counter_trace(&[(1, vec![w])], 1000, 1_000_000_000);
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.ends_with('}'));
+        assert!(text.contains("\"ph\":\"C\""));
+        assert!(text.contains("\"name\":\"phase cycles core1\""));
+        // Window 2 × 1000 cycles at 1 GHz = 2000 ns = 2 us.
+        assert!(text.contains("\"ts\":2.000"));
+        assert!(text.contains("\"guest_exec\":800"));
+        assert!(text.contains("\"root_exit\":200"));
+        // Every phase appears as a series, even at zero.
+        assert!(text.contains("\"throttled\":0"));
     }
 }

@@ -35,8 +35,10 @@
 pub mod audit;
 pub mod export;
 pub mod metrics;
+pub mod profile;
 
 pub use metrics::{Counter, Hist, HistSnapshot, MetricsRegistry};
+pub use profile::{Phase, PhaseProfiler, PhaseTracker, ProfileSnapshot};
 
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -448,6 +450,7 @@ pub struct Recorder {
     enabled: AtomicBool,
     lanes: Vec<Lane>,
     metrics: MetricsRegistry,
+    profile: Arc<profile::PhaseProfiler>,
 }
 
 impl Recorder {
@@ -460,7 +463,15 @@ impl Recorder {
             enabled: AtomicBool::new(false),
             lanes: (0..lanes).map(|_| Lane::new(capacity)).collect(),
             metrics: MetricsRegistry::new(lanes),
+            profile: profile::PhaseProfiler::new(lanes),
         })
+    }
+
+    /// The phase profiler sharing this recorder's lane layout. Gated
+    /// independently of tracing (`PhaseProfiler::set_enabled`), so cycle
+    /// accounting can run with the event rings off and vice versa.
+    pub fn profiler(&self) -> &Arc<profile::PhaseProfiler> {
+        &self.profile
     }
 
     /// Whether tracing is on — the one branch the hot paths pay.
@@ -889,6 +900,7 @@ mod tests {
             enabled: AtomicBool::new(true),
             lanes: Vec::new(),
             metrics: MetricsRegistry::new(0),
+            profile: profile::PhaseProfiler::new(0),
         };
         assert_eq!(r.lane_capacity(), 0);
         assert_eq!(r.dropped(), 0);

@@ -205,7 +205,7 @@ impl LogHistogram {
 }
 
 /// Point-in-time merged view of one histogram across all lanes.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct HistSnapshot {
     /// Per-bucket sample counts; bucket `i` covers `[2^(i-1), 2^i)`.
     pub buckets: [u64; BUCKETS + 1],
@@ -431,6 +431,53 @@ mod tests {
         assert_eq!(snap.quantile(0.5), 256);
         assert!(snap.quantile(1.0) >= 8192);
         assert_eq!(HistSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_extremes_on_empty_snapshot() {
+        let snap = HistSnapshot::default();
+        assert_eq!(snap.quantile(0.0), 0);
+        assert_eq!(snap.quantile(0.5), 0);
+        assert_eq!(snap.quantile(1.0), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantile_extremes_on_single_bucket() {
+        // One sample: every quantile lands in its bucket.
+        let mut snap = HistSnapshot::default();
+        snap.record(5); // bucket 3, upper bound 8
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(snap.quantile(q), 8, "q={q}");
+        }
+        // Many samples in the same bucket behave identically.
+        for _ in 0..99 {
+            snap.record(5);
+        }
+        assert_eq!(snap.quantile(0.0), 8);
+        assert_eq!(snap.quantile(1.0), 8);
+    }
+
+    #[test]
+    fn quantile_q0_and_q1_hit_the_extreme_buckets() {
+        let mut snap = HistSnapshot::default();
+        snap.record(1); // bucket 1, upper bound 2
+        snap.record(1024); // bucket 11, upper bound 2048
+                           // q=0 clamps rank to the first sample, q=1 to the last.
+        assert_eq!(snap.quantile(0.0), 2);
+        assert_eq!(snap.quantile(1.0), 2048);
+        // Out-of-range q clamps rather than panicking or wrapping.
+        assert_eq!(snap.quantile(-3.0), snap.quantile(0.0));
+        assert_eq!(snap.quantile(7.5), snap.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_of_zero_valued_samples_is_zero() {
+        let mut snap = HistSnapshot::default();
+        snap.record(0); // bucket 0 reports upper bound 0
+        assert_eq!(snap.quantile(0.0), 0);
+        assert_eq!(snap.quantile(1.0), 0);
+        assert_eq!(snap.count, 1);
     }
 
     #[test]

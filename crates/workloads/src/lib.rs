@@ -28,6 +28,7 @@ pub mod figures;
 pub mod hpcg;
 pub mod md;
 pub mod minife;
+pub mod profile;
 pub mod randomaccess;
 pub mod scaling;
 pub mod selfheal;

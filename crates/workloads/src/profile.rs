@@ -1,0 +1,445 @@
+//! Driver for `figures profile` — always-on cycle accounting with
+//! per-enclave phase attribution.
+//!
+//! Two runs share one shape: enable the [`PhaseProfiler`], bracket every
+//! guest core with `profile_begin`/`profile_finish`, drive real workload
+//! traffic (STREAM plus a grant → touch → epoch-reclaim churn loop), and
+//! tail the profiler's sliding-window ring *live* with the same cursor
+//! discipline the remediation loop uses on the flight recorder. The
+//! clean run yields the per-enclave × per-phase cycle breakdown and the
+//! conservation check (accounted cycles must equal wall-clock TSC per
+//! core); the fault run adds a bystander enclave and a misbehaving one —
+//! SLO-degraded (throttled) and then fault-quarantined — and must pin
+//! the ShootdownWait/Throttled cycle spike on the misbehaving enclave,
+//! not the bystander.
+
+use covirt::config::CovirtConfig;
+use covirt::exec::FaultOutcome;
+use covirt::{ExecMode, GuestCore};
+use covirt_simhw::topology::{CoreId, HwLayout, ZoneId};
+use covirt_trace::audit::{AuditConfig, AuditEngine, SloBudgets};
+use covirt_trace::profile::WindowSnapshot;
+use covirt_trace::{Phase, PhaseProfiler, ProfileSnapshot};
+use kitten::faults;
+use pisces::{RemediationAction, RemediationConfig, RemediationPolicy};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::{stream, World};
+
+/// Pump rounds after the fault before the run gives up on a quarantine.
+const FAULT_PUMP_BUDGET: u32 = 64;
+
+/// What a profile run measured.
+pub struct ProfileReport {
+    /// Final per-core × per-enclave × per-phase cycle totals.
+    pub snapshot: ProfileSnapshot,
+    /// Windows tailed live, per lane, in seal order.
+    pub windows: Vec<(u32, Vec<WindowSnapshot>)>,
+    /// Window width in cycles (for timeline reconstruction).
+    pub window_cycles: u64,
+    /// TSC frequency.
+    pub hz: u64,
+    /// The workload enclave (the misbehaving one on fault runs).
+    pub enclave: u64,
+    /// The clean bystander enclave (fault runs only).
+    pub bystander: Option<u64>,
+    /// Remediation actions the fault run's control loop took.
+    pub actions: Vec<RemediationAction>,
+}
+
+impl ProfileReport {
+    /// Worst per-lane conservation error across lanes that ran a session.
+    pub fn max_conservation_error(&self) -> f64 {
+        self.snapshot
+            .lanes
+            .iter()
+            .filter(|l| l.wall > 0)
+            .map(|l| l.conservation_error())
+            .fold(0.0, f64::max)
+    }
+
+    /// Cycles attributed to `enclave` in `phase`, merged across lanes and
+    /// the controller overlay.
+    pub fn enclave_phase_cycles(&self, enclave: u64, phase: Phase) -> u64 {
+        self.snapshot
+            .by_enclave()
+            .iter()
+            .filter(|e| e.enclave == Some(enclave))
+            .map(|e| e.cycles[phase as usize])
+            .sum()
+    }
+
+    /// Total windows tailed across all lanes.
+    pub fn window_count(&self) -> usize {
+        self.windows.iter().map(|(_, w)| w.len()).sum()
+    }
+}
+
+/// Tail every lane's window ring once, appending to `out`. Same strict
+/// cursor protocol as the event tail: `cursors[lane]` advances to the
+/// next unread seal slot.
+fn pump_windows(
+    prof: &PhaseProfiler,
+    cursors: &mut Vec<u64>,
+    out: &mut [(u32, Vec<WindowSnapshot>)],
+) {
+    if cursors.is_empty() {
+        cursors.resize(prof.lane_count(), 0);
+    }
+    for (lane, slot) in out.iter_mut() {
+        let (batch, next, _dropped) = prof.tail_windows(*lane, cursors[*lane as usize]);
+        cursors[*lane as usize] = next;
+        slot.extend(batch);
+    }
+}
+
+fn window_tracks(prof: &PhaseProfiler) -> Vec<(u32, Vec<WindowSnapshot>)> {
+    (0..prof.lane_count() as u32)
+        .map(|l| (l, Vec::new()))
+        .collect()
+}
+
+/// Clean run: STREAM on core 0, then the grant → touch → epoch-reclaim
+/// churn on every core, all bracketed, windows tailed live.
+pub fn clean_run() -> ProfileReport {
+    let world = World::build(
+        ExecMode::Covirt(CovirtConfig::MEM),
+        HwLayout { cores: 2, zones: 1 },
+        96 * 1024 * 1024,
+    );
+    let prof = Arc::clone(world.node.recorder().profiler());
+    prof.set_enabled(true);
+    let ctl = Arc::clone(world.controller.as_ref().unwrap());
+    ctl.set_flush_spins(50_000_000);
+    let enclave = Arc::clone(&world.enclave);
+    let kernel = Arc::clone(&world.kernel);
+    let pisces = world.master.pisces();
+    let mut cursors: Vec<u64> = Vec::new();
+    let mut windows = window_tracks(&prof);
+
+    // Phase 1: STREAM on core 0, its whole session bracketed.
+    {
+        let s = stream::Stream::setup(&world, 50_000);
+        let mut g = world.guest_core(world.cores[0]).expect("guest core");
+        g.profile_begin();
+        s.init(&mut g).expect("stream init");
+        s.run_once(&mut g).expect("stream kernel");
+        g.profile_finish();
+        g.shutdown(); // VMXOFF so phase 2 can relaunch this core
+    }
+    pump_windows(&prof, &mut cursors, &mut windows);
+
+    // Phase 2: grant two ranges, cache them on every core, reclaim both
+    // inside one epoch — the shootdown waits land in the controller
+    // overlay, the cores' own flush servicing in their lane totals.
+    let r1 = pisces
+        .add_memory(&enclave, ZoneId(0), 2 * 1024 * 1024)
+        .unwrap();
+    let r2 = pisces
+        .add_memory(&enclave, ZoneId(0), 2 * 1024 * 1024)
+        .unwrap();
+    kernel.poll_ctrl().unwrap();
+    pisces.process_acks(&enclave).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let ready = Arc::new(std::sync::Barrier::new(world.cores.len() + 1));
+    let handles: Vec<_> = world
+        .cores
+        .iter()
+        .map(|&core| {
+            let mut g = world.guest_core(core).unwrap();
+            let stop = Arc::clone(&stop);
+            let ready = Arc::clone(&ready);
+            std::thread::spawn(move || {
+                g.profile_begin();
+                g.write_u64(r1.start.raw(), 1).unwrap();
+                g.write_u64(r2.start.raw(), 1).unwrap();
+                ready.wait();
+                while !stop.load(Ordering::Acquire) {
+                    g.poll().unwrap();
+                    std::hint::spin_loop();
+                }
+                g.profile_finish();
+                g.shutdown();
+            })
+        })
+        .collect();
+    ready.wait();
+
+    ctl.begin_reclaim_epoch(enclave.id.0);
+    for r in [r1, r2] {
+        pisces.request_remove_memory(&enclave, r).unwrap();
+        while enclave.resources().mem.contains(&r) {
+            kernel.poll_ctrl().unwrap();
+            pisces.process_acks(&enclave).unwrap();
+            pump_windows(&prof, &mut cursors, &mut windows);
+        }
+    }
+    ctl.end_reclaim_epoch(enclave.id.0).unwrap();
+    stop.store(true, Ordering::Release);
+    for h in handles {
+        h.join().unwrap();
+    }
+    pump_windows(&prof, &mut cursors, &mut windows);
+
+    ProfileReport {
+        snapshot: prof.snapshot(),
+        windows,
+        window_cycles: prof.window_cycles(),
+        hz: world.node.clock.hz(),
+        enclave: enclave.id.0,
+        bystander: None,
+        actions: Vec::new(),
+    }
+}
+
+/// Fault run: a clean bystander enclave streams on its own core while
+/// the workload enclave churns reclaim epochs under a 1 ns shootdown SLO
+/// (guaranteed Throttle) and then hits a contained fault (Quarantine).
+/// The pump closes the control loop live — recorder tail → audit engine
+/// → remediation policy with the profiler attached — so every throttle
+/// interval the policy imposes becomes Throttled overlay cycles on the
+/// misbehaving enclave.
+pub fn fault_run() -> ProfileReport {
+    let world = World::build(
+        ExecMode::Covirt(CovirtConfig::MEM),
+        HwLayout { cores: 2, zones: 1 },
+        96 * 1024 * 1024,
+    );
+    world.node.recorder().set_enabled(true);
+    let prof = Arc::clone(world.node.recorder().profiler());
+    prof.set_enabled(true);
+    let ctl = Arc::clone(world.controller.as_ref().unwrap());
+    ctl.set_flush_spins(50_000_000);
+    let enclave = Arc::clone(&world.enclave);
+    let kernel = Arc::clone(&world.kernel);
+    let pisces = world.master.pisces();
+    let mut cursors: Vec<u64> = Vec::new();
+    let mut windows = window_tracks(&prof);
+
+    // Bystander enclave on a core of its own, doing clean guest work for
+    // the whole run. Its phase profile must stay free of ShootdownWait
+    // and Throttled cycles.
+    let topo = world.node.topology.clone();
+    let bystander_core = topo.total_cores() - 1 - 2;
+    let req = pisces::resources::ResourceRequest::new(
+        vec![CoreId(bystander_core)],
+        vec![(ZoneId(0), 64 * 1024 * 1024)],
+    );
+    let (bystander, bykernel) = world
+        .master
+        .bring_up_enclave("bystander", &req)
+        .expect("bystander enclave");
+    let bystander_id = bystander.id.0;
+    let stop_by = Arc::new(AtomicBool::new(false));
+    let by_thread = {
+        let node = Arc::clone(&world.node);
+        let ctl = Arc::clone(&ctl);
+        let stop = Arc::clone(&stop_by);
+        let tlb = world.tlb;
+        std::thread::spawn(move || {
+            let mut g = GuestCore::launch_covirt(node, bykernel.clone(), ctl, bystander_core, tlb)
+                .expect("bystander core");
+            g.profile_begin();
+            let mut cur = 0u64;
+            let a = bykernel
+                .alloc_contiguous(2 * 1024 * 1024, &mut cur)
+                .expect("bystander array");
+            let mut i = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let off = (i % 1024) * 8;
+                g.write_u64(a + off, i).unwrap();
+                assert_eq!(g.read_u64(a + off).unwrap(), i);
+                g.poll().unwrap();
+                i += 1;
+            }
+            g.profile_finish();
+            g.shutdown();
+        })
+    };
+
+    // Live control loop with the profiler attached: a 1 ns shootdown-RTT
+    // budget makes the churn's real RTTs degrade the workload enclave,
+    // so the policy genuinely throttles it.
+    let mut engine = AuditEngine::new(
+        AuditConfig {
+            budgets: SloBudgets {
+                shootdown_p99_ns: Some(1),
+                ..SloBudgets::default()
+            },
+            ..AuditConfig::default()
+        },
+        world.node.clock.hz(),
+    );
+    let mut policy = RemediationPolicy::new(
+        Arc::clone(pisces),
+        RemediationConfig {
+            shed_drop_threshold: 1_000_000,
+        },
+    );
+    {
+        let clock_node = Arc::clone(&world.node);
+        policy.attach_profiler(
+            Arc::clone(&prof),
+            Arc::new(move || clock_node.clock.rdtsc()),
+        );
+    }
+    let mut ev_cursors: Vec<u64> = Vec::new();
+    let mut pump = |engine: &mut AuditEngine, policy: &mut RemediationPolicy| {
+        let (events, dropped) = world.node.recorder().tail_all(&mut ev_cursors);
+        if events.is_empty() && dropped == 0 {
+            return Vec::new();
+        }
+        let verdict = engine.ingest_tail(&events, dropped);
+        policy.apply(&verdict)
+    };
+
+    // Churn phase on the workload enclave's cores.
+    let r1 = pisces
+        .add_memory(&enclave, ZoneId(0), 2 * 1024 * 1024)
+        .unwrap();
+    let r2 = pisces
+        .add_memory(&enclave, ZoneId(0), 2 * 1024 * 1024)
+        .unwrap();
+    kernel.poll_ctrl().unwrap();
+    pisces.process_acks(&enclave).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let ready = Arc::new(std::sync::Barrier::new(world.cores.len() + 1));
+    let handles: Vec<_> = world
+        .cores
+        .iter()
+        .map(|&core| {
+            let mut g = world.guest_core(core).unwrap();
+            let stop = Arc::clone(&stop);
+            let ready = Arc::clone(&ready);
+            std::thread::spawn(move || {
+                g.profile_begin();
+                g.write_u64(r1.start.raw(), 1).unwrap();
+                g.write_u64(r2.start.raw(), 1).unwrap();
+                ready.wait();
+                while !stop.load(Ordering::Acquire) {
+                    g.poll().unwrap();
+                    std::hint::spin_loop();
+                }
+                g.profile_finish();
+                g.shutdown();
+            })
+        })
+        .collect();
+    ready.wait();
+
+    ctl.begin_reclaim_epoch(enclave.id.0);
+    for r in [r1, r2] {
+        pisces.request_remove_memory(&enclave, r).unwrap();
+        while enclave.resources().mem.contains(&r) {
+            kernel.poll_ctrl().unwrap();
+            pisces.process_acks(&enclave).unwrap();
+            pump(&mut engine, &mut policy);
+            pump_windows(&prof, &mut cursors, &mut windows);
+        }
+    }
+    ctl.end_reclaim_epoch(enclave.id.0).unwrap();
+    stop.store(true, Ordering::Release);
+    for h in handles {
+        h.join().unwrap();
+    }
+    // The shootdown RTTs are in the ring now; this verdict throttles.
+    pump(&mut engine, &mut policy);
+
+    // Fault phase: a contained EPT violation on the (now relaunchable)
+    // first core; the live loop must quarantine, which also closes the
+    // open throttle interval.
+    {
+        let kernel = Arc::clone(&kernel);
+        let mut g = world.guest_core(world.cores[0]).expect("fault core");
+        g.profile_begin();
+        match g.execute_fault(faults::off_by_one_region(&kernel)) {
+            FaultOutcome::Contained(_) => {}
+            o => panic!("covirt must contain the injected fault, got {o:?}"),
+        }
+        g.profile_finish();
+    }
+    let mut spare = FAULT_PUMP_BUDGET;
+    loop {
+        let actions = pump(&mut engine, &mut policy);
+        let quarantined = policy.log().iter().any(
+            |a| matches!(a, RemediationAction::Quarantine { enclave: e, .. } if *e == enclave.id.0),
+        );
+        if quarantined {
+            break;
+        }
+        if actions.is_empty() {
+            spare -= 1;
+            if spare == 0 {
+                break;
+            }
+        }
+    }
+    policy.flush_throttle_intervals();
+
+    stop_by.store(true, Ordering::Release);
+    by_thread.join().expect("bystander thread panicked");
+    pump_windows(&prof, &mut cursors, &mut windows);
+
+    ProfileReport {
+        snapshot: prof.snapshot(),
+        windows,
+        window_cycles: prof.window_cycles(),
+        hz: world.node.clock.hz(),
+        enclave: enclave.id.0,
+        bystander: Some(bystander_id),
+        actions: policy.log().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_run_conserves_cycles_and_tails_windows() {
+        let r = clean_run();
+        assert!(
+            r.max_conservation_error() <= 0.01,
+            "conservation error {:.4} above 1%",
+            r.max_conservation_error()
+        );
+        assert!(
+            r.enclave_phase_cycles(r.enclave, Phase::GuestExec) > 0,
+            "no guest-exec cycles attributed to the workload enclave"
+        );
+        assert!(r.window_count() > 0, "live tail saw no sealed windows");
+    }
+
+    #[test]
+    fn fault_run_pins_the_spike_on_the_faulting_enclave() {
+        let r = fault_run();
+        let bystander = r.bystander.unwrap();
+        let spike = |e| {
+            r.enclave_phase_cycles(e, Phase::ShootdownWait)
+                + r.enclave_phase_cycles(e, Phase::Throttled)
+        };
+        assert!(
+            spike(r.enclave) > 0,
+            "no ShootdownWait/Throttled cycles on the misbehaving enclave"
+        );
+        assert_eq!(
+            spike(bystander),
+            0,
+            "bystander enclave was charged controller-side cycles"
+        );
+        assert!(
+            r.actions
+                .iter()
+                .any(|a| matches!(a, RemediationAction::Throttle { enclave, .. } if *enclave == r.enclave)),
+            "policy never throttled the degraded enclave: {:?}",
+            r.actions
+        );
+        assert!(
+            r.enclave_phase_cycles(bystander, Phase::GuestExec) > 0,
+            "bystander did no attributed guest work"
+        );
+    }
+}
